@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared bench scaffolding: deterministic workloads and the custom
+ * main that prints each experiment's report before running the
+ * google-benchmark timings.
+ */
+
+#ifndef SPM_BENCH_COMMON_HH
+#define SPM_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace spm::bench
+{
+
+/** Deterministic text + pattern for a given size and wild card mix. */
+struct MatchWorkload
+{
+    std::vector<Symbol> text;
+    std::vector<Symbol> pattern;
+};
+
+inline MatchWorkload
+makeMatchWorkload(std::size_t text_len, std::size_t pattern_len,
+                  BitWidth bits, double wildcard_prob,
+                  std::uint64_t seed = 0xBE11C4)
+{
+    WorkloadGen gen(seed, bits);
+    MatchWorkload w;
+    w.pattern = gen.randomPattern(pattern_len, wildcard_prob);
+    w.text = gen.textWithPlants(text_len, w.pattern,
+                                pattern_len * 3 + 1);
+    return w;
+}
+
+/** Print the experiment banner. */
+inline void
+banner(const char *experiment, const char *claim)
+{
+    std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+} // namespace spm::bench
+
+/**
+ * Each bench defines `void printReport();` and uses this main so the
+ * paper-shaped table appears before the timing run.
+ */
+#define SPM_BENCH_MAIN(report_fn)                                     \
+    int                                                               \
+    main(int argc, char **argv)                                       \
+    {                                                                 \
+        report_fn();                                                  \
+        ::benchmark::Initialize(&argc, argv);                         \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))     \
+            return 1;                                                 \
+        ::benchmark::RunSpecifiedBenchmarks();                        \
+        ::benchmark::Shutdown();                                      \
+        return 0;                                                     \
+    }
+
+#endif // SPM_BENCH_COMMON_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * E1 -- Figure 3-1 / Section 3.1: the problem and the machine.
+ *
+ * Reproduces the paper's problem statement end to end: streams in,
+ * result bits out, r_i defined over substrings with wild cards. The
+ * report verifies the systolic array against the reference definition
+ * across sizes and wild card densities, and shows the steady one-
+ * result-per-two-beats output rate with its pipeline fill latency.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "core/behavioral.hh"
+#include "core/reference.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace spm;
+using namespace spm::core;
+using spm::bench::makeMatchWorkload;
+
+void
+printReport()
+{
+    spm::bench::banner(
+        "E1: problem definition and the behavioral array (Fig 3-1)",
+        "r_i = (s_{i-k}=p_0) AND ... AND (s_i=p_k); wild card matches "
+        "all. The systolic array emits one result per two beats after "
+        "a fill latency of one array length.");
+
+    Table table("Systolic array vs reference definition");
+    table.setHeader({"text n", "pattern k+1", "wildcard %", "matches",
+                     "agrees", "beats", "beats/char",
+                     "fill latency"});
+    for (const auto &[n, k, wc] :
+         std::vector<std::tuple<std::size_t, std::size_t, double>>{
+             {1000, 1, 0.0},
+             {1000, 4, 0.0},
+             {1000, 4, 0.25},
+             {4000, 8, 0.25},
+             {16000, 16, 0.25},
+             {16000, 64, 0.5},
+         }) {
+        const auto w = makeMatchWorkload(n, k, 4, wc);
+        ReferenceMatcher ref;
+        BehavioralMatcher chip(k);
+        const auto want = ref.match(w.text, w.pattern);
+        const auto got = chip.match(w.text, w.pattern);
+        std::size_t matches = 0;
+        for (bool b : want)
+            matches += b;
+        const double beats_per_char =
+            static_cast<double>(chip.lastBeats()) /
+            static_cast<double>(n);
+        table.addRowOf(n, k, Table::fixed(100 * wc, 0), matches,
+                       got == want ? "yes" : "NO",
+                       chip.lastBeats(),
+                       Table::fixed(beats_per_char, 3),
+                       chip.lastBeats() - 2 * n);
+    }
+    table.print();
+    std::printf(
+        "\nShape check: beats/char -> 2.0 as n grows (one character\n"
+        "in per beat, both streams interleaved), independent of k.\n");
+}
+
+void
+matchThroughput(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto k = static_cast<std::size_t>(state.range(1));
+    const auto w = makeMatchWorkload(n, k, 4, 0.25);
+    BehavioralMatcher chip(k);
+    for (auto _ : state) {
+        auto r = chip.match(w.text, w.pattern);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+    state.counters["beats"] =
+        static_cast<double>(chip.lastBeats());
+}
+
+void
+referenceThroughput(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto k = static_cast<std::size_t>(state.range(1));
+    const auto w = makeMatchWorkload(n, k, 4, 0.25);
+    ReferenceMatcher ref;
+    for (auto _ : state) {
+        auto r = ref.match(w.text, w.pattern);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+
+BENCHMARK(matchThroughput)
+    ->Args({1000, 4})
+    ->Args({4000, 8})
+    ->Args({4000, 32});
+BENCHMARK(referenceThroughput)
+    ->Args({1000, 4})
+    ->Args({4000, 8})
+    ->Args({4000, 32});
+
+} // namespace
+
+SPM_BENCH_MAIN(printReport)

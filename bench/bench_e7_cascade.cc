@@ -1,0 +1,123 @@
+/**
+ * @file
+ * E7 -- Figure 3-7: cascades and the multipass fallback.
+ *
+ * "A cascade of k chips with n cells each can match patterns of up
+ * to kn characters." The report scales chip count at fixed cells per
+ * chip, verifies cascade == monolithic beat for beat, prices the pin
+ * budget, and quantifies the multipass penalty when the pattern
+ * exceeds the total cell count.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "core/behavioral.hh"
+#include "core/cascade.hh"
+#include "core/multipass.hh"
+#include "core/reference.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace spm;
+using namespace spm::core;
+using spm::bench::makeMatchWorkload;
+
+void
+printReport()
+{
+    spm::bench::banner(
+        "E7: multi-chip cascades and multipass (Fig 3-7)",
+        "Chips wired pin to pin form one long array; capacity scales "
+        "linearly with chip count at constant data rate.");
+
+    const std::size_t cells_per_chip = 8;
+    Table table("Cascade scaling (8 cells per chip, text n = 4000)");
+    table.setHeader({"chips", "max k+1", "pattern used", "beats",
+                     "beats/char", "== monolithic", "pins/chip"});
+    for (std::size_t chips : {1u, 2u, 3u, 5u, 8u}) {
+        const std::size_t cap = chips * cells_per_chip;
+        const auto w = makeMatchWorkload(4000, cap, 2, 0.25);
+        CascadeMatcher cascade(chips, cells_per_chip);
+        BehavioralMatcher mono(cap);
+        const auto got = cascade.match(w.text, w.pattern);
+        const auto want = mono.match(w.text, w.pattern);
+        table.addRowOf(
+            chips, cap, w.pattern.size(), cascade.lastBeats(),
+            Table::fixed(static_cast<double>(cascade.lastBeats()) /
+                             4000.0,
+                         3),
+            (got == want && cascade.lastBeats() == mono.lastBeats())
+                ? "yes"
+                : "NO",
+            ChipCascade::pinsPerChip(2));
+    }
+    table.print();
+
+    Table mp("Multipass when the pattern exceeds the system "
+             "(16-cell system, text n = 2000)");
+    mp.setHeader({"pattern k+1", "runs", "total beats", "beats/char",
+                  "slowdown vs fitting array"});
+    for (std::size_t k : {8u, 16u, 32u, 64u, 128u}) {
+        const auto w = makeMatchWorkload(2000, k, 2, 0.25);
+        MultipassMatcher mpm(16);
+        BehavioralMatcher fitting(k);
+        ReferenceMatcher ref;
+        const auto got = mpm.match(w.text, w.pattern);
+        const auto want = ref.match(w.text, w.pattern);
+        fitting.match(w.text, w.pattern);
+        mp.addRowOf(
+            k, mpm.lastRuns(), mpm.lastBeats(),
+            Table::fixed(static_cast<double>(mpm.lastBeats()) / 2000.0,
+                         2),
+            got == want
+                ? Table::fixed(
+                      static_cast<double>(mpm.lastBeats()) /
+                          static_cast<double>(fitting.lastBeats()),
+                      1)
+                : "WRONG");
+    }
+    mp.print();
+    std::printf(
+        "\nShape check: cascade beat counts equal the monolithic\n"
+        "array's (extensibility is free); multipass pays a factor\n"
+        "that grows with ceil(starts / cells), the cost of too\n"
+        "little hardware.\n");
+}
+
+void
+cascadeMatch(benchmark::State &state)
+{
+    const auto chips = static_cast<std::size_t>(state.range(0));
+    const auto w = makeMatchWorkload(1000, chips * 8, 2, 0.25);
+    CascadeMatcher cascade(chips, 8);
+    for (auto _ : state) {
+        auto r = cascade.match(w.text, w.pattern);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+
+BENCHMARK(cascadeMatch)->Arg(1)->Arg(2)->Arg(4);
+
+void
+multipassMatch(benchmark::State &state)
+{
+    const auto k = static_cast<std::size_t>(state.range(0));
+    const auto w = makeMatchWorkload(1000, k, 2, 0.25);
+    MultipassMatcher mp(16);
+    for (auto _ : state) {
+        auto r = mp.match(w.text, w.pattern);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+
+BENCHMARK(multipassMatch)->Arg(16)->Arg(64);
+
+} // namespace
+
+SPM_BENCH_MAIN(printReport)

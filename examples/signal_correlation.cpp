@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Signal correlation and FIR filtering (Section 3.4).
+ *
+ * Hides a known template in a noisy integer signal and finds it with
+ * the systolic correlator (squared differences: minima mark
+ * alignments), then smooths the same signal with a systolic FIR
+ * moving-average filter -- both on the pattern matcher's data flow.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "extensions/numarray.hh"
+#include "util/rng.hh"
+
+int
+main()
+{
+    using namespace spm;
+
+    // A distinctive 8-sample template.
+    const std::vector<std::int64_t> tmpl = {12, -7, 30, -28,
+                                            15, 40, -33, 9};
+
+    // A noisy signal with the template planted at two offsets.
+    Rng rng(2026);
+    std::vector<std::int64_t> signal(400);
+    for (auto &v : signal)
+        v = rng.nextInRange(-20, 20);
+    const std::size_t plant_a = 80, plant_b = 290;
+    for (std::size_t j = 0; j < tmpl.size(); ++j) {
+        signal[plant_a + j] = tmpl[j];
+        signal[plant_b + j] = tmpl[j];
+    }
+
+    // Correlate: r_i = sum (s - p)^2, zero at exact alignments.
+    ext::SystolicCorrelator correlator(tmpl.size());
+    const auto corr = correlator.correlate(signal, tmpl);
+
+    std::printf("correlator (squared differences, zero = exact "
+                "alignment):\n");
+    for (std::size_t i = tmpl.size() - 1; i < corr.size(); ++i) {
+        if (corr[i] == 0) {
+            std::printf("    template found ending at sample %zu "
+                        "(planted at %zu)\n",
+                        i, i + 1 - tmpl.size());
+        }
+    }
+
+    // Nearest-miss statistics: how distinctive is the template?
+    std::int64_t best_nonzero = -1;
+    for (std::size_t i = tmpl.size() - 1; i < corr.size(); ++i) {
+        if (corr[i] != 0 &&
+            (best_nonzero < 0 || corr[i] < best_nonzero)) {
+            best_nonzero = corr[i];
+        }
+    }
+    std::printf("    closest non-match correlation: %lld (higher = "
+                "more distinctive)\n\n",
+                static_cast<long long>(best_nonzero));
+
+    // FIR smoothing on the same array: a 4-tap moving sum.
+    ext::SystolicFir fir;
+    const std::vector<std::int64_t> taps = {1, 1, 1, 1};
+    const auto smoothed = fir.fir(signal, taps);
+    std::printf("FIR moving-sum filter (4 taps), first samples:\n    ");
+    for (std::size_t i = 0; i < 10; ++i)
+        std::printf("%lld ", static_cast<long long>(smoothed[i]));
+    std::printf("...\n\n");
+
+    // Convolution of two short sequences, same machinery.
+    const auto conv = fir.convolve({1, 2, 3}, {4, 5});
+    std::printf("convolve([1 2 3],[4 5]) = [ ");
+    for (auto v : conv)
+        std::printf("%lld ", static_cast<long long>(v));
+    std::printf("]   (polynomial product)\n");
+
+    const bool found_both =
+        corr[plant_a + tmpl.size() - 1] == 0 &&
+        corr[plant_b + tmpl.size() - 1] == 0;
+    std::printf("\n%s\n", found_both
+                              ? "Both planted templates located."
+                              : "** template missed **");
+    return found_both ? 0 : 1;
+}

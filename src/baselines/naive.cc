@@ -1,0 +1,34 @@
+#include "baselines/naive.hh"
+
+#include "core/reference.hh"
+
+namespace spm::baselines
+{
+
+std::vector<bool>
+NaiveMatcher::match(const std::vector<Symbol> &text,
+                    const std::vector<Symbol> &pattern)
+{
+    const std::size_t n = text.size();
+    const std::size_t len = pattern.size();
+    comparisons = 0;
+    std::vector<bool> r(n, false);
+    if (len == 0 || len > n)
+        return r;
+
+    for (std::size_t start = 0; start + len <= n; ++start) {
+        bool all = true;
+        for (std::size_t j = 0; j < len; ++j) {
+            ++comparisons;
+            if (!core::symbolMatches(pattern[j], text[start + j])) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            r[start + len - 1] = true;
+    }
+    return r;
+}
+
+} // namespace spm::baselines

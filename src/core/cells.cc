@@ -1,0 +1,202 @@
+#include "core/cells.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace spm::core
+{
+
+namespace
+{
+
+std::string
+symChar(Symbol s)
+{
+    if (s == wildcardSymbol)
+        return "X";
+    if (s < 23)
+        return std::string(1, static_cast<char>('A' + s));
+    return std::to_string(s);
+}
+
+} // namespace
+
+CharComparatorCell::CharComparatorCell(std::string cell_name,
+                                       unsigned parity)
+    : CellBase(std::move(cell_name), parity)
+{
+}
+
+void
+CharComparatorCell::connect(const systolic::Latch<PatToken> *p_src,
+                            const systolic::Latch<StrToken> *s_src)
+{
+    spm_assert(p_src && s_src, "comparator connected to null sources");
+    pSrc = p_src;
+    sSrc = s_src;
+}
+
+void
+CharComparatorCell::evaluate(Beat)
+{
+    spm_assert(pSrc && sSrc, "comparator '", cellName(), "' not connected");
+    const PatToken p_new = pSrc->read();
+    const StrToken s_new = sSrc->read();
+
+    DToken d_new;
+    d_new.valid = p_new.valid && s_new.valid;
+    d_new.value = d_new.valid && p_new.sym == s_new.sym;
+
+    p.write(p_new);
+    s.write(s_new);
+    d.write(d_new);
+}
+
+void
+CharComparatorCell::commit()
+{
+    p.commit();
+    s.commit();
+    d.commit();
+}
+
+std::string
+CharComparatorCell::stateString() const
+{
+    std::ostringstream os;
+    os << (p.read().valid ? symChar(p.read().sym) : std::string("."))
+       << "/"
+       << (s.read().valid ? symChar(s.read().sym) : std::string("."));
+    return os.str();
+}
+
+BitComparatorCell::BitComparatorCell(std::string cell_name, unsigned parity)
+    : CellBase(std::move(cell_name), parity)
+{
+}
+
+void
+BitComparatorCell::connect(const systolic::Latch<BitToken> *p_src,
+                           const systolic::Latch<BitToken> *s_src,
+                           const systolic::Latch<DToken> *d_src)
+{
+    spm_assert(p_src && s_src && d_src,
+               "bit comparator connected to null sources");
+    pSrc = p_src;
+    sSrc = s_src;
+    dSrc = d_src;
+}
+
+void
+BitComparatorCell::evaluate(Beat)
+{
+    spm_assert(pSrc, "bit comparator '", cellName(), "' not connected");
+    const BitToken p_new = pSrc->read();
+    const BitToken s_new = sSrc->read();
+    const DToken d_above = dSrc->read();
+
+    DToken d_new;
+    d_new.valid = p_new.valid && s_new.valid;
+    d_new.value =
+        d_new.valid && d_above.value && p_new.bit == s_new.bit;
+
+    p.write(p_new);
+    s.write(s_new);
+    d.write(d_new);
+}
+
+void
+BitComparatorCell::commit()
+{
+    p.commit();
+    s.commit();
+    d.commit();
+}
+
+std::string
+BitComparatorCell::stateString() const
+{
+    std::ostringstream os;
+    os << (p.read().valid ? (p.read().bit ? "1" : "0") : ".") << "/"
+       << (s.read().valid ? (s.read().bit ? "1" : "0") : ".");
+    return os.str();
+}
+
+AccumulatorCell::AccumulatorCell(std::string cell_name, unsigned parity)
+    : CellBase(std::move(cell_name), parity)
+{
+}
+
+void
+AccumulatorCell::connect(const systolic::Latch<CtlToken> *ctl_src,
+                         const systolic::Latch<ResToken> *r_src,
+                         const systolic::Latch<DToken> *d_src)
+{
+    spm_assert(ctl_src && r_src && d_src,
+               "accumulator connected to null sources");
+    ctlSrc = ctl_src;
+    rSrc = r_src;
+    dSrc = d_src;
+}
+
+void
+AccumulatorCell::evaluate(Beat)
+{
+    spm_assert(ctlSrc, "accumulator '", cellName(), "' not connected");
+    const CtlToken c_new = ctlSrc->read();
+    const ResToken r_in = rSrc->read();
+    const DToken d_in = dSrc->read();
+    const bool t_cur = t.read();
+
+    // A valid comparison always coincides with a valid control token:
+    // both ride the same pattern cadence. The converse need not hold
+    // (the pattern recirculates even while no text is inside).
+    spm_assert(!d_in.valid || c_new.valid,
+               "accumulator '", cellName(),
+               "': comparison result without control token "
+               "(misaligned feed)");
+
+    ResToken r_new = r_in;
+    bool t_new = t_cur;
+    if (c_new.valid) {
+        const bool match = c_new.x || (d_in.valid && d_in.value);
+        if (c_new.lambda) {
+            // Replace the result riding with the last character of
+            // the substring; slot validity is the stream's own.
+            r_new.value = t_cur && match;
+            t_new = true;
+        } else {
+            t_new = t_cur && match;
+        }
+    }
+
+    ctl.write(c_new);
+    r.write(r_new);
+    t.write(t_new);
+}
+
+void
+AccumulatorCell::commit()
+{
+    ctl.commit();
+    r.commit();
+    t.commit();
+}
+
+std::string
+AccumulatorCell::stateString() const
+{
+    std::ostringstream os;
+    const CtlToken &c = ctl.read();
+    if (c.valid)
+        os << (c.lambda ? "L" : "-") << (c.x ? "x" : "-");
+    else
+        os << "..";
+    os << (t.read() ? "t" : " ");
+    if (r.read().valid)
+        os << (r.read().value ? "R1" : "R0");
+    return os.str();
+}
+
+} // namespace spm::core

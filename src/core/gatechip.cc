@@ -1,0 +1,265 @@
+#include "core/gatechip.hh"
+
+#include <algorithm>
+
+#include "core/behavioral.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace spm::core
+{
+
+using gate::LogicValue;
+using gate::NodeId;
+
+GateChip::GateChip(std::size_t num_cells, BitWidth bits_per_char,
+                   Picoseconds beat_period_ps, Picoseconds retention_ps)
+    : numCells(num_cells), numBits(bits_per_char),
+      net("pattern-matcher"), clk(net, beat_period_ps, retention_ps)
+{
+    spm_assert(num_cells > 0, "chip needs at least one cell");
+    spm_assert(bits_per_char >= 1 && bits_per_char <= 8,
+               "gate-level chip supports 1..8 bits per character");
+
+    // Primary inputs on the chip edges.
+    pInNodes.resize(numBits);
+    sInNodes.resize(numBits);
+    for (unsigned row = 0; row < numBits; ++row) {
+        pInNodes[row] = net.addNode("p_in" + std::to_string(row));
+        sInNodes[row] = net.addNode("s_in" + std::to_string(row));
+        net.markInput(pInNodes[row]);
+        net.markInput(sInNodes[row]);
+    }
+    lambdaInNode = net.addNode("lambda_in");
+    xInNode = net.addNode("x_in");
+    rInNode = net.addNode("r_in");
+    net.markInput(lambdaInNode);
+    net.markInput(xInNode);
+    net.markInput(rInNode);
+
+    // Constant logical-TRUE d inputs above the top comparator row,
+    // presented in each top cell's expected polarity.
+    std::vector<NodeId> d_top(numCells);
+    for (std::size_t c = 0; c < numCells; ++c) {
+        d_top[c] = net.addNode("d_top" + std::to_string(c));
+        net.markInput(d_top[c]);
+    }
+
+    // Pre-create every inter-cell wire, then instantiate cells in any
+    // order (the builders only attach devices between given nodes).
+    auto wire_name = [](const char *base, unsigned row, std::size_t col) {
+        return std::string(base) + std::to_string(row) + "_" +
+               std::to_string(col);
+    };
+    // p_out[row][c]: pattern wire driven by comparator (row, c).
+    // s_out[row][c]: string wire driven by comparator (row, c).
+    // d_out[row][c]: comparison wire driven down by (row, c).
+    std::vector<std::vector<NodeId>> p_out(numBits), s_out(numBits),
+        d_out(numBits);
+    for (unsigned row = 0; row < numBits; ++row) {
+        p_out[row].resize(numCells);
+        s_out[row].resize(numCells);
+        d_out[row].resize(numCells);
+        for (std::size_t c = 0; c < numCells; ++c) {
+            p_out[row][c] = net.addNode(wire_name("p_o", row, c));
+            s_out[row][c] = net.addNode(wire_name("s_o", row, c));
+            d_out[row][c] = net.addNode(wire_name("d_o", row, c));
+        }
+    }
+    // Accumulator row wires.
+    std::vector<NodeId> l_out(numCells), x_out(numCells), r_out(numCells);
+    for (std::size_t c = 0; c < numCells; ++c) {
+        l_out[c] = net.addNode("l_o_" + std::to_string(c));
+        x_out[c] = net.addNode("x_o_" + std::to_string(c));
+        r_out[c] = net.addNode("r_o_" + std::to_string(c));
+    }
+
+    // Comparator grid.
+    for (unsigned row = 0; row < numBits; ++row) {
+        for (std::size_t c = 0; c < numCells; ++c) {
+            gate::ComparatorPorts ports;
+            ports.pIn = c == 0 ? pInNodes[row] : p_out[row][c - 1];
+            ports.sIn =
+                c == numCells - 1 ? sInNodes[row] : s_out[row][c + 1];
+            ports.dIn = row == 0 ? d_top[c] : d_out[row - 1][c];
+            ports.pOut = p_out[row][c];
+            ports.sOut = s_out[row][c];
+            ports.dOut = d_out[row][c];
+            gate::buildComparator(
+                net,
+                "cmp" + std::to_string(row) + "_" + std::to_string(c),
+                ports, clk.phaseFor(parity(row, c)),
+                positiveTwin(row, c));
+        }
+    }
+
+    // Accumulator row (row index numBits in the checkerboard).
+    for (std::size_t c = 0; c < numCells; ++c) {
+        gate::AccumulatorPorts ports;
+        ports.lambdaIn = c == 0 ? lambdaInNode : l_out[c - 1];
+        ports.xIn = c == 0 ? xInNode : x_out[c - 1];
+        ports.dIn = d_out[numBits - 1][c];
+        ports.rIn = c == numCells - 1 ? rInNode : r_out[c + 1];
+        ports.lambdaOut = l_out[c];
+        ports.xOut = x_out[c];
+        ports.rOut = r_out[c];
+        const unsigned par = parity(numBits, c);
+        gate::buildAccumulator(net, "acc" + std::to_string(c), ports,
+                               clk.phaseFor(par),
+                               clk.phaseFor(1 - par),
+                               positiveTwin(numBits, c));
+    }
+
+    rOutNode = r_out[0];
+    // The positive twin emits inverted outputs.
+    rOutInverted = positiveTwin(numBits, 0);
+    lambdaInInverted = !positiveTwin(numBits, 0);
+    rInInverted = !positiveTwin(numBits, numCells - 1);
+
+    // Drive the top-row d constants once: logical TRUE in the
+    // polarity each top cell expects.
+    for (std::size_t c = 0; c < numCells; ++c) {
+        const bool pos = positiveTwin(0, c);
+        net.setInput(d_top[c], pos ? LogicValue::H : LogicValue::L, 0);
+    }
+    net.settle(0);
+}
+
+void
+GateChip::drive(NodeId node, bool value, bool positive_cell)
+{
+    const bool level = positive_cell ? value : !value;
+    net.setInput(node, level ? LogicValue::H : LogicValue::L, clk.now());
+}
+
+void
+GateChip::setPatternBit(unsigned row, bool bit)
+{
+    spm_assert(row < numBits, "row out of range");
+    drive(pInNodes[row], bit, positiveTwin(row, 0));
+}
+
+void
+GateChip::setStringBit(unsigned row, bool bit)
+{
+    spm_assert(row < numBits, "row out of range");
+    drive(sInNodes[row], bit, positiveTwin(row, numCells - 1));
+}
+
+void
+GateChip::setControl(bool lambda, bool x)
+{
+    const bool pos = positiveTwin(numBits, 0);
+    drive(lambdaInNode, lambda, pos);
+    drive(xInNode, x, pos);
+}
+
+void
+GateChip::setResultIn(bool r)
+{
+    drive(rInNode, r, positiveTwin(numBits, numCells - 1));
+}
+
+void
+GateChip::tick()
+{
+    net.settle(clk.now());
+    clk.tickBeat();
+}
+
+bool
+GateChip::resultOut() const
+{
+    const LogicValue v = net.value(rOutNode);
+    spm_assert(v != LogicValue::X, "result output is undefined");
+    const bool raw = v == LogicValue::H;
+    return rOutInverted ? !raw : raw;
+}
+
+bool
+GateChip::resultKnown() const
+{
+    return net.value(rOutNode) != LogicValue::X;
+}
+
+std::vector<bool>
+GateLevelMatcher::match(const std::vector<Symbol> &text,
+                        const std::vector<Symbol> &pattern)
+{
+    const std::size_t n = text.size();
+    const std::size_t len = pattern.size();
+    std::vector<bool> result(n, false);
+    if (len == 0 || n == 0 || len > n) {
+        beatsUsed = 0;
+        return result;
+    }
+
+    const std::size_t m = cells == 0 ? len : cells;
+    BitWidth bits = bitsPerChar;
+    if (bits == 0)
+        bits = std::max(requiredBits(text), requiredBits(pattern));
+
+    GateChip chip(m, bits);
+    transistors = chip.netlist().transistorCount();
+    const ChipFeedPlan plan(m, pattern, n);
+    const unsigned phi = plan.textPhase();
+
+    // Dynamic storage wakes up undefined (X): before the text enters,
+    // the pattern must recirculate long enough for a lambda to pass
+    // every accumulator and define its temporary result -- the
+    // power-up priming the real chip needs too. The warm-up is even
+    // so the meeting parity of the two streams is unchanged.
+    const Beat warm = 2 * static_cast<Beat>(len + m);
+    const Beat total = warm + plan.totalBeats() + bits + 2;
+
+    // Result r_i exits the accumulator row's left edge on beat
+    // warm + 2 i + phi + bits + m - 1 (the same schedule the
+    // behavioral model exhibits; the hardware has no validity bits,
+    // so exits are collected by beat number).
+    const Beat first_exit = warm + phi + bits + m - 1;
+    std::size_t collected = 0;
+
+    for (Beat u = 0; u < total && collected < n; ++u) {
+        for (unsigned row = 0; row < bits; ++row) {
+            const unsigned bit_idx = bits - 1 - row;
+            const PatToken p =
+                u >= row ? plan.patternAt(u - row) : PatToken{};
+            chip.setPatternBit(row,
+                               p.valid && ((p.sym >> bit_idx) & 1));
+            const StrToken s = u >= warm + row
+                ? plan.stringAt(u - warm - row, text)
+                : StrToken{};
+            chip.setStringBit(row,
+                              s.valid && ((s.sym >> bit_idx) & 1));
+        }
+        const Beat shift = bits - 1;
+        const CtlToken ctl =
+            u >= shift ? plan.controlAt(u - shift) : CtlToken{};
+        chip.setControl(ctl.valid && ctl.lambda, ctl.valid && ctl.x);
+        const ResToken r = u >= warm + shift
+            ? plan.resultAt(u - warm - shift)
+            : ResToken{};
+        chip.setResultIn(r.valid && r.value);
+
+        chip.tick();
+
+        if (u >= first_exit && (u - first_exit) % 2 == 0) {
+            const auto i =
+                static_cast<std::size_t>((u - first_exit) / 2);
+            if (i < n) {
+                // Warm-up positions may still be X; they are masked
+                // to 0 by the problem definition anyway.
+                const bool value =
+                    chip.resultKnown() && chip.resultOut();
+                result[i] = i >= len - 1 && value;
+                ++collected;
+            }
+        }
+    }
+    spm_assert(collected == n, "collected ", collected, " of ", n,
+               " results");
+    beatsUsed = chip.beat();
+    return result;
+}
+
+} // namespace spm::core

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The pattern matching chip at gate level.
+ *
+ * GateChip instantiates the Figure 3-6 comparator circuit and the
+ * accumulator circuit -- in their positive and inverted twin versions,
+ * alternating in a checkerboard -- for every cell of the bit-serial
+ * organization, wires them with the dynamic shift register discipline
+ * of Figure 3-5, and drives them from a two-phase non-overlapping
+ * clock. It is the simulation equivalent of the fabricated prototype
+ * (Plate 2: 8 cells of 2-bit characters).
+ */
+
+#ifndef SPM_CORE_GATECHIP_HH
+#define SPM_CORE_GATECHIP_HH
+
+#include <vector>
+
+#include "core/matcher.hh"
+#include "gate/netlist.hh"
+#include "gate/stdcells.hh"
+#include "gate/twophase.hh"
+
+namespace spm::core
+{
+
+/**
+ * Gate-level bit-serial pattern matcher chip.
+ *
+ * Cell (row, col) latches on clock phase (row + col) mod 2 and is the
+ * positive twin when that parity is 0. All polarity bookkeeping for
+ * the host is done by the feed/observe methods: callers always work
+ * in positive logic.
+ */
+class GateChip
+{
+  public:
+    /**
+     * @param num_cells character cells (columns)
+     * @param bits_per_char comparator rows
+     * @param beat_period_ps beat period (250 ns on the prototype)
+     * @param retention_ps dynamic storage retention (about 1 ms)
+     */
+    GateChip(std::size_t num_cells, BitWidth bits_per_char,
+             Picoseconds beat_period_ps = prototypeBeatPs,
+             Picoseconds retention_ps = gate::defaultRetentionPs);
+
+    std::size_t cellCount() const { return numCells; }
+    BitWidth bits() const { return numBits; }
+
+    /** Present the pattern bit entering row @p row for this beat. */
+    void setPatternBit(unsigned row, bool bit);
+
+    /** Present the string bit entering row @p row for this beat. */
+    void setStringBit(unsigned row, bool bit);
+
+    /** Present the lambda / don't-care pair for this beat. */
+    void setControl(bool lambda, bool x);
+
+    /** Present the result-stream input bit for this beat. */
+    void setResultIn(bool r);
+
+    /** Run one beat of the two-phase clock. */
+    void tick();
+
+    /** Beats elapsed. */
+    Beat beat() const { return clk.beat(); }
+
+    /**
+     * The result-stream output in positive logic; X (undefined charge
+     * during pipeline warm-up, or after a retention failure) reads as
+     * unknown via resultKnown().
+     */
+    bool resultOut() const;
+
+    /** Whether the result output node holds a definite level. */
+    bool resultKnown() const;
+
+    /**
+     * Stall the clock for @p duration_ps; returns how many dynamic
+     * storage nodes lost their charge (Section 3.3.3 failure mode).
+     */
+    std::size_t stall(Picoseconds duration_ps)
+    {
+        return clk.stall(duration_ps);
+    }
+
+    /** The netlist, for inspection, layout and statistics. */
+    const gate::Netlist &netlist() const { return net; }
+    gate::Netlist &netlist() { return net; }
+
+    /** The clock driver. */
+    const gate::TwoPhaseClock &clock() const { return clk; }
+
+  private:
+    /** Checkerboard parity of cell (row, col). */
+    unsigned parity(unsigned row, std::size_t col) const
+    {
+        return (row + static_cast<unsigned>(col)) % 2;
+    }
+
+    /** True when cell (row, col) is the positive twin. */
+    bool positiveTwin(unsigned row, std::size_t col) const
+    {
+        return parity(row, col) == 0;
+    }
+
+    void drive(gate::NodeId node, bool value, bool positive_cell);
+
+    std::size_t numCells;
+    BitWidth numBits;
+    gate::Netlist net;
+    gate::TwoPhaseClock clk;
+
+    std::vector<gate::NodeId> pInNodes;  ///< per comparator row
+    std::vector<gate::NodeId> sInNodes;  ///< per comparator row
+    gate::NodeId lambdaInNode;
+    gate::NodeId xInNode;
+    gate::NodeId rInNode;
+    gate::NodeId rOutNode;
+    bool rOutInverted;
+    bool lambdaInInverted;
+    bool rInInverted;
+};
+
+/**
+ * Matcher over the gate-level chip. Uses the same feed schedule as
+ * the bit-serial behavioral model; results are collected by exit
+ * beat (the hardware has no validity bits).
+ */
+class GateLevelMatcher : public Matcher
+{
+  public:
+    explicit GateLevelMatcher(std::size_t num_cells = 0,
+                              BitWidth bits_per_char = 0)
+        : cells(num_cells), bitsPerChar(bits_per_char)
+    {
+    }
+
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override;
+
+    std::string name() const override { return "systolic-gatelevel"; }
+
+    Beat lastBeats() const { return beatsUsed; }
+
+    /** Transistor count of the last chip built. */
+    unsigned lastTransistors() const { return transistors; }
+
+  private:
+    std::size_t cells;
+    BitWidth bitsPerChar;
+    Beat beatsUsed = 0;
+    unsigned transistors = 0;
+};
+
+} // namespace spm::core
+
+#endif // SPM_CORE_GATECHIP_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The host interface model (Figure 1-1 and Figure 3-1).
+ *
+ * The chip is a peripheral on a conventional host: "The pattern and
+ * the text string arrive alternately over the bus one character at a
+ * time" and "the data streams move at a steady rate ... with a
+ * constant time between data items." This module models that bus: the
+ * chip-side demand (one character per beat), the host-side supply
+ * (memory bandwidth), and the resulting end-to-end throughput -- the
+ * numbers behind the paper's claim that one character every 250 ns "is
+ * higher than the memory bandwidth of most conventional computers."
+ */
+
+#ifndef SPM_CORE_HOSTBUS_HH
+#define SPM_CORE_HOSTBUS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace spm::core
+{
+
+/** Static description of a host computer's memory system. */
+struct HostProfile
+{
+    std::string name;
+    double bandwidthBytesPerSec;
+};
+
+/** A few representative host machines of the paper's era. */
+const HostProfile &hostPdp11();     ///< ~1 MB/s Unibus-class
+const HostProfile &hostVax780();    ///< ~5 MB/s SBI-class
+const HostProfile &hostIbm370158(); ///< ~8 MB/s channel-class
+
+/**
+ * Models the bus between a host and a pattern matcher (single chip or
+ * cascade). All rates are derived, not simulated; the cycle-accurate
+ * simulators provide the beat counts this model prices.
+ */
+class HostBusModel
+{
+  public:
+    /**
+     * @param beat_period_ps chip beat period (250 ns prototype)
+     * @param char_bits bits per character on the bus
+     */
+    explicit HostBusModel(Picoseconds beat_period_ps = prototypeBeatPs,
+                          BitWidth char_bits = 8);
+
+    /** Characters per second the chip consumes (one per beat). */
+    double chipCharsPerSec() const;
+
+    /**
+     * Bytes per second the chip-side protocol demands of the host:
+     * one character per beat in, plus one result bit per two beats
+     * out (results ride back interleaved with the input streams).
+     */
+    double chipDemandBytesPerSec() const;
+
+    /**
+     * Text characters per second actually processed when the chip is
+     * attached to @p host: the slower of chip demand and host supply,
+     * folded back to the text stream (half the bus beats carry text).
+     */
+    double effectiveTextCharsPerSec(const HostProfile &host) const;
+
+    /** True when the chip outruns the host's memory system. */
+    bool chipOutrunsHost(const HostProfile &host) const;
+
+    /**
+     * Total bus transactions for a match of @p text_len characters
+     * with a pattern of @p pattern_len on an array of
+     * @p total_cells cells: pattern feeds (recirculating), text
+     * feeds, and result transfers.
+     */
+    std::uint64_t busTransactions(std::size_t text_len,
+                                  std::size_t pattern_len,
+                                  std::size_t total_cells) const;
+
+    /** Wall-clock seconds for @p beats chip beats. */
+    double secondsForBeats(Beat beats) const;
+
+    Picoseconds beatPeriod() const { return periodPs; }
+    BitWidth charBits() const { return bits; }
+
+  private:
+    Picoseconds periodPs;
+    BitWidth bits;
+};
+
+} // namespace spm::core
+
+#endif // SPM_CORE_HOSTBUS_HH

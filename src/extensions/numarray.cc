@@ -1,0 +1,188 @@
+#include "extensions/numarray.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spm::ext
+{
+
+NumericArray::NumericArray(std::size_t num_cells, MeetOp meet, FoldOp fold,
+                           Picoseconds beat_period_ps)
+    : numCells(num_cells), eng(beat_period_ps)
+{
+    spm_assert(num_cells > 0, "array needs at least one cell");
+
+    meets.reserve(numCells);
+    adders.reserve(numCells);
+    for (std::size_t c = 0; c < numCells; ++c) {
+        meets.push_back(&eng.makeCell<NumMeetCell>(
+            "meet" + std::to_string(c), static_cast<unsigned>(c % 2),
+            meet));
+    }
+    for (std::size_t c = 0; c < numCells; ++c) {
+        adders.push_back(&eng.makeCell<NumAdderCell>(
+            "add" + std::to_string(c),
+            static_cast<unsigned>((c + 1) % 2), fold));
+    }
+    for (std::size_t c = 0; c < numCells; ++c) {
+        meets[c]->connect(c == 0 ? &pIn : &meets[c - 1]->pOut(),
+                          c == numCells - 1 ? &sIn
+                                            : &meets[c + 1]->sOut());
+        adders[c]->connect(
+            c == 0 ? &ctlIn : &adders[c - 1]->ctlOut(),
+            c == numCells - 1 ? &rIn : &adders[c + 1]->rOut(),
+            &meets[c]->dOut());
+    }
+}
+
+NumToken
+NumericArray::resultOut() const
+{
+    return adders.front()->rOut().read();
+}
+
+std::vector<std::int64_t>
+runWindowProtocol(std::size_t num_cells, MeetOp meet, FoldOp fold,
+                  const std::vector<std::int64_t> &signal,
+                  const std::vector<std::int64_t> &weights)
+{
+    const std::size_t n = signal.size();
+    const std::size_t len = weights.size();
+    std::vector<std::int64_t> result(n, 0);
+    if (len == 0 || n == 0 || len > n)
+        return result;
+
+    spm_assert(len <= num_cells, "weights exceed the array's ",
+               num_cells, " cells");
+
+    NumericArray array(num_cells, meet, fold);
+    const unsigned phi = (num_cells - 1) % 2;
+    const Beat total = 2 * static_cast<Beat>(n) + phi +
+                       static_cast<Beat>(num_cells) + 4;
+
+    std::size_t collected = 0;
+    for (Beat u = 0; u < total && collected < n; ++u) {
+        // Weights recirculate on even beats; lambda/x control bits
+        // trail by one beat, exactly as in the matcher.
+        NumToken w{};
+        if (u % 2 == 0) {
+            const std::size_t j =
+                static_cast<std::size_t>(u / 2) % len;
+            w = NumToken{weights[j], true};
+        }
+        core::CtlToken ctl{};
+        if (u % 2 == 1) {
+            const std::size_t j =
+                static_cast<std::size_t>((u - 1) / 2) % len;
+            ctl = core::CtlToken{j == len - 1, false, true};
+        }
+        NumToken x{};
+        if (u % 2 == phi % 2) {
+            const auto i = static_cast<std::size_t>((u - phi) / 2);
+            if (u >= phi && i < n)
+                x = NumToken{signal[i], true};
+        }
+        NumToken r{};
+        if (u % 2 == (phi + 1) % 2 && u >= phi + 1) {
+            const auto i = static_cast<std::size_t>((u - phi - 1) / 2);
+            if (i < n)
+                r = NumToken{0, true};
+        }
+
+        array.feedWeight(w);
+        array.feedControl(ctl);
+        array.feedSignal(x);
+        array.feedResult(r);
+        array.step();
+
+        const NumToken out = array.resultOut();
+        if (out.valid) {
+            result[collected] =
+                collected >= len - 1 ? out.value : 0;
+            ++collected;
+        }
+    }
+    spm_assert(collected == n, "collected ", collected, " of ", n,
+               " window results");
+    return result;
+}
+
+std::vector<std::int64_t>
+SystolicCorrelator::correlate(const std::vector<std::int64_t> &signal,
+                              const std::vector<std::int64_t> &weights)
+    const
+{
+    const std::size_t m = cells == 0 ? weights.size() : cells;
+    return runWindowProtocol(m, MeetOp::Subtract, FoldOp::SumOfSquares,
+                             signal, weights);
+}
+
+std::vector<std::int64_t>
+SystolicDistance::chebyshev(const std::vector<std::int64_t> &signal,
+                            const std::vector<std::int64_t> &weights)
+    const
+{
+    const std::size_t m = cells == 0 ? weights.size() : cells;
+    return runWindowProtocol(m, MeetOp::AbsDiff, FoldOp::Max, signal,
+                             weights);
+}
+
+std::vector<std::int64_t>
+SystolicDistance::closestPosition(
+    const std::vector<std::int64_t> &signal,
+    const std::vector<std::int64_t> &weights) const
+{
+    const std::size_t m = cells == 0 ? weights.size() : cells;
+    return runWindowProtocol(m, MeetOp::AbsDiff, FoldOp::Min, signal,
+                             weights);
+}
+
+std::vector<std::int64_t>
+SystolicFir::windowDot(const std::vector<std::int64_t> &signal,
+                       const std::vector<std::int64_t> &weights) const
+{
+    const std::size_t m = cells == 0 ? weights.size() : cells;
+    return runWindowProtocol(m, MeetOp::Multiply, FoldOp::Sum, signal,
+                             weights);
+}
+
+std::vector<std::int64_t>
+SystolicFir::fir(const std::vector<std::int64_t> &signal,
+                 const std::vector<std::int64_t> &taps) const
+{
+    const std::size_t n = signal.size();
+    const std::size_t k = taps.size();
+    if (n == 0 || k == 0)
+        return std::vector<std::int64_t>(n, 0);
+
+    // y_i = sum_j taps_j x_{i-j} is the window dot product with the
+    // taps reversed, over the signal padded with k-1 zeros of
+    // history.
+    std::vector<std::int64_t> padded(k - 1, 0);
+    padded.insert(padded.end(), signal.begin(), signal.end());
+    std::vector<std::int64_t> rev(taps.rbegin(), taps.rend());
+
+    const auto windows = windowDot(padded, rev);
+    // Window result at padded index (k-1)+i is y_i.
+    std::vector<std::int64_t> y(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] = windows[k - 1 + i];
+    return y;
+}
+
+std::vector<std::int64_t>
+SystolicFir::convolve(const std::vector<std::int64_t> &a,
+                      const std::vector<std::int64_t> &b) const
+{
+    if (a.empty() || b.empty())
+        return {};
+    // Full convolution: filter a (padded with |b|-1 trailing zeros)
+    // by taps b.
+    std::vector<std::int64_t> padded(a);
+    padded.insert(padded.end(), b.size() - 1, 0);
+    const auto y = fir(padded, b);
+    return y;
+}
+
+} // namespace spm::ext

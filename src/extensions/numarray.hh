@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Numeric systolic arrays: correlation, FIR filtering, convolution.
+ *
+ * "A problem of more practical interest is the computation of
+ * correlations... Correlations can be computed by a machine with
+ * identical data flow to the string matching chip, except that all
+ * streams contain numbers" (Section 3.4). The same array with a
+ * multiplier meet cell and a plain-sum adder computes sliding dot
+ * products, i.e. FIR filters and convolutions ("Many other problems,
+ * such as convolutions and FIR filtering, have algorithms that use
+ * the same data flow").
+ */
+
+#ifndef SPM_EXT_NUMARRAY_HH
+#define SPM_EXT_NUMARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "extensions/numcells.hh"
+#include "systolic/engine.hh"
+
+namespace spm::ext
+{
+
+/**
+ * A linear array of meet cells over adder cells with the pattern
+ * matcher's exact data flow: weights recirculate left to right with
+ * the lambda marker, the signal flows right to left, window results
+ * ride out with the signal.
+ */
+class NumericArray
+{
+  public:
+    NumericArray(std::size_t num_cells, MeetOp meet, FoldOp fold,
+                 Picoseconds beat_period_ps = prototypeBeatPs);
+
+    std::size_t cellCount() const { return numCells; }
+
+    void feedWeight(const NumToken &tok) { pIn.force(tok); }
+    void feedControl(const core::CtlToken &tok) { ctlIn.force(tok); }
+    void feedSignal(const NumToken &tok) { sIn.force(tok); }
+    void feedResult(const NumToken &tok) { rIn.force(tok); }
+
+    void step() { eng.step(); }
+
+    NumToken resultOut() const;
+
+    systolic::Engine &engine() { return eng; }
+
+  private:
+    std::size_t numCells;
+    systolic::Engine eng;
+    systolic::Latch<NumToken> pIn;
+    systolic::Latch<core::CtlToken> ctlIn;
+    systolic::Latch<NumToken> sIn;
+    systolic::Latch<NumToken> rIn;
+    std::vector<NumMeetCell *> meets;
+    std::vector<NumAdderCell *> adders;
+};
+
+/**
+ * Run the numeric window protocol: for every signal position i >= k,
+ * the value sum_j fold(meet(x_{i-k+j}, w_j)) emerges; positions
+ * i < k yield 0. Shared by the correlator and the FIR wrappers.
+ *
+ * @param num_cells cells to instantiate (>= weights.size())
+ */
+std::vector<std::int64_t> runWindowProtocol(
+    std::size_t num_cells, MeetOp meet, FoldOp fold,
+    const std::vector<std::int64_t> &signal,
+    const std::vector<std::int64_t> &weights);
+
+/**
+ * Correlation per Section 3.4:
+ *     r_i = (x_{i-k} - w_0)^2 + ... + (x_i - w_k)^2
+ * "A good match of substring to pattern results in a high
+ * correlation" -- in this squared-difference form, a *low* value
+ * marks a good match, zero an exact one.
+ */
+class SystolicCorrelator
+{
+  public:
+    /** @param num_cells cells; 0 sizes the array to the weights. */
+    explicit SystolicCorrelator(std::size_t num_cells = 0)
+        : cells(num_cells)
+    {
+    }
+
+    std::vector<std::int64_t> correlate(
+        const std::vector<std::int64_t> &signal,
+        const std::vector<std::int64_t> &weights) const;
+
+  private:
+    std::size_t cells;
+};
+
+/**
+ * Sliding-window distance products -- the "linear product" family
+ * Section 3.4 gestures at via [Fischer and Paterson 74]. Both run on
+ * the unchanged data flow with a different (meet, fold) pair.
+ */
+class SystolicDistance
+{
+  public:
+    explicit SystolicDistance(std::size_t num_cells = 0)
+        : cells(num_cells)
+    {
+    }
+
+    /**
+     * Chebyshev (L-infinity) window distance:
+     *     r_i = max_j |x_{i-k+j} - w_j|,  r_i = 0 for i < k.
+     */
+    std::vector<std::int64_t> chebyshev(
+        const std::vector<std::int64_t> &signal,
+        const std::vector<std::int64_t> &weights) const;
+
+    /**
+     * Closest-position agreement:
+     *     r_i = min_j |x_{i-k+j} - w_j|,  r_i = 0 for i < k.
+     */
+    std::vector<std::int64_t> closestPosition(
+        const std::vector<std::int64_t> &signal,
+        const std::vector<std::int64_t> &weights) const;
+
+  private:
+    std::size_t cells;
+};
+
+/** FIR filtering and convolution on the same array. */
+class SystolicFir
+{
+  public:
+    explicit SystolicFir(std::size_t num_cells = 0) : cells(num_cells) {}
+
+    /**
+     * Sliding window dot product:
+     *     y_i = sum_j w_j * x_{i-k+j},  y_i = 0 for i < k.
+     */
+    std::vector<std::int64_t> windowDot(
+        const std::vector<std::int64_t> &signal,
+        const std::vector<std::int64_t> &weights) const;
+
+    /**
+     * Causal FIR filter y_i = sum_j taps_j * x_{i-j} with zero
+     * initial history; output has the signal's length.
+     */
+    std::vector<std::int64_t> fir(
+        const std::vector<std::int64_t> &signal,
+        const std::vector<std::int64_t> &taps) const;
+
+    /**
+     * Full linear convolution of the two sequences; output length is
+     * |a| + |b| - 1.
+     */
+    std::vector<std::int64_t> convolve(
+        const std::vector<std::int64_t> &a,
+        const std::vector<std::int64_t> &b) const;
+
+  private:
+    std::size_t cells;
+};
+
+} // namespace spm::ext
+
+#endif // SPM_EXT_NUMARRAY_HH

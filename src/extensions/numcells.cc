@@ -1,0 +1,243 @@
+#include "extensions/numcells.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace spm::ext
+{
+
+std::int64_t
+foldIdentity(FoldOp op)
+{
+    switch (op) {
+      case FoldOp::Sum:
+      case FoldOp::SumOfSquares:
+        return 0;
+      case FoldOp::Min:
+        return std::numeric_limits<std::int64_t>::max();
+      case FoldOp::Max:
+        return std::numeric_limits<std::int64_t>::min();
+      default:
+        spm_panic("unknown fold");
+    }
+}
+
+std::int64_t
+applyFold(FoldOp op, std::int64_t t, std::int64_t d)
+{
+    switch (op) {
+      case FoldOp::Sum:
+        return t + d;
+      case FoldOp::SumOfSquares:
+        return t + d * d;
+      case FoldOp::Min:
+        return std::min(t, d);
+      case FoldOp::Max:
+        return std::max(t, d);
+      default:
+        spm_panic("unknown fold");
+    }
+}
+
+NumMeetCell::NumMeetCell(std::string cell_name, unsigned parity, MeetOp op)
+    : CellBase(std::move(cell_name), parity), meetOp(op)
+{
+}
+
+void
+NumMeetCell::connect(const systolic::Latch<NumToken> *p_src,
+                     const systolic::Latch<NumToken> *s_src)
+{
+    spm_assert(p_src && s_src, "meet cell connected to null sources");
+    pSrc = p_src;
+    sSrc = s_src;
+}
+
+void
+NumMeetCell::evaluate(Beat)
+{
+    spm_assert(pSrc, "meet cell '", cellName(), "' not connected");
+    const NumToken p_new = pSrc->read();
+    const NumToken s_new = sSrc->read();
+
+    NumToken d_new;
+    d_new.valid = p_new.valid && s_new.valid;
+    if (d_new.valid) {
+        switch (meetOp) {
+          case MeetOp::Subtract:
+            d_new.value = s_new.value - p_new.value;
+            break;
+          case MeetOp::Multiply:
+            d_new.value = s_new.value * p_new.value;
+            break;
+          case MeetOp::AbsDiff:
+            d_new.value = std::abs(s_new.value - p_new.value);
+            break;
+        }
+    }
+
+    p.write(p_new);
+    s.write(s_new);
+    d.write(d_new);
+}
+
+void
+NumMeetCell::commit()
+{
+    p.commit();
+    s.commit();
+    d.commit();
+}
+
+std::string
+NumMeetCell::stateString() const
+{
+    std::ostringstream os;
+    if (p.read().valid)
+        os << p.read().value;
+    else
+        os << ".";
+    os << "/";
+    if (s.read().valid)
+        os << s.read().value;
+    else
+        os << ".";
+    return os.str();
+}
+
+NumAdderCell::NumAdderCell(std::string cell_name, unsigned parity,
+                           FoldOp op)
+    : CellBase(std::move(cell_name), parity), foldOp(op),
+      t(foldIdentity(op))
+{
+}
+
+void
+NumAdderCell::connect(const systolic::Latch<core::CtlToken> *ctl_src,
+                      const systolic::Latch<NumToken> *r_src,
+                      const systolic::Latch<NumToken> *d_src)
+{
+    spm_assert(ctl_src && r_src && d_src,
+               "adder cell connected to null sources");
+    ctlSrc = ctl_src;
+    rSrc = r_src;
+    dSrc = d_src;
+}
+
+void
+NumAdderCell::evaluate(Beat)
+{
+    spm_assert(ctlSrc, "adder cell '", cellName(), "' not connected");
+    const core::CtlToken c_new = ctlSrc->read();
+    const NumToken r_in = rSrc->read();
+    const NumToken d_in = dSrc->read();
+    const std::int64_t t_cur = t.read();
+
+    spm_assert(!d_in.valid || c_new.valid,
+               "adder cell '", cellName(), "': misaligned feed");
+
+    NumToken r_new = r_in;
+    std::int64_t t_new = t_cur;
+    if (c_new.valid) {
+        // An absent comparison folds the identity (contributes
+        // nothing), mirroring the matcher's masked positions.
+        const std::int64_t updated = d_in.valid
+            ? applyFold(foldOp, t_cur, d_in.value)
+            : t_cur;
+        if (c_new.lambda) {
+            r_new.value = updated;
+            t_new = foldIdentity(foldOp);
+        } else {
+            t_new = updated;
+        }
+    }
+
+    ctl.write(c_new);
+    r.write(r_new);
+    t.write(t_new);
+}
+
+void
+NumAdderCell::commit()
+{
+    ctl.commit();
+    r.commit();
+    t.commit();
+}
+
+std::string
+NumAdderCell::stateString() const
+{
+    std::ostringstream os;
+    os << "t=" << t.read();
+    return os.str();
+}
+
+CountingCell::CountingCell(std::string cell_name, unsigned parity)
+    : CellBase(std::move(cell_name), parity)
+{
+}
+
+void
+CountingCell::connect(const systolic::Latch<core::CtlToken> *ctl_src,
+                      const systolic::Latch<NumToken> *r_src,
+                      const systolic::Latch<core::DToken> *d_src)
+{
+    spm_assert(ctl_src && r_src && d_src,
+               "counting cell connected to null sources");
+    ctlSrc = ctl_src;
+    rSrc = r_src;
+    dSrc = d_src;
+}
+
+void
+CountingCell::evaluate(Beat)
+{
+    spm_assert(ctlSrc, "counting cell '", cellName(), "' not connected");
+    const core::CtlToken c_new = ctlSrc->read();
+    const NumToken r_in = rSrc->read();
+    const core::DToken d_in = dSrc->read();
+    const std::int64_t t_cur = t.read();
+
+    spm_assert(!d_in.valid || c_new.valid,
+               "counting cell '", cellName(), "': misaligned feed");
+
+    NumToken r_new = r_in;
+    std::int64_t t_new = t_cur;
+    if (c_new.valid) {
+        const std::int64_t here =
+            (c_new.x || (d_in.valid && d_in.value)) ? 1 : 0;
+        if (c_new.lambda) {
+            r_new.value = t_cur + here;
+            t_new = 0;
+        } else {
+            t_new = t_cur + here;
+        }
+    }
+
+    ctl.write(c_new);
+    r.write(r_new);
+    t.write(t_new);
+}
+
+void
+CountingCell::commit()
+{
+    ctl.commit();
+    r.commit();
+    t.commit();
+}
+
+std::string
+CountingCell::stateString() const
+{
+    std::ostringstream os;
+    os << "t=" << t.read();
+    return os.str();
+}
+
+} // namespace spm::ext

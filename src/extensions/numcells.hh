@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Numeric systolic cells for the Section 3.4 extensions.
+ *
+ * "Many problems other than string matching can be solved by similar
+ * algorithms." The paper derives three variants from the pattern
+ * matcher by swapping cell programs while keeping the identical data
+ * flow:
+ *
+ *  - counting cell: t <- t + 1 when the position matches;
+ *  - difference cell + adder cell (correlation):
+ *        d <- s - p;   t <- t + d^2
+ *  - multiplier cell + adder cell (convolution / FIR):
+ *        d <- s * p;   t <- t + d
+ *
+ * This file implements those cells over validity-tagged integer
+ * tokens; numarray.hh assembles them into arrays.
+ */
+
+#ifndef SPM_EXT_NUMCELLS_HH
+#define SPM_EXT_NUMCELLS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/cells.hh"
+#include "systolic/cell.hh"
+#include "systolic/latch.hh"
+
+namespace spm::ext
+{
+
+/** A number moving through the array. */
+struct NumToken
+{
+    std::int64_t value = 0;
+    bool valid = false;
+
+    bool operator==(const NumToken &) const = default;
+};
+
+/**
+ * The arithmetic performed where the two streams meet. Section 3.4
+ * notes that "all of the linear product problems discussed in
+ * [Fischer and Paterson 74] are similar in form to string matching";
+ * the meet/fold pair below is that generality: any (meet, fold)
+ * semiring product over sliding windows runs on the same array.
+ */
+enum class MeetOp
+{
+    Subtract, ///< d <- s - p (correlation)
+    Multiply, ///< d <- s * p (convolution, FIR)
+    AbsDiff,  ///< d <- |s - p| (distance products)
+};
+
+/** How the adder cell folds d into its temporary result. */
+enum class FoldOp
+{
+    Sum,          ///< t <- t + d
+    SumOfSquares, ///< t <- t + d^2
+    Min,          ///< t <- min(t, d): closest-position products
+    Max,          ///< t <- max(t, d): Chebyshev window distance
+};
+
+/** The fold's identity element, which lambda resets t to. */
+std::int64_t foldIdentity(FoldOp op);
+
+/** Apply the fold. */
+std::int64_t applyFold(FoldOp op, std::int64_t t, std::int64_t d);
+
+/**
+ * The numeric analog of the comparator: pattern numbers flow left to
+ * right, signal numbers right to left, and the cell emits
+ * op(s, p) downward. "This difference computation may be pipelined
+ * bitwise in the same way as the character comparison" -- here it is
+ * word-level, matching the character-level fidelity tier.
+ */
+class NumMeetCell : public systolic::CellBase
+{
+  public:
+    NumMeetCell(std::string cell_name, unsigned parity, MeetOp op);
+
+    void connect(const systolic::Latch<NumToken> *p_src,
+                 const systolic::Latch<NumToken> *s_src);
+
+    void evaluate(Beat beat) override;
+    void commit() override;
+    std::string stateString() const override;
+
+    const systolic::Latch<NumToken> &pOut() const { return p; }
+    const systolic::Latch<NumToken> &sOut() const { return s; }
+    const systolic::Latch<NumToken> &dOut() const { return d; }
+
+  private:
+    MeetOp meetOp;
+    const systolic::Latch<NumToken> *pSrc = nullptr;
+    const systolic::Latch<NumToken> *sSrc = nullptr;
+    systolic::Latch<NumToken> p;
+    systolic::Latch<NumToken> s;
+    systolic::Latch<NumToken> d;
+};
+
+/**
+ * The adder cell of Section 3.4:
+ *
+ *     IF lambda_in THEN r_out <- t + f(d_in); t <- 0
+ *     ELSE             r_out <- r_in;  t <- t + f(d_in)
+ *
+ * where f is d or d^2 per FoldOp. As with the matcher's accumulator,
+ * the lambda-beat contribution is folded in before output so every
+ * pattern position contributes exactly once per recirculation.
+ */
+class NumAdderCell : public systolic::CellBase
+{
+  public:
+    NumAdderCell(std::string cell_name, unsigned parity, FoldOp op);
+
+    void connect(const systolic::Latch<core::CtlToken> *ctl_src,
+                 const systolic::Latch<NumToken> *r_src,
+                 const systolic::Latch<NumToken> *d_src);
+
+    void evaluate(Beat beat) override;
+    void commit() override;
+    std::string stateString() const override;
+
+    const systolic::Latch<core::CtlToken> &ctlOut() const { return ctl; }
+    const systolic::Latch<NumToken> &rOut() const { return r; }
+
+  private:
+    FoldOp foldOp;
+    const systolic::Latch<core::CtlToken> *ctlSrc = nullptr;
+    const systolic::Latch<NumToken> *rSrc = nullptr;
+    const systolic::Latch<NumToken> *dSrc = nullptr;
+    systolic::Latch<core::CtlToken> ctl;
+    systolic::Latch<NumToken> r;
+    systolic::Latch<std::int64_t> t;
+};
+
+/**
+ * The counting cell of Section 3.4: the result stream carries
+ * integers and the accumulator counts matching positions:
+ *
+ *     IF lambda_in THEN r_out <- t + m; t <- 0
+ *     ELSE IF x_in OR d_in THEN t <- t + 1; r_out <- r_in
+ *     ELSE r_out <- r_in
+ *
+ * where m is 1 when the lambda-beat position matches.
+ */
+class CountingCell : public systolic::CellBase
+{
+  public:
+    CountingCell(std::string cell_name, unsigned parity);
+
+    void connect(const systolic::Latch<core::CtlToken> *ctl_src,
+                 const systolic::Latch<NumToken> *r_src,
+                 const systolic::Latch<core::DToken> *d_src);
+
+    void evaluate(Beat beat) override;
+    void commit() override;
+    std::string stateString() const override;
+
+    const systolic::Latch<core::CtlToken> &ctlOut() const { return ctl; }
+    const systolic::Latch<NumToken> &rOut() const { return r; }
+
+  private:
+    const systolic::Latch<core::CtlToken> *ctlSrc = nullptr;
+    const systolic::Latch<NumToken> *rSrc = nullptr;
+    const systolic::Latch<core::DToken> *dSrc = nullptr;
+    systolic::Latch<core::CtlToken> ctl;
+    systolic::Latch<NumToken> r;
+    systolic::Latch<std::int64_t> t{0};
+};
+
+} // namespace spm::ext
+
+#endif // SPM_EXT_NUMCELLS_HH

@@ -1,0 +1,269 @@
+#include "flow/designflow.hh"
+
+#include <sstream>
+
+#include "core/cascade.hh"
+#include "core/gatechip.hh"
+#include "gate/stdcells.hh"
+#include "layout/cif.hh"
+#include "layout/drc.hh"
+#include "util/logging.hh"
+
+namespace spm::flow
+{
+
+TaskGraph
+figure41Graph()
+{
+    TaskGraph g;
+    // Effort split of the paper's "about two man-months", weighted
+    // toward the algorithm as Section 2 argues it should be.
+    const TaskId algorithm = g.addTask(
+        "Algorithm",
+        "Data flow, geometry and cell functions of the systolic "
+        "matcher (Section 3.2.1)",
+        15);
+    const TaskId combine = g.addTask(
+        "Cell Combinations and Placements",
+        "Decide cell sharing and assign locations; skeleton layout",
+        3);
+    const TaskId dataflow = g.addTask(
+        "Data Flow Control Circuit",
+        "Two-phase clocking, shift register design, clock routing",
+        4);
+    const TaskId logic = g.addTask(
+        "Cell Logic Circuits",
+        "Comparator and accumulator circuits, both twins (Fig 3-6)",
+        5);
+    const TaskId timing = g.addTask(
+        "Cell Timing Signals",
+        "Sequencing signals such as the accumulator's rOut<-t; t<-TRUE",
+        2);
+    const TaskId comm_sticks = g.addTask(
+        "Communication Sticks",
+        "Open network of path routings, clock and power distribution",
+        3);
+    const TaskId cell_sticks = g.addTask(
+        "Cell Sticks",
+        "Topological layout of each cell (Plate 1)",
+        4);
+    const TaskId cell_layout = g.addTask(
+        "Cell Layouts",
+        "Dimensioned mask geometry under the lambda rules",
+        4);
+    const TaskId boundary = g.addTask(
+        "Cell Boundary Layouts",
+        "Wire lengths, cell spacing, pads; complete mask description",
+        3);
+
+    g.addDependency(combine, algorithm);
+    g.addDependency(dataflow, algorithm);
+    g.addDependency(dataflow, combine);
+    g.addDependency(logic, algorithm);
+    g.addDependency(logic, combine);
+    g.addDependency(logic, dataflow);
+    g.addDependency(timing, logic);
+    g.addDependency(timing, dataflow);
+    g.addDependency(comm_sticks, dataflow);
+    g.addDependency(comm_sticks, timing);
+    g.addDependency(cell_sticks, comm_sticks);
+    g.addDependency(cell_sticks, logic);
+    g.addDependency(cell_layout, cell_sticks);
+    g.addDependency(boundary, cell_layout);
+    g.addDependency(boundary, comm_sticks);
+    return g;
+}
+
+namespace
+{
+
+/** Build a standalone comparator cell netlist (one twin). */
+std::unique_ptr<gate::Netlist>
+comparatorCircuit(bool positive)
+{
+    auto net = std::make_unique<gate::Netlist>(
+        positive ? "comparator-pos" : "comparator-neg");
+    const gate::NodeId clk = net->addNode("clk");
+    net->markInput(clk);
+    gate::ComparatorPorts ports;
+    ports.pIn = net->addNode("p_in");
+    ports.sIn = net->addNode("s_in");
+    ports.dIn = net->addNode("d_in");
+    ports.pOut = net->addNode("p_out");
+    ports.sOut = net->addNode("s_out");
+    ports.dOut = net->addNode("d_out");
+    net->markInput(ports.pIn);
+    net->markInput(ports.sIn);
+    net->markInput(ports.dIn);
+    gate::buildComparator(*net, "cell", ports, clk, positive);
+    return net;
+}
+
+/** Build a standalone accumulator cell netlist (one twin). */
+std::unique_ptr<gate::Netlist>
+accumulatorCircuit(bool positive)
+{
+    auto net = std::make_unique<gate::Netlist>(
+        positive ? "accumulator-pos" : "accumulator-neg");
+    const gate::NodeId clk_a = net->addNode("clkA");
+    const gate::NodeId clk_b = net->addNode("clkB");
+    net->markInput(clk_a);
+    net->markInput(clk_b);
+    gate::AccumulatorPorts ports;
+    ports.lambdaIn = net->addNode("lambda_in");
+    ports.xIn = net->addNode("x_in");
+    ports.dIn = net->addNode("d_in");
+    ports.rIn = net->addNode("r_in");
+    ports.lambdaOut = net->addNode("lambda_out");
+    ports.xOut = net->addNode("x_out");
+    ports.rOut = net->addNode("r_out");
+    net->markInput(ports.lambdaIn);
+    net->markInput(ports.xIn);
+    net->markInput(ports.dIn);
+    net->markInput(ports.rIn);
+    gate::buildAccumulator(*net, "cell", ports, clk_a, clk_b, positive);
+    return net;
+}
+
+} // namespace
+
+DesignFlowResult
+runDesignFlow(std::size_t num_cells, BitWidth bits_per_char,
+              double lambda_um)
+{
+    spm_assert(num_cells > 0 && bits_per_char > 0, "bad chip parameters");
+    DesignFlowResult result;
+    auto log = [&result](const std::string &task,
+                         const std::string &artifact) {
+        result.steps.push_back(FlowStep{task, artifact});
+    };
+
+    // Algorithm: parameters fixed by the caller; record the choice.
+    {
+        std::ostringstream os;
+        os << "systolic matcher, " << num_cells << " cells x "
+           << bits_per_char << "-bit characters, bidirectional "
+           << "streams, recirculating pattern";
+        log("Algorithm", os.str());
+    }
+
+    // Cell combinations and placements: one comparator per bit row
+    // per column plus one accumulator per column; checkerboard twins.
+    {
+        std::ostringstream os;
+        os << bits_per_char << " x " << num_cells
+           << " comparator grid over " << num_cells
+           << " accumulators; twin polarity = (row+col) parity";
+        log("Cell Combinations and Placements", os.str());
+    }
+
+    // Data flow control: two-phase clock, one phase per parity.
+    log("Data Flow Control Circuit",
+        "two-phase non-overlapping clock; phi1 clocks even-parity "
+        "cells, phi2 odd; shift registers per Figure 3-5");
+
+    // Cell logic circuits: all four cell netlists.
+    result.cellCircuits.push_back(comparatorCircuit(true));
+    result.cellCircuits.push_back(comparatorCircuit(false));
+    result.cellCircuits.push_back(accumulatorCircuit(true));
+    result.cellCircuits.push_back(accumulatorCircuit(false));
+    {
+        std::ostringstream os;
+        for (const auto &net : result.cellCircuits) {
+            os << net->name() << ": " << net->deviceCount()
+               << " devices / " << net->transistorCount()
+               << " transistors; ";
+        }
+        log("Cell Logic Circuits", os.str());
+    }
+
+    // Cell timing signals: the accumulator's master-slave t loop.
+    log("Cell Timing Signals",
+        "accumulator t updated on the opposite phase (master-slave), "
+        "sequencing rOut<-t before t<-TRUE");
+
+    // Communication sticks: per-row routing summary.
+    log("Communication Sticks",
+        "p,lambda,x eastbound; s,r westbound; d southbound; clock in "
+        "poly along columns; power in metal along rows");
+
+    // Cell sticks.
+    for (const auto &net : result.cellCircuits) {
+        result.cellSticks.push_back(
+            layout::generateCellSticks(*net, net->name() + "-sticks"));
+    }
+    {
+        std::ostringstream os;
+        for (const auto &s : result.cellSticks)
+            os << s.name() << ": " << s.transistorCount()
+               << " transistors, " << s.nets().size() << " nets; ";
+        log("Cell Sticks", os.str());
+    }
+
+    // Cell layouts, DRC-checked.
+    for (const auto &net : result.cellCircuits) {
+        result.cellLayouts.push_back(
+            layout::generateCellLayout(*net, net->name() + "-layout"));
+    }
+    {
+        std::ostringstream os;
+        for (const auto &l : result.cellLayouts) {
+            os << l.name() << ": " << l.cellArea() << " lambda^2; ";
+            for (const auto &v : layout::checkLayout(l))
+                result.drcViolations.push_back(l.name() + ": " +
+                                               v.toString());
+        }
+        log("Cell Layouts", os.str());
+    }
+
+    // Cell boundary layouts: tile the comparator grid, append the
+    // accumulator row, wrap in the pad ring.
+    layout::MaskLayout core = layout::tileCellArray(
+        result.cellLayouts[0], result.cellLayouts[1], bits_per_char,
+        static_cast<unsigned>(num_cells), "comparator-array");
+    {
+        const layout::Rect cmp_box = core.boundingBox();
+        layout::MaskLayout acc_row = layout::tileCellArray(
+            result.cellLayouts[2], result.cellLayouts[3], 1,
+            static_cast<unsigned>(num_cells), "accumulator-row");
+        const layout::Lambda below =
+            acc_row.boundingBox().height() + 8;
+        layout::MaskLayout assembled("core");
+        assembled.merge(acc_row, cmp_box.x0, cmp_box.y0 - below, "acc.");
+        assembled.merge(core, 0, 0, "cmp.");
+        core = std::move(assembled);
+    }
+
+    result.pins =
+        core::ChipCascade::pinsPerChip(bits_per_char);
+    result.die = layout::addPadRing(core, result.pins, "die");
+    for (const auto &v : layout::checkLayout(result.die))
+        result.drcViolations.push_back("die: " + v.toString());
+    {
+        std::ostringstream os;
+        os << "die " << result.die.boundingBox().toString() << ", "
+           << result.pins << " pins";
+        log("Cell Boundary Layouts", os.str());
+    }
+
+    // Whole-chip netlist for device statistics (and, in the tests,
+    // for simulating the flow's own output).
+    auto chip = std::make_unique<core::GateChip>(num_cells,
+                                                 bits_per_char);
+    result.chipNetlist =
+        std::make_unique<gate::Netlist>(std::move(chip->netlist()));
+    result.report =
+        layout::analyzeChip(result.die, *result.chipNetlist,
+                            result.pins);
+    result.cif = layout::writeCif(result.die, lambda_um);
+    {
+        std::ostringstream os;
+        os << result.report.transistors << " transistors, die "
+           << result.report.dieAreaMm2(lambda_um) << " mm^2, CIF "
+           << result.cif.size() << " bytes";
+        log("Masks", os.str());
+    }
+    return result;
+}
+
+} // namespace spm::flow

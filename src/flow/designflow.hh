@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The executable design methodology (Section 4, Figure 4-1).
+ *
+ * The paper claims the design tasks below the algorithm level "are
+ * relatively routine and may (in principle at least) be helped a
+ * great deal by various (future) computer-aided design systems."
+ * runDesignFlow *is* such a system: given the algorithm-level
+ * parameters (cells, bits per character), it mechanically performs
+ * every subtask of Figure 4-1 -- cell circuits, cell sticks, cell
+ * layouts, array assembly, pad ring -- DRC-checks the result, writes
+ * CIF, and reports area and transistor counts, ending where mask
+ * making would begin.
+ */
+
+#ifndef SPM_FLOW_DESIGNFLOW_HH
+#define SPM_FLOW_DESIGNFLOW_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/taskgraph.hh"
+#include "gate/netlist.hh"
+#include "layout/cellgen.hh"
+#include "layout/masklayout.hh"
+#include "layout/sticks.hh"
+
+namespace spm::flow
+{
+
+/**
+ * The paper's Figure 4-1 task dependency graph with the effort
+ * estimates implied by its two-man-month design anecdote.
+ */
+TaskGraph figure41Graph();
+
+/** One executed subtask with a summary of the artifact it produced. */
+struct FlowStep
+{
+    std::string task;
+    std::string artifact;
+};
+
+/** Everything the flow produces on its way to mask making. */
+struct DesignFlowResult
+{
+    /** Per-cell circuit netlists (both twins of both cell types). */
+    std::vector<std::unique_ptr<gate::Netlist>> cellCircuits;
+
+    /** Stick diagrams for each cell circuit. */
+    std::vector<layout::StickDiagram> cellSticks;
+
+    /** Mask layouts for each cell circuit. */
+    std::vector<layout::MaskLayout> cellLayouts;
+
+    /** The assembled die: tiled cell array inside the pad ring. */
+    layout::MaskLayout die{"die"};
+
+    /** Whole-chip netlist (for transistor counts and simulation). */
+    std::unique_ptr<gate::Netlist> chipNetlist;
+
+    /** Area and device summary. */
+    layout::AreaReport report;
+
+    /** CIF for the die, ready for mask making. */
+    std::string cif;
+
+    /** DRC violations found (empty for a clean run). */
+    std::vector<std::string> drcViolations;
+
+    /** Ordered log of executed subtasks. */
+    std::vector<FlowStep> steps;
+
+    /** Package pin count (cascade pins + clock + power). */
+    unsigned pins = 0;
+};
+
+/**
+ * Run the full algorithm-to-masks flow for a pattern matching chip.
+ *
+ * @param num_cells character cells (the prototype had 8)
+ * @param bits_per_char bits per character (the prototype had 2)
+ * @param lambda_um lambda in microns for physical area (2.5 um for
+ *        the 5-micron processes of 1979)
+ */
+DesignFlowResult runDesignFlow(std::size_t num_cells,
+                               BitWidth bits_per_char,
+                               double lambda_um = 2.5);
+
+} // namespace spm::flow
+
+#endif // SPM_FLOW_DESIGNFLOW_HH

@@ -1,0 +1,147 @@
+#include "flow/taskgraph.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace spm::flow
+{
+
+TaskId
+TaskGraph::addTask(const std::string &name, const std::string &description,
+                   double effort_days)
+{
+    Task t;
+    t.name = name;
+    t.description = description;
+    t.effortDays = effort_days;
+    tasks.push_back(std::move(t));
+    return tasks.size() - 1;
+}
+
+void
+TaskGraph::addDependency(TaskId task, TaskId prerequisite)
+{
+    spm_assert(task < tasks.size() && prerequisite < tasks.size(),
+               "bad task id");
+    spm_assert(task != prerequisite, "task cannot depend on itself");
+    tasks[task].deps.push_back(prerequisite);
+}
+
+const Task &
+TaskGraph::task(TaskId id) const
+{
+    spm_assert(id < tasks.size(), "bad task id");
+    return tasks[id];
+}
+
+std::vector<TaskId>
+TaskGraph::topologicalOrder() const
+{
+    std::vector<unsigned> indegree(tasks.size(), 0);
+    std::vector<std::vector<TaskId>> dependents(tasks.size());
+    for (TaskId id = 0; id < tasks.size(); ++id) {
+        for (TaskId dep : tasks[id].deps) {
+            ++indegree[id];
+            dependents[dep].push_back(id);
+        }
+    }
+
+    std::vector<TaskId> ready;
+    for (TaskId id = 0; id < tasks.size(); ++id) {
+        if (indegree[id] == 0)
+            ready.push_back(id);
+    }
+
+    std::vector<TaskId> order;
+    while (!ready.empty()) {
+        // Pop the lowest id for deterministic schedules.
+        std::sort(ready.begin(), ready.end(), std::greater<>());
+        const TaskId id = ready.back();
+        ready.pop_back();
+        order.push_back(id);
+        for (TaskId dep : dependents[id]) {
+            if (--indegree[dep] == 0)
+                ready.push_back(dep);
+        }
+    }
+    if (order.size() != tasks.size())
+        spm_fatal("task graph has a dependency cycle");
+    return order;
+}
+
+double
+TaskGraph::totalEffortDays() const
+{
+    double total = 0.0;
+    for (const Task &t : tasks)
+        total += t.effortDays;
+    return total;
+}
+
+std::vector<TaskId>
+TaskGraph::criticalPath() const
+{
+    const auto order = topologicalOrder();
+    // Longest path by accumulated effort ending at each task.
+    std::vector<double> best(tasks.size(), 0.0);
+    std::vector<long> from(tasks.size(), -1);
+    for (TaskId id : order) {
+        double longest = 0.0;
+        long via = -1;
+        for (TaskId dep : tasks[id].deps) {
+            if (best[dep] > longest) {
+                longest = best[dep];
+                via = static_cast<long>(dep);
+            }
+        }
+        best[id] = longest + tasks[id].effortDays;
+        from[id] = via;
+    }
+
+    TaskId tail = 0;
+    for (TaskId id = 0; id < tasks.size(); ++id) {
+        if (best[id] > best[tail])
+            tail = id;
+    }
+
+    std::vector<TaskId> path;
+    for (long id = static_cast<long>(tail); id >= 0;
+         id = from[static_cast<std::size_t>(id)]) {
+        path.push_back(static_cast<TaskId>(id));
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+double
+TaskGraph::criticalPathDays() const
+{
+    double total = 0.0;
+    for (TaskId id : criticalPath())
+        total += tasks[id].effortDays;
+    return total;
+}
+
+std::string
+TaskGraph::render() const
+{
+    std::ostringstream os;
+    for (TaskId id : topologicalOrder()) {
+        const Task &t = tasks[id];
+        os << t.name << " (" << t.effortDays << " days)";
+        if (!t.deps.empty()) {
+            os << "  <-  ";
+            for (std::size_t i = 0; i < t.deps.size(); ++i) {
+                if (i)
+                    os << ", ";
+                os << tasks[t.deps[i]].name;
+            }
+        }
+        os << "\n    " << t.description << "\n";
+    }
+    return os.str();
+}
+
+} // namespace spm::flow

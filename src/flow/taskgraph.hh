@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Task dependency graphs for chip design (Section 4).
+ *
+ * "The way to avoid this is to carefully construct a task dependency
+ * graph before beginning the design. This graph should contain all of
+ * the subtasks to be performed, together with the information needed
+ * for each and the precedence relations among them." TaskGraph is
+ * that structure: a DAG of named design tasks with effort estimates,
+ * topological scheduling, and critical path analysis.
+ */
+
+#ifndef SPM_FLOW_TASKGRAPH_HH
+#define SPM_FLOW_TASKGRAPH_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace spm::flow
+{
+
+/** Index of a task within a TaskGraph. */
+using TaskId = std::size_t;
+
+/** One design subtask. */
+struct Task
+{
+    std::string name;
+    std::string description;
+    /** Estimated effort in designer-days. */
+    double effortDays = 0.0;
+    /** Prerequisite tasks (information consumed). */
+    std::vector<TaskId> deps;
+};
+
+/** A DAG of design tasks. */
+class TaskGraph
+{
+  public:
+    /** Add a task; returns its id. */
+    TaskId addTask(const std::string &name,
+                   const std::string &description, double effort_days);
+
+    /** Declare that @p task needs @p prerequisite's outputs. */
+    void addDependency(TaskId task, TaskId prerequisite);
+
+    std::size_t taskCount() const { return tasks.size(); }
+    const Task &task(TaskId id) const;
+
+    /**
+     * A valid execution order (prerequisites first); fatal error if
+     * the graph has a cycle (a design whose subtasks need each
+     * other's outputs cannot be decomposed).
+     */
+    std::vector<TaskId> topologicalOrder() const;
+
+    /** Sum of all task efforts: the sequential design time. */
+    double totalEffortDays() const;
+
+    /**
+     * Tasks on the longest dependency chain by effort: the design
+     * time with unlimited designers (the division of labor Section 4
+     * is after).
+     */
+    std::vector<TaskId> criticalPath() const;
+
+    /** Effort along the critical path. */
+    double criticalPathDays() const;
+
+    /** Render the graph as an indented dependency listing. */
+    std::string render() const;
+
+  private:
+    std::vector<Task> tasks;
+};
+
+} // namespace spm::flow
+
+#endif // SPM_FLOW_TASKGRAPH_HH

@@ -1,0 +1,95 @@
+#include "flow/wafer.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace spm::flow
+{
+
+Wafer::Wafer(unsigned rows, unsigned cols, double defect_prob,
+             std::uint64_t seed)
+    : numRows(rows), numCols(cols)
+{
+    spm_assert(rows > 0 && cols > 0, "empty wafer");
+    spm_assert(defect_prob >= 0.0 && defect_prob <= 1.0,
+               "defect probability out of range");
+    Rng rng(seed);
+    good.resize(static_cast<std::size_t>(rows) * cols);
+    for (std::size_t i = 0; i < good.size(); ++i)
+        good[i] = !rng.nextBool(defect_prob);
+}
+
+bool
+Wafer::isGood(unsigned row, unsigned col) const
+{
+    spm_assert(row < numRows && col < numCols, "site out of range");
+    return good[static_cast<std::size_t>(row) * numCols + col];
+}
+
+std::size_t
+Wafer::goodCells() const
+{
+    std::size_t n = 0;
+    for (bool g : good)
+        n += g;
+    return n;
+}
+
+Wafer::Harvest
+Wafer::snakeHarvest() const
+{
+    Harvest h;
+    std::size_t run_of_bad = 0;
+    bool have_prev_good = false;
+    for (unsigned r = 0; r < numRows; ++r) {
+        for (unsigned i = 0; i < numCols; ++i) {
+            // Even rows run left to right, odd rows right to left,
+            // so consecutive sites in traversal order are physically
+            // adjacent.
+            const unsigned c = r % 2 == 0 ? i : numCols - 1 - i;
+            if (isGood(r, c)) {
+                ++h.chainLength;
+                if (have_prev_good && run_of_bad + 1 > h.longestJump)
+                    h.longestJump = run_of_bad + 1;
+                have_prev_good = true;
+                run_of_bad = 0;
+            } else {
+                // Only count a skip when it bypasses between two
+                // harvested cells; leading/trailing bad sites cost
+                // nothing.
+                if (have_prev_good)
+                    ++run_of_bad;
+                ++h.skips;
+            }
+        }
+    }
+    h.harvestRatio = good.empty()
+        ? 0.0
+        : static_cast<double>(h.chainLength) /
+              static_cast<double>(good.size());
+    return h;
+}
+
+std::size_t
+Wafer::dicedChips(std::size_t cells_per_chip) const
+{
+    spm_assert(cells_per_chip > 0, "chip needs at least one cell");
+    std::size_t working = 0;
+    for (std::size_t at = 0; at + cells_per_chip <= good.size();
+         at += cells_per_chip) {
+        bool all_good = true;
+        for (std::size_t j = 0; j < cells_per_chip && all_good; ++j)
+            all_good = good[at + j];
+        working += all_good;
+    }
+    return working;
+}
+
+double
+Wafer::expectedChipYield(std::size_t cells, double defect_prob)
+{
+    return std::pow(1.0 - defect_prob, static_cast<double>(cells));
+}
+
+} // namespace spm::flow

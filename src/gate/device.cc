@@ -1,0 +1,85 @@
+#include "gate/device.hh"
+
+#include "util/logging.hh"
+
+namespace spm::gate
+{
+
+LogicValue
+Device::evalGate(DeviceKind kind, LogicValue a, LogicValue b)
+{
+    switch (kind) {
+      case DeviceKind::Inverter:
+        return logicNot(a);
+      case DeviceKind::Nand2:
+        return logicNot(logicAnd(a, b));
+      case DeviceKind::Nor2:
+        return logicNot(logicOr(a, b));
+      case DeviceKind::And2:
+        return logicAnd(a, b);
+      case DeviceKind::Or2:
+        return logicOr(a, b);
+      case DeviceKind::Xor2:
+        return logicXor(a, b);
+      case DeviceKind::Xnor2:
+        return logicXnor(a, b);
+      case DeviceKind::PassGate:
+        spm_panic("evalGate called on a pass transistor");
+      default:
+        spm_panic("unknown device kind");
+    }
+}
+
+unsigned
+Device::transistorCount(DeviceKind kind)
+{
+    // Transistor budgets for silicon-gate NMOS with depletion loads,
+    // following the Mead-Conway cell conventions: an inverter is one
+    // pulldown plus one pullup; NAND/NOR add one pulldown per input;
+    // XOR/XNOR are built from two inverters plus a two-level
+    // AND-OR-INVERT structure.
+    switch (kind) {
+      case DeviceKind::Inverter:
+        return 2;
+      case DeviceKind::Nand2:
+      case DeviceKind::Nor2:
+        return 3;
+      case DeviceKind::And2:
+      case DeviceKind::Or2:
+        return 5; // NAND/NOR followed by an inverter
+      case DeviceKind::Xor2:
+      case DeviceKind::Xnor2:
+        return 8;
+      case DeviceKind::PassGate:
+        return 1;
+      default:
+        spm_panic("unknown device kind");
+    }
+}
+
+const char *
+Device::kindName(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Inverter:
+        return "inv";
+      case DeviceKind::Nand2:
+        return "nand2";
+      case DeviceKind::Nor2:
+        return "nor2";
+      case DeviceKind::And2:
+        return "and2";
+      case DeviceKind::Or2:
+        return "or2";
+      case DeviceKind::Xor2:
+        return "xor2";
+      case DeviceKind::Xnor2:
+        return "xnor2";
+      case DeviceKind::PassGate:
+        return "pass";
+      default:
+        return "?";
+    }
+}
+
+} // namespace spm::gate

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Gate-level devices: static logic gates and the NMOS pass transistor.
+ *
+ * These are the circuit elements used by the pattern matching chip
+ * (Section 3.2.2): inverters and NAND/NOR/XNOR gates built from
+ * enhancement pulldowns with depletion pullups, plus pass transistors
+ * that gate data into storage nodes under control of the two-phase
+ * clock (Figures 3-5 and 3-6).
+ */
+
+#ifndef SPM_GATE_DEVICE_HH
+#define SPM_GATE_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gate/logic.hh"
+
+namespace spm::gate
+{
+
+class Netlist;
+
+/** Index of a node within a Netlist. */
+using NodeId = std::uint32_t;
+
+/** Sentinel meaning "no node". */
+inline constexpr NodeId invalidNode = 0xFFFFFFFF;
+
+/** The kinds of primitive devices the simulator evaluates. */
+enum class DeviceKind : unsigned char
+{
+    Inverter,  ///< depletion-load inverter
+    Nand2,     ///< 2-input NAND
+    Nor2,      ///< 2-input NOR
+    And2,      ///< 2-input AND (NAND + inverter, counted as one)
+    Or2,       ///< 2-input OR
+    Xor2,      ///< 2-input exclusive OR
+    Xnor2,     ///< 2-input equality gate
+    PassGate,  ///< pass transistor: in -> out while ctl is high
+};
+
+/**
+ * A primitive device instance.
+ *
+ * Static gates drive their output continuously. The pass transistor is
+ * the only dynamic element: while its control (clock) node is high it
+ * conducts, copying the input level onto the output node and
+ * refreshing its charge; while low, the output node merely stores
+ * charge, which the netlist decays to X after the retention limit.
+ */
+struct Device
+{
+    DeviceKind kind;
+    NodeId inA = invalidNode;  ///< first input (or pass-gate source)
+    NodeId inB = invalidNode;  ///< second input (unused for 1-input)
+    NodeId ctl = invalidNode;  ///< pass-gate control (clock) node
+    NodeId out = invalidNode;  ///< driven / charged output node
+
+    /**
+     * Combinational result of this device for input levels @p a and
+     * @p b. Not meaningful for PassGate, which the netlist handles
+     * specially.
+     */
+    static LogicValue evalGate(DeviceKind kind, LogicValue a, LogicValue b);
+
+    /** Number of equivalent NMOS transistors, for area accounting. */
+    static unsigned transistorCount(DeviceKind kind);
+
+    /** Human-readable device kind name. */
+    static const char *kindName(DeviceKind kind);
+};
+
+} // namespace spm::gate
+
+#endif // SPM_GATE_DEVICE_HH

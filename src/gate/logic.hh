@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Three-valued logic for the NMOS gate-level simulator.
+ *
+ * Nodes carry low, high, or unknown (X). X arises from uninitialized
+ * dynamic storage and from charge decay on nodes that have not been
+ * refreshed within the retention limit (Section 3.3.3: the dynamic
+ * shift registers "are incapable of holding data for more than about
+ * 1 ms without shifting").
+ */
+
+#ifndef SPM_GATE_LOGIC_HH
+#define SPM_GATE_LOGIC_HH
+
+namespace spm::gate
+{
+
+/** A logic level on a circuit node. */
+enum class LogicValue : unsigned char
+{
+    L = 0, ///< driven or stored low
+    H = 1, ///< driven or stored high
+    X = 2, ///< unknown / decayed charge
+};
+
+/** Logical NOT with X propagation. */
+constexpr LogicValue
+logicNot(LogicValue a)
+{
+    switch (a) {
+      case LogicValue::L:
+        return LogicValue::H;
+      case LogicValue::H:
+        return LogicValue::L;
+      default:
+        return LogicValue::X;
+    }
+}
+
+/** Logical AND; L is controlling. */
+constexpr LogicValue
+logicAnd(LogicValue a, LogicValue b)
+{
+    if (a == LogicValue::L || b == LogicValue::L)
+        return LogicValue::L;
+    if (a == LogicValue::H && b == LogicValue::H)
+        return LogicValue::H;
+    return LogicValue::X;
+}
+
+/** Logical OR; H is controlling. */
+constexpr LogicValue
+logicOr(LogicValue a, LogicValue b)
+{
+    if (a == LogicValue::H || b == LogicValue::H)
+        return LogicValue::H;
+    if (a == LogicValue::L && b == LogicValue::L)
+        return LogicValue::L;
+    return LogicValue::X;
+}
+
+/** Logical XOR; X in either input yields X. */
+constexpr LogicValue
+logicXor(LogicValue a, LogicValue b)
+{
+    if (a == LogicValue::X || b == LogicValue::X)
+        return LogicValue::X;
+    return a == b ? LogicValue::L : LogicValue::H;
+}
+
+/** Equality gate (exclusive NOR), as used in the comparator cell. */
+constexpr LogicValue
+logicXnor(LogicValue a, LogicValue b)
+{
+    return logicNot(logicXor(a, b));
+}
+
+/** Convert a bool to a logic level. */
+constexpr LogicValue
+toLogic(bool b)
+{
+    return b ? LogicValue::H : LogicValue::L;
+}
+
+/** True when the value is a definite level (not X). */
+constexpr bool
+isKnown(LogicValue a)
+{
+    return a != LogicValue::X;
+}
+
+/** Printable character: '0', '1' or 'X'. */
+constexpr char
+logicChar(LogicValue a)
+{
+    switch (a) {
+      case LogicValue::L:
+        return '0';
+      case LogicValue::H:
+        return '1';
+      default:
+        return 'X';
+    }
+}
+
+} // namespace spm::gate
+
+#endif // SPM_GATE_LOGIC_HH

@@ -1,0 +1,161 @@
+#include "gate/pla.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace spm::gate
+{
+
+void
+PlaSpec::check() const
+{
+    spm_assert(numInputs >= 1 && numInputs <= 32, "bad input count");
+    spm_assert(numOutputs >= 1 && numOutputs <= 32, "bad output count");
+    const std::uint32_t in_mask =
+        numInputs == 32 ? ~0u : (1u << numInputs) - 1;
+    const std::uint32_t out_mask =
+        numOutputs == 32 ? ~0u : (1u << numOutputs) - 1;
+    for (const PlaTerm &t : terms) {
+        spm_assert((t.careMask & ~in_mask) == 0, "term tests unknown input");
+        spm_assert((t.valueMask & ~t.careMask) == 0,
+                   "term values outside care set");
+        spm_assert((t.outputMask & ~out_mask) == 0,
+                   "term feeds unknown output");
+        spm_assert(t.careMask != 0, "empty product term");
+        spm_assert(t.outputMask != 0, "term feeds no output");
+    }
+}
+
+std::uint32_t
+PlaSpec::evaluate(std::uint32_t inputs) const
+{
+    std::uint32_t out = 0;
+    for (const PlaTerm &t : terms) {
+        if ((inputs & t.careMask) == t.valueMask)
+            out |= t.outputMask;
+    }
+    return out;
+}
+
+unsigned
+PlaSpec::transistorEstimate() const
+{
+    unsigned count = 2 * numInputs; // input inverters (true/comp rails)
+    count += static_cast<unsigned>(terms.size()); // AND plane pullups
+    count += numOutputs;                          // OR plane pullups
+    for (const PlaTerm &t : terms) {
+        count += static_cast<unsigned>(std::popcount(t.careMask));
+        count += static_cast<unsigned>(std::popcount(t.outputMask));
+    }
+    return count;
+}
+
+void
+buildPla(Netlist &net, const std::string &prefix, const PlaSpec &spec,
+         const std::vector<NodeId> &inputs,
+         const std::vector<NodeId> &outputs)
+{
+    spec.check();
+    spm_assert(inputs.size() == spec.numInputs, "input node count");
+    spm_assert(outputs.size() == spec.numOutputs, "output node count");
+
+    // Complement rails, created lazily per input actually used in
+    // complemented form.
+    std::vector<NodeId> comp(spec.numInputs, invalidNode);
+    auto comp_rail = [&](unsigned bit) {
+        if (comp[bit] == invalidNode) {
+            comp[bit] =
+                net.addNode(prefix + ".nin" + std::to_string(bit));
+            net.addInverter(inputs[bit], comp[bit]);
+        }
+        return comp[bit];
+    };
+
+    // AND plane: fold each term's literals through And2 gates.
+    std::vector<NodeId> term_nodes;
+    term_nodes.reserve(spec.terms.size());
+    for (std::size_t ti = 0; ti < spec.terms.size(); ++ti) {
+        const PlaTerm &t = spec.terms[ti];
+        NodeId acc = invalidNode;
+        unsigned gate_idx = 0;
+        for (unsigned bit = 0; bit < spec.numInputs; ++bit) {
+            if (!(t.careMask & (1u << bit)))
+                continue;
+            const NodeId literal = (t.valueMask & (1u << bit))
+                ? inputs[bit]
+                : comp_rail(bit);
+            if (acc == invalidNode) {
+                acc = literal;
+            } else {
+                const NodeId next = net.addNode(
+                    prefix + ".t" + std::to_string(ti) + "_" +
+                    std::to_string(gate_idx++));
+                net.addGate(DeviceKind::And2, acc, literal, next);
+                acc = next;
+            }
+        }
+        term_nodes.push_back(acc);
+    }
+
+    // OR plane: fold each output's terms through Or2 gates into the
+    // pre-created output node.
+    for (unsigned out = 0; out < spec.numOutputs; ++out) {
+        std::vector<NodeId> feeding;
+        for (std::size_t ti = 0; ti < spec.terms.size(); ++ti) {
+            if (spec.terms[ti].outputMask & (1u << out))
+                feeding.push_back(term_nodes[ti]);
+        }
+        spm_assert(!feeding.empty(), "output ", out, " has no terms");
+        NodeId acc = feeding[0];
+        for (std::size_t i = 1; i < feeding.size(); ++i) {
+            const bool last = i + 1 == feeding.size();
+            const NodeId next = last
+                ? outputs[out]
+                : net.addNode(prefix + ".o" + std::to_string(out) +
+                              "_" + std::to_string(i));
+            net.addGate(DeviceKind::Or2, acc, feeding[i], next);
+            acc = next;
+        }
+        if (feeding.size() == 1) {
+            // Single term: buffer it into the output node through a
+            // double inversion to respect single-driver wiring.
+            const NodeId mid =
+                net.addNode(prefix + ".o" + std::to_string(out) + "_b");
+            net.addInverter(acc, mid);
+            net.addInverter(mid, outputs[out]);
+        }
+    }
+}
+
+PlaSpec
+accumulatorPlaSpec()
+{
+    // Input bit order: 0 = lambda, 1 = x, 2 = d, 3 = r, 4 = t.
+    // Output bit order: 0 = r_out, 1 = t_next.
+    constexpr std::uint32_t LAMBDA = 1u << 0;
+    constexpr std::uint32_t X = 1u << 1;
+    constexpr std::uint32_t D = 1u << 2;
+    constexpr std::uint32_t R = 1u << 3;
+    constexpr std::uint32_t T = 1u << 4;
+    constexpr std::uint32_t ROUT = 1u << 0;
+    constexpr std::uint32_t TNEXT = 1u << 1;
+
+    PlaSpec spec;
+    spec.numInputs = 5;
+    spec.numOutputs = 2;
+    // t_next = lambda + t x + t d ; r_out = lambda t x + lambda t d
+    //          + ~lambda r.
+    spec.terms = {
+        {LAMBDA, LAMBDA, TNEXT},
+        {T | X, T | X, TNEXT},
+        {T | D, T | D, TNEXT},
+        {LAMBDA | T | X, LAMBDA | T | X, ROUT},
+        {LAMBDA | T | D, LAMBDA | T | D, ROUT},
+        {LAMBDA | R, R, ROUT}, // ~lambda r
+    };
+    spec.check();
+    return spec;
+}
+
+} // namespace spm::gate

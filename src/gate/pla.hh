@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Programmed logic array (PLA) generation.
+ *
+ * Section 3.3.3 weighs "a random logic implementation of the cell
+ * circuitry ... rather than a more structured approach using standard
+ * PLA and register layouts", concluding random logic wins only
+ * because the matcher's cells "contain only four gates each". This
+ * module provides the structured alternative: a sum-of-products
+ * specification compiled into a two-plane array, so the trade can be
+ * measured rather than asserted (experiment A1).
+ */
+
+#ifndef SPM_GATE_PLA_HH
+#define SPM_GATE_PLA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gate/netlist.hh"
+
+namespace spm::gate
+{
+
+/**
+ * One product term of a PLA: which inputs it tests (careMask), the
+ * polarity it requires of them (valueMask, 1 = true literal), and
+ * which outputs it feeds (outputMask).
+ */
+struct PlaTerm
+{
+    std::uint32_t careMask = 0;
+    std::uint32_t valueMask = 0;
+    std::uint32_t outputMask = 0;
+};
+
+/** A sum-of-products specification. */
+struct PlaSpec
+{
+    unsigned numInputs = 0;
+    unsigned numOutputs = 0;
+    std::vector<PlaTerm> terms;
+
+    /** Validate masks against the declared widths. */
+    void check() const;
+
+    /**
+     * Evaluate the specification in software: returns the output
+     * mask for the given input mask. Used by tests as the oracle.
+     */
+    std::uint32_t evaluate(std::uint32_t inputs) const;
+
+    /**
+     * Transistor estimate for a real NOR-NOR PLA: one pulldown per
+     * used literal in the AND plane, one per term-output connection
+     * in the OR plane, a pullup per term and per output, and two
+     * transistors per input inverter.
+     */
+    unsigned transistorEstimate() const;
+};
+
+/**
+ * Instantiate the PLA in a netlist using the generic gate primitives
+ * (an AND/OR tree per plane; functionally identical to the NOR-NOR
+ * array, with the transistor economics reported by
+ * PlaSpec::transistorEstimate for the real structure).
+ *
+ * @param inputs one node per PLA input, in bit order
+ * @param outputs pre-created nodes the OR plane will drive
+ */
+void buildPla(Netlist &net, const std::string &prefix,
+              const PlaSpec &spec, const std::vector<NodeId> &inputs,
+              const std::vector<NodeId> &outputs);
+
+/**
+ * The accumulator cell's combinational core as a PLA (Section 3.3.3
+ * alternative): inputs lambda, x, d, r, t; outputs r_out, t_next
+ * implementing
+ *
+ *     tm     = t AND (x OR d)
+ *     r_out  = lambda ? tm : r
+ *     t_next = lambda OR tm
+ */
+PlaSpec accumulatorPlaSpec();
+
+} // namespace spm::gate
+
+#endif // SPM_GATE_PLA_HH

@@ -1,0 +1,165 @@
+#include "gate/stdcells.hh"
+
+namespace spm::gate
+{
+
+NodeId
+buildShiftStage(Netlist &net, const std::string &prefix, NodeId in,
+                NodeId clk)
+{
+    const NodeId stored = net.addNode(prefix + ".st");
+    const NodeId out = net.addNode(prefix + ".out");
+    net.addPassGate(in, clk, stored);
+    net.addInverter(stored, out);
+    return out;
+}
+
+NodeId
+buildStaticShiftStage(Netlist &net, const std::string &prefix, NodeId in,
+                      NodeId clk, NodeId shift)
+{
+    // load = clk AND shift; the latch follows `in` while load is
+    // high and regenerates through its feedback otherwise.
+    const NodeId load = net.addNode(prefix + ".load");
+    const NodeId nload = net.addNode(prefix + ".nload");
+    net.addGate(DeviceKind::And2, clk, shift, load);
+    net.addInverter(load, nload);
+
+    const NodeId master = net.addNode(prefix + ".master");
+    const NodeId out = net.addNode(prefix + ".out");
+    const NodeId fb = net.addNode(prefix + ".fb");
+    net.addInverter(master, out);
+    net.addInverter(out, fb);
+
+    // master = (in AND load) OR (fb AND NOT load) OR (in AND fb).
+    // The consensus term (in AND fb) keeps the loop glitch-free
+    // while load switches -- the "regeneration circuitry" cost the
+    // paper counts against static registers. Every node here is
+    // statically driven, so nothing decays during a clock stall.
+    const NodeId sel_in = net.addNode(prefix + ".sel_in");
+    const NodeId sel_fb = net.addNode(prefix + ".sel_fb");
+    const NodeId keep = net.addNode(prefix + ".keep");
+    const NodeId partial = net.addNode(prefix + ".partial");
+    net.addGate(DeviceKind::And2, in, load, sel_in);
+    net.addGate(DeviceKind::And2, fb, nload, sel_fb);
+    net.addGate(DeviceKind::And2, in, fb, keep);
+    net.addGate(DeviceKind::Or2, sel_in, sel_fb, partial);
+    net.addGate(DeviceKind::Or2, partial, keep, master);
+    (void)out; // internal inverter pair; fb carries the true value
+    return fb;
+}
+
+void
+buildComparator(Netlist &net, const std::string &prefix,
+                const ComparatorPorts &ports, NodeId clk, bool positive)
+{
+    // The p and s shift register stages: pass transistor onto a
+    // storage node, then an inverter driving the neighbor (Fig 3-5).
+    const NodeId p_st = net.addNode(prefix + ".p_st");
+    const NodeId s_st = net.addNode(prefix + ".s_st");
+    const NodeId d_st = net.addNode(prefix + ".d_st");
+    net.addPassGate(ports.pIn, clk, p_st);
+    net.addPassGate(ports.sIn, clk, s_st);
+    net.addPassGate(ports.dIn, clk, d_st);
+
+    net.addInverter(p_st, ports.pOut);
+    net.addInverter(s_st, ports.sOut);
+
+    if (positive) {
+        // Figure 3-6: the equality gate taps the inverter outputs
+        // (equality is invariant under complementing both inputs) and
+        // the NAND combines it with the stored d bit:
+        //   dOut <- d NAND (p == s)
+        const NodeId eq = net.addNode(prefix + ".eq");
+        net.addGate(DeviceKind::Xnor2, ports.pOut, ports.sOut, eq);
+        net.addGate(DeviceKind::Nand2, d_st, eq, ports.dOut);
+    } else {
+        // Inverted twin: inputs are ~p, ~s, ~d; outputs are positive.
+        // The inverters above already restore positive p and s. The
+        // result must be dOut = d AND (p == s) = NOR(~d, p XOR s).
+        const NodeId neq = net.addNode(prefix + ".neq");
+        net.addGate(DeviceKind::Xor2, ports.pOut, ports.sOut, neq);
+        net.addGate(DeviceKind::Nor2, d_st, neq, ports.dOut);
+    }
+}
+
+void
+buildAccumulator(Netlist &net, const std::string &prefix,
+                 const AccumulatorPorts &ports, NodeId clkA, NodeId clkB,
+                 bool positive)
+{
+    // Input latches on the cell's active phase.
+    const NodeId l_st = net.addNode(prefix + ".l_st");
+    const NodeId x_st = net.addNode(prefix + ".x_st");
+    const NodeId d_st = net.addNode(prefix + ".d_st");
+    const NodeId r_st = net.addNode(prefix + ".r_st");
+    net.addPassGate(ports.lambdaIn, clkA, l_st);
+    net.addPassGate(ports.xIn, clkA, x_st);
+    net.addPassGate(ports.dIn, clkA, d_st);
+    net.addPassGate(ports.rIn, clkA, r_st);
+
+    // Positive-sense internal signals. For the positive twin the
+    // latched values are already positive and the output inverters
+    // double as the lambda/x shift register output stages; the
+    // inverted twin's restoring inverters drive the outputs directly.
+    NodeId lambda_pos, x_pos, d_pos, r_pos;
+    if (positive) {
+        lambda_pos = l_st;
+        x_pos = x_st;
+        d_pos = d_st;
+        r_pos = r_st;
+        net.addInverter(l_st, ports.lambdaOut);
+        net.addInverter(x_st, ports.xOut);
+    } else {
+        lambda_pos = ports.lambdaOut;
+        x_pos = ports.xOut;
+        d_pos = net.addNode(prefix + ".d_pos");
+        r_pos = net.addNode(prefix + ".r_pos");
+        net.addInverter(l_st, ports.lambdaOut);
+        net.addInverter(x_st, ports.xOut);
+        net.addInverter(d_st, d_pos);
+        net.addInverter(r_st, r_pos);
+    }
+
+    // The temporary result t lives in a master-slave loop: t_old is
+    // the value visible during this active beat (latched on clkA from
+    // the slave), t_next the freshly computed value (latched into the
+    // slave on clkB while the cell is otherwise idle). This realizes
+    // the ordered sequence "rOut <- t; t <- TRUE" the paper's cell
+    // timing discussion requires (Section 4).
+    const NodeId t_slave = net.addNode(prefix + ".t_slave");
+    const NodeId t_old = net.addNode(prefix + ".t_old");
+    net.addPassGate(t_slave, clkA, t_old);
+
+    // m = x OR d : the wild card bit tells the accumulator to ignore
+    // the comparator result (Section 3.2.1).
+    const NodeId m = net.addNode(prefix + ".m");
+    net.addGate(DeviceKind::Or2, x_pos, d_pos, m);
+
+    // tm = t AND m : the updated partial result, output on the lambda
+    // beat and carried forward otherwise.
+    const NodeId tm = net.addNode(prefix + ".tm");
+    net.addGate(DeviceKind::And2, t_old, m, tm);
+
+    // t_next = lambda ? TRUE : tm  ==  lambda OR tm.
+    const NodeId t_next = net.addNode(prefix + ".t_next");
+    net.addGate(DeviceKind::Or2, lambda_pos, tm, t_next);
+    net.addPassGate(t_next, clkB, t_slave);
+
+    // rOut = lambda ? tm : r, produced in the polarity the left
+    // neighbor expects.
+    const NodeId lambda_n = net.addNode(prefix + ".l_n");
+    net.addInverter(lambda_pos, lambda_n);
+    const NodeId sel_t = net.addNode(prefix + ".sel_t");
+    const NodeId sel_r = net.addNode(prefix + ".sel_r");
+    net.addGate(DeviceKind::And2, lambda_pos, tm, sel_t);
+    net.addGate(DeviceKind::And2, lambda_n, r_pos, sel_r);
+    if (positive) {
+        // Positive twin emits the inverted result for the neighbor.
+        net.addGate(DeviceKind::Nor2, sel_t, sel_r, ports.rOut);
+    } else {
+        net.addGate(DeviceKind::Or2, sel_t, sel_r, ports.rOut);
+    }
+}
+
+} // namespace spm::gate

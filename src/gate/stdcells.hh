@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The pattern matcher's standard cells at gate level.
+ *
+ * "Since each cell inverts its inputs before sending them to its
+ * neighbors, two versions of each cell must be constructed. One version
+ * operates on positive inputs to produce inverted outputs, while the
+ * other computes positive outputs from inverted inputs" (Section
+ * 3.2.2). Each builder constructs one cell instance inside a Netlist.
+ * Callers pre-create all port nodes (the inter-cell wires) and pass
+ * them in, so arrays can be wired in any construction order -- just as
+ * the layout's cell boundary step fixes the wire positions before the
+ * cells are placed (Section 4).
+ *
+ * The positive comparator is exactly the circuit of Figure 3-6: three
+ * pass transistors gated by the cell's clock phase, two inverters for
+ * the p and s shift register stages, an equality (XNOR) gate, and a
+ * NAND that combines the stored d bit with the equality result.
+ */
+
+#ifndef SPM_GATE_STDCELLS_HH
+#define SPM_GATE_STDCELLS_HH
+
+#include <string>
+
+#include "gate/netlist.hh"
+
+namespace spm::gate
+{
+
+/** Port nodes of one comparator cell (Figure 3-6 and its twin). */
+struct ComparatorPorts
+{
+    NodeId pIn;  ///< pattern bit from the left neighbor
+    NodeId sIn;  ///< string bit from the right neighbor
+    NodeId dIn;  ///< partial comparison result from the cell above
+    NodeId pOut; ///< pattern bit to the right neighbor (inverted sense)
+    NodeId sOut; ///< string bit to the left neighbor (inverted sense)
+    NodeId dOut; ///< comparison result to the cell below (inverted)
+};
+
+/** Port nodes of one accumulator cell (Section 3.2.1 algorithm). */
+struct AccumulatorPorts
+{
+    NodeId lambdaIn; ///< end-of-pattern marker, flows with the pattern
+    NodeId xIn;      ///< don't-care (wild card) bit, flows with pattern
+    NodeId dIn;      ///< comparison result from the comparator above
+    NodeId rIn;      ///< result stream from the right neighbor
+    NodeId lambdaOut;
+    NodeId xOut;
+    NodeId rOut;     ///< result stream to the left neighbor
+};
+
+/**
+ * Build one shift register stage (Figure 3-5): a pass transistor
+ * followed by an inverter. Returns the (inverted) output node.
+ */
+NodeId buildShiftStage(Netlist &net, const std::string &prefix, NodeId in,
+                       NodeId clk);
+
+/**
+ * Build one *static* shift register stage, the alternative Section
+ * 3.3.3 weighs against the dynamic design: "regeneration circuitry
+ * in every stage so that data can be held indefinitely without
+ * shifting it. A third signal, in addition to the two clock phases,
+ * is needed to command the register to shift."
+ *
+ * Implemented as a hazard-free mux-feedback latch: the stage loads
+ * from @p in when both @p clk and @p shift are high and otherwise
+ * regenerates itself through a statically driven feedback loop, so
+ * it survives arbitrarily long clock stalls. Unlike the dynamic
+ * stage it does not invert. Returns the output node.
+ */
+NodeId buildStaticShiftStage(Netlist &net, const std::string &prefix,
+                             NodeId in, NodeId clk, NodeId shift);
+
+/**
+ * Build a comparator cell between pre-created port nodes.
+ *
+ * @param positive when true, the Figure 3-6 positive version (positive
+ *        inputs, inverted outputs):
+ *          pOut <- NOT pIn
+ *          sOut <- NOT sIn
+ *          dOut <- dIn NAND (pIn == sIn)
+ *        when false, the inverted twin (inverted inputs, positive
+ *        outputs).
+ * @param clk the clock phase on which this cell latches
+ */
+void buildComparator(Netlist &net, const std::string &prefix,
+                     const ComparatorPorts &ports, NodeId clk,
+                     bool positive);
+
+/**
+ * Build an accumulator cell implementing the cell algorithm
+ *
+ *     lambdaOut <- lambdaIn
+ *     xOut      <- xIn
+ *     IF lambdaIn THEN rOut <- t AND (xIn OR dIn); t <- TRUE
+ *     ELSE            rOut <- rIn;  t <- t AND (xIn OR dIn)
+ *
+ * The temporary result t is held in a two-phase master-slave loop:
+ * inputs and the old t latch on @p clkA (the cell's active phase) and
+ * the new t latches on @p clkB (the opposite phase), realizing the
+ * "cell timing signals" sequencing the paper calls for in Section 4.
+ *
+ * @param positive polarity convention as for buildComparator
+ */
+void buildAccumulator(Netlist &net, const std::string &prefix,
+                      const AccumulatorPorts &ports, NodeId clkA,
+                      NodeId clkB, bool positive);
+
+} // namespace spm::gate
+
+#endif // SPM_GATE_STDCELLS_HH

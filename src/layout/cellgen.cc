@@ -1,0 +1,400 @@
+#include "layout/cellgen.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace spm::layout
+{
+
+using gate::Device;
+using gate::DeviceKind;
+
+namespace
+{
+
+/** Horizontal gap between adjacent device tiles. */
+constexpr Lambda tileGap = 4;
+
+/** Routing channel geometry above the tile row. */
+constexpr Lambda channelBase = tileHeight + 4;
+constexpr Lambda trackPitch = 6;
+constexpr Lambda trackWidth = 3;
+
+/** Number of poly gate fingers a device tile carries. */
+unsigned
+fingerCount(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Inverter:
+      case DeviceKind::PassGate:
+        return 1;
+      case DeviceKind::Nand2:
+      case DeviceKind::Nor2:
+      case DeviceKind::And2:
+      case DeviceKind::Or2:
+        return 2;
+      case DeviceKind::Xor2:
+      case DeviceKind::Xnor2:
+        return 2; // two fingers on each of two diffusion strips
+      default:
+        spm_panic("unknown device kind");
+    }
+}
+
+bool
+hasPullup(DeviceKind kind)
+{
+    return kind != DeviceKind::PassGate;
+}
+
+bool
+isDoubleStrip(DeviceKind kind)
+{
+    return kind == DeviceKind::Xor2 || kind == DeviceKind::Xnor2;
+}
+
+} // namespace
+
+Lambda
+tileWidth(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Inverter:
+      case DeviceKind::PassGate:
+        return 14;
+      case DeviceKind::Nand2:
+      case DeviceKind::Nor2:
+      case DeviceKind::And2:
+      case DeviceKind::Or2:
+        return 16;
+      case DeviceKind::Xor2:
+      case DeviceKind::Xnor2:
+        return 22;
+      default:
+        spm_panic("unknown device kind");
+    }
+}
+
+MaskLayout
+deviceTile(DeviceKind kind, const std::string &name)
+{
+    MaskLayout tile(name);
+    const Lambda w = tileWidth(kind);
+
+    // Power rail stubs; the row generator overlays continuous rails.
+    tile.addRect(Layer::Metal, Rect{0, 0, w, 3});
+    tile.addRect(Layer::Metal, Rect{0, tileHeight - 3, w, tileHeight});
+
+    // Vertical diffusion strip(s) carrying the pulldown chain.
+    tile.addRect(Layer::Diffusion, Rect{4, 3, 6, tileHeight - 3});
+    if (isDoubleStrip(kind))
+        tile.addRect(Layer::Diffusion, Rect{10, 3, 12, tileHeight - 3});
+
+    // Contacts tying the strip ends to the rails.
+    tile.addRect(Layer::Contact, Rect{4, 1, 6, 3});
+    tile.addRect(Layer::Contact, Rect{4, tileHeight - 3, 6,
+                                      tileHeight - 1});
+
+    // Poly gate fingers crossing the diffusion: the transistors.
+    const unsigned fingers = fingerCount(kind);
+    const Lambda finger_x1 = isDoubleStrip(kind) ? w - 8 : w - 6;
+    for (unsigned f = 0; f < fingers; ++f) {
+        const Lambda y = 6 + static_cast<Lambda>(4 * f);
+        tile.addRect(Layer::Poly, Rect{2, y, finger_x1, y + 2});
+    }
+
+    // Depletion implant over the pullup transistor near the Vdd rail.
+    if (hasPullup(kind)) {
+        tile.addRect(Layer::Implant,
+                     Rect{3, tileHeight - 9, 7, tileHeight - 5});
+        tile.addRect(Layer::Poly,
+                     Rect{2, tileHeight - 8, 8, tileHeight - 6});
+    }
+
+    // Ports on the top edge: inputs and output pick-up points for the
+    // routing channel risers (in lambda-grid positions with >= 2
+    // lambda of riser-to-riser clearance at standard pitch).
+    tile.addPort("a", Layer::Poly, Point{2, tileHeight});
+    if (fingers > 1 || isDoubleStrip(kind))
+        tile.addPort("b", Layer::Poly, Point{6, tileHeight});
+    if (kind == DeviceKind::PassGate)
+        tile.addPort("ctl", Layer::Poly, Point{6, tileHeight});
+    tile.addPort("out", Layer::Poly, Point{10, tileHeight});
+    return tile;
+}
+
+StickDiagram
+generateCellSticks(const gate::Netlist &net, const std::string &name)
+{
+    StickDiagram sticks(name);
+    const auto &devices = net.deviceList();
+
+    // One column per device (pitch 4 grid units), one horizontal net
+    // row per circuit node that is actually used.
+    std::vector<int> net_row(net.nodeCount(), -1);
+    int next_row = 0;
+    auto row_of = [&](gate::NodeId node) {
+        if (net_row[node] < 0)
+            net_row[node] = next_row++;
+        return net_row[node];
+    };
+
+    const Lambda dev_y = 0;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        const Device &d = devices[i];
+        const auto x = static_cast<Lambda>(4 * i);
+
+        // The device itself: transistor markers on a short diffusion
+        // stick, a depletion pullup for static gates.
+        sticks.addSegment(Layer::Diffusion, Point{x, dev_y},
+                          Point{x, dev_y + 2}, "dev" + std::to_string(i));
+        sticks.addMarker(StickComponent::EnhancementFet,
+                         Point{x, dev_y + 1}, Device::kindName(d.kind));
+        if (d.kind != DeviceKind::PassGate) {
+            sticks.addMarker(StickComponent::DepletionFet,
+                             Point{x, dev_y + 2}, "pullup");
+        }
+
+        // Connections rise in poly from the device to each net row,
+        // then run horizontally along the row.
+        auto connect = [&](gate::NodeId node, Lambda dx) {
+            if (node == gate::invalidNode)
+                return;
+            const int row = row_of(node);
+            const auto y = static_cast<Lambda>(4 + row);
+            sticks.addSegment(Layer::Poly, Point{x + dx, dev_y + 2},
+                              Point{x + dx, y}, net.nodeName(node));
+            sticks.addMarker(StickComponent::ContactCut, Point{x + dx, y},
+                             net.nodeName(node));
+        };
+        connect(d.inA, 0);
+        connect(d.inB, 1);
+        connect(d.ctl, 1);
+        connect(d.out, 2);
+    }
+
+    // Horizontal metal net lines across the used columns.
+    const auto max_x = static_cast<Lambda>(
+        devices.empty() ? 0 : 4 * (devices.size() - 1) + 2);
+    for (gate::NodeId node = 0; node < net.nodeCount(); ++node) {
+        if (net_row[node] >= 0) {
+            const auto y = static_cast<Lambda>(4 + net_row[node]);
+            sticks.addSegment(Layer::Metal, Point{0, y}, Point{max_x, y},
+                              net.nodeName(node));
+        }
+    }
+    return sticks;
+}
+
+MaskLayout
+generateCellLayout(const gate::Netlist &net, const std::string &name)
+{
+    MaskLayout cell(name);
+    const auto &devices = net.deviceList();
+    spm_assert(!devices.empty(), "cannot lay out an empty netlist");
+
+    // Assign each used node a routing track in the channel.
+    std::vector<int> track_of(net.nodeCount(), -1);
+    int next_track = 0;
+    auto track = [&](gate::NodeId node) {
+        if (track_of[node] < 0)
+            track_of[node] = next_track++;
+        return track_of[node];
+    };
+
+    // Place device tiles left to right.
+    Lambda x = 0;
+    struct Placed
+    {
+        std::size_t dev;
+        Lambda at;
+    };
+    std::vector<Placed> placed;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        MaskLayout tile =
+            deviceTile(devices[i].kind, Device::kindName(devices[i].kind));
+        cell.merge(tile, x, 0, "d" + std::to_string(i) + ".");
+        placed.push_back(Placed{i, x});
+        x += tileWidth(devices[i].kind) + tileGap;
+    }
+    const Lambda row_width = x - tileGap;
+
+    // Continuous power rails across the row.
+    cell.addRect(Layer::Metal, Rect{0, 0, row_width, 3});
+    cell.addRect(Layer::Metal,
+                 Rect{0, tileHeight - 3, row_width, tileHeight});
+    cell.addPort("vdd", Layer::Metal, Point{0, tileHeight - 2});
+    cell.addPort("gnd", Layer::Metal, Point{0, 1});
+
+    // Channel routing: poly risers from tile ports up to the net's
+    // horizontal metal track, with a contact at the junction.
+    Lambda max_track_y = channelBase;
+    auto rise = [&](Lambda px, gate::NodeId node) {
+        if (node == gate::invalidNode)
+            return;
+        const auto t = static_cast<Lambda>(track(node));
+        const Lambda ty = channelBase + t * trackPitch;
+        max_track_y = std::max(max_track_y, ty + trackWidth);
+        cell.addRect(Layer::Poly, Rect{px, tileHeight, px + 2, ty + 2});
+        cell.addRect(Layer::Contact, Rect{px, ty, px + 2, ty + 2});
+    };
+    for (const Placed &p : placed) {
+        const Device &d = devices[p.dev];
+        rise(p.at + 2, d.inA);
+        rise(p.at + 6, d.inB != gate::invalidNode ? d.inB : d.ctl);
+        rise(p.at + 10, d.out);
+    }
+
+    // The horizontal metal tracks themselves.
+    for (gate::NodeId node = 0; node < net.nodeCount(); ++node) {
+        if (track_of[node] < 0)
+            continue;
+        const Lambda ty =
+            channelBase + static_cast<Lambda>(track_of[node]) * trackPitch;
+        cell.addRect(Layer::Metal,
+                     Rect{0, ty, row_width, ty + trackWidth});
+        // Edge ports so arrays can abut cells horizontally.
+        cell.addPort(net.nodeName(node) + ".w", Layer::Metal,
+                     Point{0, ty + 1});
+        cell.addPort(net.nodeName(node) + ".e", Layer::Metal,
+                     Point{row_width, ty + 1});
+    }
+    return cell;
+}
+
+MaskLayout
+tileCellArray(const MaskLayout &even_cell, const MaskLayout &odd_cell,
+              unsigned rows, unsigned cols, const std::string &name)
+{
+    spm_assert(rows > 0 && cols > 0, "empty array");
+    MaskLayout array(name);
+    const Rect ebox = even_cell.boundingBox();
+    const Rect obox = odd_cell.boundingBox();
+    const Lambda pitch_x =
+        std::max(ebox.width(), obox.width()) + tileGap;
+    const Lambda pitch_y =
+        std::max(ebox.height(), obox.height()) + tileGap;
+
+    for (unsigned r = 0; r < rows; ++r) {
+        for (unsigned c = 0; c < cols; ++c) {
+            const MaskLayout &cell =
+                (r + c) % 2 == 0 ? even_cell : odd_cell;
+            std::ostringstream prefix;
+            prefix << "r" << r << "c" << c << ".";
+            array.merge(cell, static_cast<Lambda>(c) * pitch_x,
+                        static_cast<Lambda>(r) * pitch_y, prefix.str());
+        }
+    }
+    return array;
+}
+
+MaskLayout
+addPadRing(const MaskLayout &core, unsigned num_pads,
+           const std::string &name)
+{
+    const DesignRules &rules = defaultRules();
+    MaskLayout die(name);
+    const Rect cbox = core.boundingBox();
+
+    // Ring clearance: one pad depth plus spacing on every side. A
+    // small core is padded out until its perimeter can seat all the
+    // pads -- pad-limited dies were a fact of life then as now.
+    const Lambda margin = rules.padSize + rules.padSpacing;
+    const Lambda step = rules.padSize + rules.padSpacing;
+    const Lambda inset = rules.padSize + rules.padSpacing;
+    const auto per_side = static_cast<Lambda>((num_pads + 3) / 4);
+    const Lambda needed = 2 * inset + per_side * step + rules.padSize;
+
+    const Lambda die_w =
+        std::max(cbox.width() + 2 * margin, needed);
+    const Lambda die_h =
+        std::max(cbox.height() + 2 * margin, needed);
+    // Center the core in the (possibly enlarged) die.
+    die.merge(core, (die_w - cbox.width()) / 2 - cbox.x0,
+              (die_h - cbox.height()) / 2 - cbox.y0, "core.");
+
+    // Distribute pads around the perimeter, clockwise from the lower
+    // left. Each pad is a metal square with an overglass opening.
+    // Side runs start one pad depth past each corner so pads on
+    // adjacent sides never violate spacing diagonally.
+    auto place_pad = [&](Lambda px, Lambda py, unsigned idx) {
+        const Rect pad{px, py, px + rules.padSize, py + rules.padSize};
+        die.addRect(Layer::Metal, pad);
+        die.addRect(Layer::Glass, pad.inflated(-5));
+        die.addPort("pad" + std::to_string(idx), Layer::Metal,
+                    Point{px + rules.padSize / 2,
+                          py + rules.padSize / 2});
+    };
+    const Lambda start = inset;
+    unsigned idx = 0;
+    for (unsigned side = 0; side < 4 && idx < num_pads; ++side) {
+        const Lambda side_len = side % 2 == 0 ? die_w : die_h;
+        for (Lambda along = start;
+             along + rules.padSize + start <= side_len &&
+             idx < num_pads;
+             along += step) {
+            switch (side) {
+              case 0: // bottom
+                place_pad(along, 0, idx);
+                break;
+              case 1: // right
+                place_pad(die_w - rules.padSize, along, idx);
+                break;
+              case 2: // top
+                place_pad(die_w - rules.padSize - along,
+                          die_h - rules.padSize, idx);
+                break;
+              default: // left
+                place_pad(0, die_h - rules.padSize - along, idx);
+                break;
+            }
+            ++idx;
+        }
+    }
+    spm_assert(idx == num_pads, "pad ring holds only ", idx, " of ",
+               num_pads, " pads; core too small for the package");
+    return die;
+}
+
+double
+AreaReport::dieAreaMm2(double lambda_um) const
+{
+    const double um2 = static_cast<double>(dieArea) * lambda_um * lambda_um;
+    return um2 / 1e6;
+}
+
+std::string
+AreaReport::toString(double lambda_um) const
+{
+    std::ostringstream os;
+    os << "core area:   " << coreArea << " lambda^2\n"
+       << "die area:    " << dieArea << " lambda^2 = "
+       << dieAreaMm2(lambda_um) << " mm^2 at lambda = " << lambda_um
+       << " um\n"
+       << "rectangles:  " << rectCount << "\n"
+       << "transistors: " << transistors << "\n"
+       << "pads:        " << padCount << "\n";
+    return os.str();
+}
+
+AreaReport
+analyzeChip(const MaskLayout &die, const gate::Netlist &net,
+            unsigned pad_count)
+{
+    AreaReport report;
+    report.dieArea = die.cellArea();
+    const Lambda margin =
+        defaultRules().padSize + defaultRules().padSpacing;
+    const Rect box = die.boundingBox();
+    const Rect core{box.x0 + margin, box.y0 + margin, box.x1 - margin,
+                    box.y1 - margin};
+    report.coreArea = core.empty() ? 0 : core.area();
+    report.rectCount = die.shapeCount();
+    report.transistors = net.transistorCount();
+    report.padCount = pad_count;
+    return report;
+}
+
+} // namespace spm::layout

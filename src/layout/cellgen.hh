@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Layout generation: circuits to sticks to masks.
+ *
+ * This module mechanizes the lower half of the paper's task dependency
+ * graph (Figure 4-1): given a cell circuit (a gate::Netlist), it
+ * produces the cell's stick diagram ("cell sticks"), its mask layout
+ * ("cell layouts"), and assembles cell layouts into whole-chip
+ * geometry with a pad ring ("cell boundary layouts"). The paper
+ * predicts this stage "can be designed mechanically from the circuit
+ * and stick diagrams" -- this module is that mechanism.
+ *
+ * The generated geometry is a standard-cell-row abstraction: device
+ * tiles in a row between power rails, with a poly-riser/metal-track
+ * routing channel above. It is not the hand-packed layout of Plate 1,
+ * but it obeys the same lambda rules and gives faithful relative area
+ * numbers.
+ */
+
+#ifndef SPM_LAYOUT_CELLGEN_HH
+#define SPM_LAYOUT_CELLGEN_HH
+
+#include <string>
+
+#include "gate/netlist.hh"
+#include "layout/masklayout.hh"
+#include "layout/sticks.hh"
+
+namespace spm::layout
+{
+
+/** Fixed height of a device tile row, in lambda. */
+inline constexpr Lambda tileHeight = 24;
+
+/** Lambda width of the tile generated for a device kind. */
+Lambda tileWidth(gate::DeviceKind kind);
+
+/**
+ * Generate the mask layout of a single primitive device: diffusion
+ * strip, poly gate fingers, depletion implant for static gates, and
+ * power rail stubs. The tile is DRC-clean in isolation and when
+ * placed at the standard pitch.
+ */
+MaskLayout deviceTile(gate::DeviceKind kind, const std::string &name);
+
+/**
+ * Generate the stick diagram of a cell circuit: one column per
+ * device, one horizontal net line per circuit node, contact markers
+ * where device pins meet nets.
+ */
+StickDiagram generateCellSticks(const gate::Netlist &net,
+                                const std::string &name);
+
+/**
+ * Generate a full cell layout from a circuit: a row of device tiles
+ * between continuous Vdd/GND rails with a routed channel above.
+ * The result passes checkLayout().
+ */
+MaskLayout generateCellLayout(const gate::Netlist &net,
+                              const std::string &name);
+
+/**
+ * Tile a rows-by-cols array of cells, alternating the two twin
+ * layouts along each row as the dynamic discipline requires
+ * (Section 3.2.2: "two versions of each cell").
+ */
+MaskLayout tileCellArray(const MaskLayout &even_cell,
+                         const MaskLayout &odd_cell, unsigned rows,
+                         unsigned cols, const std::string &name);
+
+/**
+ * Surround a core layout with a bonding pad ring; @p num_pads pads
+ * are distributed around the perimeter.
+ */
+MaskLayout addPadRing(const MaskLayout &core, unsigned num_pads,
+                      const std::string &name);
+
+/** Summary numbers for a generated chip. */
+struct AreaReport
+{
+    std::int64_t coreArea = 0;      ///< lambda^2 before pads
+    std::int64_t dieArea = 0;       ///< lambda^2 including pad ring
+    std::size_t rectCount = 0;
+    unsigned transistors = 0;
+    unsigned padCount = 0;
+
+    /**
+     * Die area in square millimeters for a given lambda, e.g.
+     * lambda = 2.5 um for the 5-micron processes of 1979.
+     */
+    double dieAreaMm2(double lambda_um) const;
+
+    std::string toString(double lambda_um = 2.5) const;
+};
+
+/** Compute the report for a chip layout and its source netlist. */
+AreaReport analyzeChip(const MaskLayout &die, const gate::Netlist &net,
+                       unsigned pad_count);
+
+} // namespace spm::layout
+
+#endif // SPM_LAYOUT_CELLGEN_HH

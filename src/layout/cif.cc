@@ -1,0 +1,133 @@
+#include "layout/cif.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace spm::layout
+{
+
+namespace
+{
+
+/** Centimicrons per lambda for a given lambda in microns. */
+long
+centimicrons(double lambda_um, Lambda v)
+{
+    return std::lround(static_cast<double>(v) * lambda_um * 100.0);
+}
+
+Layer
+layerFromCifName(const std::string &name)
+{
+    for (unsigned li = 0; li < numLayers; ++li) {
+        const auto layer = static_cast<Layer>(li);
+        if (name == cifLayerName(layer))
+            return layer;
+    }
+    spm_fatal("readCif: unknown CIF layer '", name, "'");
+}
+
+} // namespace
+
+std::string
+writeCif(const MaskLayout &layout, double lambda_um, int symbol_number)
+{
+    std::ostringstream os;
+    os << "(CIF written by systolic-pm; lambda = " << lambda_um
+       << " um);\n";
+    os << "DS " << symbol_number << " 1 1;\n";
+    os << "9 " << layout.name() << ";\n";
+
+    // Group boxes by layer to minimize L commands, preserving the
+    // layer order of the enum.
+    for (unsigned li = 0; li < numLayers; ++li) {
+        const auto layer = static_cast<Layer>(li);
+        bool have_layer = false;
+        for (const Shape &s : layout.shapes()) {
+            if (s.layer != layer)
+                continue;
+            if (!have_layer) {
+                os << "L " << cifLayerName(layer) << ";\n";
+                have_layer = true;
+            }
+            // CIF boxes are length (x), width (y), center x, center y,
+            // all in centimicrons. Centers are doubled lambda so odd
+            // lambda dimensions stay integral in centimicrons.
+            const long length = centimicrons(lambda_um, s.rect.width());
+            const long width = centimicrons(lambda_um, s.rect.height());
+            const long cx =
+                centimicrons(lambda_um, s.rect.x0 + s.rect.x1) / 2;
+            const long cy =
+                centimicrons(lambda_um, s.rect.y0 + s.rect.y1) / 2;
+            os << "B " << length << " " << width << " " << cx << " " << cy
+               << ";\n";
+        }
+    }
+    os << "DF;\n";
+    os << "C " << symbol_number << ";\n";
+    os << "E\n";
+    return os.str();
+}
+
+MaskLayout
+readCif(const std::string &cif_text, double lambda_um)
+{
+    MaskLayout layout("cif");
+    std::istringstream in(cif_text);
+    std::string line;
+    Layer current = Layer::Diffusion;
+    bool have_layer = false;
+
+    const double cu_per_lambda = lambda_um * 100.0;
+    auto to_lambda = [cu_per_lambda](long cu) {
+        const double v = static_cast<double>(cu) / cu_per_lambda;
+        const auto r = static_cast<Lambda>(std::lround(v));
+        spm_assert(std::abs(v - std::lround(v)) < 1e-6,
+                   "readCif: non-integral lambda coordinate");
+        return r;
+    };
+
+    while (std::getline(in, line)) {
+        // Strip the trailing semicolon and comments.
+        if (line.empty() || line[0] == '(')
+            continue;
+        if (const auto semi = line.find(';'); semi != std::string::npos)
+            line = line.substr(0, semi);
+        std::istringstream ls(line);
+        std::string cmd;
+        if (!(ls >> cmd))
+            continue;
+
+        if (cmd == "DS" || cmd == "DF" || cmd == "C" || cmd == "E") {
+            continue;
+        } else if (cmd == "9") {
+            std::string cell_name;
+            ls >> cell_name;
+            layout = MaskLayout(cell_name);
+            have_layer = false;
+        } else if (cmd == "L") {
+            std::string layer_name;
+            ls >> layer_name;
+            current = layerFromCifName(layer_name);
+            have_layer = true;
+        } else if (cmd == "B") {
+            spm_assert(have_layer, "readCif: box before any L command");
+            long length = 0, width = 0, cx = 0, cy = 0;
+            ls >> length >> width >> cx >> cy;
+            const Lambda w = to_lambda(length);
+            const Lambda h = to_lambda(width);
+            // Centers may land on half-lambda for odd sizes; recover
+            // corners in centimicrons first.
+            const Lambda x0 = to_lambda(cx - length / 2);
+            const Lambda y0 = to_lambda(cy - width / 2);
+            layout.addRect(current, Rect{x0, y0, x0 + w, y0 + h});
+        } else {
+            spm_fatal("readCif: unsupported CIF command '", cmd, "'");
+        }
+    }
+    return layout;
+}
+
+} // namespace spm::layout

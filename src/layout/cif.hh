@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Caltech Intermediate Form (CIF) output and a reader subset.
+ *
+ * "Layouts are described using a graphics language (such as Caltech
+ * Intermediate Form ...) that can be interpreted to make the masks"
+ * (Section 3.2.2). The writer emits the CIF 2.0 subset sufficient for
+ * NMOS mask making (layer selection and boxes); the reader parses the
+ * same subset back so tests can verify the round trip.
+ */
+
+#ifndef SPM_LAYOUT_CIF_HH
+#define SPM_LAYOUT_CIF_HH
+
+#include <string>
+
+#include "layout/masklayout.hh"
+
+namespace spm::layout
+{
+
+/**
+ * Render a layout as a CIF definition. Coordinates are emitted in
+ * centimicrons assuming @p lambda_um microns per lambda, as CIF
+ * requires physical units.
+ *
+ * @param symbol_number CIF symbol number for the DS statement
+ */
+std::string writeCif(const MaskLayout &layout, double lambda_um = 2.5,
+                     int symbol_number = 1);
+
+/**
+ * Parse the writer's CIF subset (DS/9/L/B/DF/C/E commands) back into
+ * a MaskLayout. Coordinates are converted back to lambda with
+ * @p lambda_um. Unknown commands cause a fatal error.
+ */
+MaskLayout readCif(const std::string &cif_text, double lambda_um = 2.5);
+
+} // namespace spm::layout
+
+#endif // SPM_LAYOUT_CIF_HH

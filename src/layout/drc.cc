@@ -1,0 +1,75 @@
+#include "layout/drc.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spm::layout
+{
+
+std::string
+DrcViolation::toString() const
+{
+    std::ostringstream os;
+    if (kind == Kind::Width) {
+        os << "width violation on " << layerName(layer) << " at "
+           << a.toString();
+    } else {
+        os << "spacing violation on " << layerName(layer) << " between "
+           << a.toString() << " and " << b.toString();
+    }
+    return os.str();
+}
+
+std::vector<DrcViolation>
+checkLayout(const MaskLayout &layout, const DesignRules &rules)
+{
+    std::vector<DrcViolation> violations;
+
+    // Group shapes per layer, sorted by x for a sweep-style spacing
+    // check that avoids the full quadratic pass on big chips.
+    std::vector<Rect> byLayer[numLayers];
+    for (const Shape &s : layout.shapes())
+        byLayer[static_cast<unsigned>(s.layer)].push_back(s.rect);
+
+    for (unsigned li = 0; li < numLayers; ++li) {
+        const auto layer = static_cast<Layer>(li);
+        auto &rects = byLayer[li];
+        const Lambda min_w = rules.minWidth(layer);
+        const Lambda min_s = rules.minSpacing(layer);
+
+        for (const Rect &r : rects) {
+            if (std::min(r.width(), r.height()) < min_w)
+                violations.push_back(
+                    DrcViolation{DrcViolation::Kind::Width, layer, r, {}});
+        }
+
+        // Contacts and glass openings have no same-layer spacing rule
+        // against touching shapes in our simplified rule set; all
+        // conducting layers do.
+        std::sort(rects.begin(), rects.end(),
+                  [](const Rect &a, const Rect &b) { return a.x0 < b.x0; });
+        for (std::size_t i = 0; i < rects.size(); ++i) {
+            for (std::size_t j = i + 1; j < rects.size(); ++j) {
+                // Past this x, nothing can violate spacing against i.
+                if (rects[j].x0 >= rects[i].x1 + min_s)
+                    break;
+                const Lambda sep = rects[i].separation(rects[j]);
+                // sep == 0 means touching or overlapping: same net.
+                if (sep > 0 && sep < min_s) {
+                    violations.push_back(
+                        DrcViolation{DrcViolation::Kind::Spacing, layer,
+                                     rects[i], rects[j]});
+                }
+            }
+        }
+    }
+    return violations;
+}
+
+bool
+isClean(const MaskLayout &layout, const DesignRules &rules)
+{
+    return checkLayout(layout, rules).empty();
+}
+
+} // namespace spm::layout

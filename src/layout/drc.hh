@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Design rule checker.
+ *
+ * "Designing a layout involves choosing electrical parameters for all
+ * transistors, as well as following minimum spacing rules for the
+ * intended fabrication process" (Section 3.2.2). The DRC verifies the
+ * generated mask geometry against the lambda rules: minimum feature
+ * width per layer and minimum spacing between disjoint features.
+ */
+
+#ifndef SPM_LAYOUT_DRC_HH
+#define SPM_LAYOUT_DRC_HH
+
+#include <string>
+#include <vector>
+
+#include "layout/masklayout.hh"
+#include "layout/rules.hh"
+
+namespace spm::layout
+{
+
+/** One design rule violation. */
+struct DrcViolation
+{
+    enum class Kind { Width, Spacing };
+
+    Kind kind;
+    Layer layer;
+    Rect a;
+    Rect b; ///< second rect for spacing violations; empty for width
+
+    std::string toString() const;
+};
+
+/**
+ * Check @p layout against @p rules.
+ *
+ * Width: every rectangle must be at least minWidth in its narrow
+ * dimension. Spacing: two rectangles on the same conducting layer
+ * must either touch (same electrical net, by construction of our
+ * generators) or be at least minSpacing apart.
+ */
+std::vector<DrcViolation> checkLayout(const MaskLayout &layout,
+                                      const DesignRules &rules =
+                                          defaultRules());
+
+/** Convenience: true when checkLayout returns no violations. */
+bool isClean(const MaskLayout &layout,
+             const DesignRules &rules = defaultRules());
+
+} // namespace spm::layout
+
+#endif // SPM_LAYOUT_DRC_HH

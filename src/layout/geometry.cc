@@ -1,0 +1,101 @@
+#include "layout/geometry.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace spm::layout
+{
+
+Rect::Rect(Lambda ax0, Lambda ay0, Lambda ax1, Lambda ay1)
+    : x0(ax0), y0(ay0), x1(ax1), y1(ay1)
+{
+    spm_assert(ax1 >= ax0 && ay1 >= ay0, "inverted rectangle");
+}
+
+bool
+Rect::overlaps(const Rect &other) const
+{
+    return x0 < other.x1 && other.x0 < x1 && y0 < other.y1 &&
+           other.y0 < y1;
+}
+
+bool
+Rect::contains(const Rect &other) const
+{
+    return other.x0 >= x0 && other.x1 <= x1 && other.y0 >= y0 &&
+           other.y1 <= y1;
+}
+
+Rect
+Rect::unionWith(const Rect &other) const
+{
+    if (empty())
+        return other;
+    if (other.empty())
+        return *this;
+    Rect r;
+    r.x0 = std::min(x0, other.x0);
+    r.y0 = std::min(y0, other.y0);
+    r.x1 = std::max(x1, other.x1);
+    r.y1 = std::max(y1, other.y1);
+    return r;
+}
+
+Rect
+Rect::intersect(const Rect &other) const
+{
+    Rect r;
+    r.x0 = std::max(x0, other.x0);
+    r.y0 = std::max(y0, other.y0);
+    r.x1 = std::min(x1, other.x1);
+    r.y1 = std::min(y1, other.y1);
+    if (r.x1 < r.x0)
+        r.x1 = r.x0;
+    if (r.y1 < r.y0)
+        r.y1 = r.y0;
+    return r;
+}
+
+Rect
+Rect::inflated(Lambda d) const
+{
+    Rect r = *this;
+    r.x0 -= d;
+    r.y0 -= d;
+    r.x1 += d;
+    r.y1 += d;
+    return r;
+}
+
+Rect
+Rect::translated(Lambda dx, Lambda dy) const
+{
+    Rect r = *this;
+    r.x0 += dx;
+    r.x1 += dx;
+    r.y0 += dy;
+    r.y1 += dy;
+    return r;
+}
+
+Lambda
+Rect::separation(const Rect &other) const
+{
+    const Lambda dx =
+        std::max({Lambda(0), other.x0 - x1, x0 - other.x1});
+    const Lambda dy =
+        std::max({Lambda(0), other.y0 - y1, y0 - other.y1});
+    return std::max(dx, dy);
+}
+
+std::string
+Rect::toString() const
+{
+    std::ostringstream os;
+    os << "[" << x0 << "," << y0 << " " << x1 << "," << y1 << "]";
+    return os.str();
+}
+
+} // namespace spm::layout

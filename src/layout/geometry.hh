@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Geometry primitives in lambda units.
+ *
+ * Layouts follow the Mead-Conway scalable design rules: all dimensions
+ * are integer multiples of the process parameter lambda, so a design
+ * can be fabricated at any feature size by scaling (Section 3.2.2,
+ * [Mead and Conway 80]).
+ */
+
+#ifndef SPM_LAYOUT_GEOMETRY_HH
+#define SPM_LAYOUT_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace spm::layout
+{
+
+/** Coordinate in lambda units. */
+using Lambda = std::int32_t;
+
+/** A point on the mask plane. */
+struct Point
+{
+    Lambda x = 0;
+    Lambda y = 0;
+
+    bool operator==(const Point &) const = default;
+};
+
+/** An axis-aligned rectangle; lo is inclusive, hi exclusive. */
+struct Rect
+{
+    Lambda x0 = 0;
+    Lambda y0 = 0;
+    Lambda x1 = 0;
+    Lambda y1 = 0;
+
+    Rect() = default;
+    Rect(Lambda ax0, Lambda ay0, Lambda ax1, Lambda ay1);
+
+    Lambda width() const { return x1 - x0; }
+    Lambda height() const { return y1 - y0; }
+    std::int64_t area() const
+    {
+        return static_cast<std::int64_t>(width()) * height();
+    }
+
+    bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+    /** True when the two rectangles share interior area. */
+    bool overlaps(const Rect &other) const;
+
+    /** True when @p other lies entirely within this rectangle. */
+    bool contains(const Rect &other) const;
+
+    /** Smallest rectangle covering both. */
+    Rect unionWith(const Rect &other) const;
+
+    /** Shared area rectangle (empty() if none). */
+    Rect intersect(const Rect &other) const;
+
+    /** Rectangle grown by @p d on every side. */
+    Rect inflated(Lambda d) const;
+
+    /** Rectangle translated by (dx, dy). */
+    Rect translated(Lambda dx, Lambda dy) const;
+
+    /**
+     * Edge-to-edge separation from @p other along axes; zero when
+     * overlapping or abutting. Diagonal separation uses the larger of
+     * the axis gaps (the Mead-Conway rules measure Manhattan gaps).
+     */
+    Lambda separation(const Rect &other) const;
+
+    std::string toString() const;
+
+    bool operator==(const Rect &) const = default;
+};
+
+} // namespace spm::layout
+
+#endif // SPM_LAYOUT_GEOMETRY_HH

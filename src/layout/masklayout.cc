@@ -1,0 +1,121 @@
+#include "layout/masklayout.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace spm::layout
+{
+
+MaskLayout::MaskLayout(std::string layout_name)
+    : layoutName(std::move(layout_name))
+{
+}
+
+void
+MaskLayout::addRect(Layer layer, const Rect &r)
+{
+    spm_assert(!r.empty(), "degenerate rect ", r.toString(), " in layout '",
+               layoutName, "'");
+    shapeList.push_back(Shape{layer, r});
+}
+
+void
+MaskLayout::addPort(const std::string &port_name, Layer layer, Point at)
+{
+    portList.push_back(Port{port_name, layer, at});
+}
+
+const Port &
+MaskLayout::port(const std::string &port_name) const
+{
+    for (const Port &p : portList) {
+        if (p.name == port_name)
+            return p;
+    }
+    spm_panic("no port '", port_name, "' in layout '", layoutName, "'");
+}
+
+Rect
+MaskLayout::boundingBox() const
+{
+    Rect box;
+    bool first = true;
+    for (const Shape &s : shapeList) {
+        if (first) {
+            box = s.rect;
+            first = false;
+        } else {
+            box = box.unionWith(s.rect);
+        }
+    }
+    return box;
+}
+
+std::int64_t
+MaskLayout::areaOn(Layer layer) const
+{
+    std::int64_t total = 0;
+    for (const Shape &s : shapeList) {
+        if (s.layer == layer)
+            total += s.rect.area();
+    }
+    return total;
+}
+
+void
+MaskLayout::merge(const MaskLayout &other, Lambda dx, Lambda dy,
+                  const std::string &port_prefix)
+{
+    for (const Shape &s : other.shapeList)
+        shapeList.push_back(Shape{s.layer, s.rect.translated(dx, dy)});
+    for (const Port &p : other.portList) {
+        portList.push_back(Port{port_prefix + p.name, p.layer,
+                                Point{p.at.x + dx, p.at.y + dy}});
+    }
+}
+
+std::string
+MaskLayout::renderAscii(Lambda scale) const
+{
+    spm_assert(scale > 0, "scale must be positive");
+    const Rect box = boundingBox();
+    if (box.empty())
+        return "(empty layout)\n";
+
+    const auto cols =
+        static_cast<std::size_t>((box.width() + scale - 1) / scale);
+    const auto lines =
+        static_cast<std::size_t>((box.height() + scale - 1) / scale);
+    // Cap the picture size so huge chips stay printable.
+    if (cols > 400 || lines > 400)
+        return "(layout too large to render: " + box.toString() + ")\n";
+
+    // Later layers overwrite earlier ones, matching mask stacking.
+    const char glyph[numLayers] = {'d', 'p', 'M', 'i', '#', 'g'};
+    std::vector<std::string> grid(lines, std::string(cols, '.'));
+    for (const Shape &s : shapeList) {
+        const Rect r = s.rect;
+        for (Lambda y = r.y0; y < r.y1; y += scale) {
+            for (Lambda x = r.x0; x < r.x1; x += scale) {
+                const auto gx =
+                    static_cast<std::size_t>((x - box.x0) / scale);
+                const auto gy =
+                    static_cast<std::size_t>((y - box.y0) / scale);
+                if (gx < cols && gy < lines)
+                    grid[lines - 1 - gy][gx] =
+                        glyph[static_cast<unsigned>(s.layer)];
+            }
+        }
+    }
+
+    std::ostringstream os;
+    os << layoutName << " " << box.toString() << " (" << cellArea()
+       << " lambda^2)\n";
+    for (const auto &line : grid)
+        os << line << "\n";
+    return os.str();
+}
+
+} // namespace spm::layout

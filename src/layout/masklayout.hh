@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Mask-level layout containers.
+ *
+ * A MaskLayout is a named collection of rectangles on NMOS mask layers
+ * together with labeled ports. Cell layouts are generated from circuit
+ * netlists (cellgen.hh), tiled into arrays, surrounded by a pad ring,
+ * checked by the DRC, and written out as CIF -- the full back end of
+ * the paper's design methodology (Section 4).
+ */
+
+#ifndef SPM_LAYOUT_MASKLAYOUT_HH
+#define SPM_LAYOUT_MASKLAYOUT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "layout/geometry.hh"
+#include "layout/rules.hh"
+
+namespace spm::layout
+{
+
+/** One rectangle on one mask layer. */
+struct Shape
+{
+    Layer layer;
+    Rect rect;
+
+    bool operator==(const Shape &) const = default;
+};
+
+/** A labeled connection point on a layout. */
+struct Port
+{
+    std::string name;
+    Layer layer;
+    Point at;
+};
+
+/** A named rectangle collection representing a cell or chip layout. */
+class MaskLayout
+{
+  public:
+    explicit MaskLayout(std::string layout_name = "cell");
+
+    const std::string &name() const { return layoutName; }
+
+    /** Add a rectangle; panics on degenerate geometry. */
+    void addRect(Layer layer, const Rect &r);
+
+    /** Add a labeled port at @p at. */
+    void addPort(const std::string &port_name, Layer layer, Point at);
+
+    /** All shapes in insertion order. */
+    const std::vector<Shape> &shapes() const { return shapeList; }
+
+    /** All ports. */
+    const std::vector<Port> &ports() const { return portList; }
+
+    /** Find a port by name; panics if absent. */
+    const Port &port(const std::string &port_name) const;
+
+    /** Bounding box over all shapes. */
+    Rect boundingBox() const;
+
+    /** Sum of rectangle areas on @p layer (overlaps counted twice). */
+    std::int64_t areaOn(Layer layer) const;
+
+    /** Bounding box area in lambda^2. */
+    std::int64_t cellArea() const { return boundingBox().area(); }
+
+    std::size_t shapeCount() const { return shapeList.size(); }
+
+    /**
+     * Merge another layout translated by (dx, dy); ports are copied
+     * with @p port_prefix prepended.
+     */
+    void merge(const MaskLayout &other, Lambda dx, Lambda dy,
+               const std::string &port_prefix = "");
+
+    /** Render a coarse ASCII picture of the layout (tests, examples). */
+    std::string renderAscii(Lambda scale = 2) const;
+
+  private:
+    std::string layoutName;
+    std::vector<Shape> shapeList;
+    std::vector<Port> portList;
+};
+
+} // namespace spm::layout
+
+#endif // SPM_LAYOUT_MASKLAYOUT_HH

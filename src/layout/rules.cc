@@ -1,0 +1,120 @@
+#include "layout/rules.hh"
+
+#include "util/logging.hh"
+
+namespace spm::layout
+{
+
+const char *
+layerName(Layer layer)
+{
+    switch (layer) {
+      case Layer::Diffusion:
+        return "diffusion";
+      case Layer::Poly:
+        return "poly";
+      case Layer::Metal:
+        return "metal";
+      case Layer::Implant:
+        return "implant";
+      case Layer::Contact:
+        return "contact";
+      case Layer::Glass:
+        return "glass";
+      default:
+        return "?";
+    }
+}
+
+const char *
+layerColor(Layer layer)
+{
+    switch (layer) {
+      case Layer::Diffusion:
+        return "green";
+      case Layer::Poly:
+        return "red";
+      case Layer::Metal:
+        return "blue";
+      case Layer::Implant:
+        return "yellow";
+      case Layer::Contact:
+        return "black";
+      case Layer::Glass:
+        return "gray";
+      default:
+        return "?";
+    }
+}
+
+const char *
+cifLayerName(Layer layer)
+{
+    switch (layer) {
+      case Layer::Diffusion:
+        return "ND";
+      case Layer::Poly:
+        return "NP";
+      case Layer::Metal:
+        return "NM";
+      case Layer::Implant:
+        return "NI";
+      case Layer::Contact:
+        return "NC";
+      case Layer::Glass:
+        return "NG";
+      default:
+        spm_panic("unknown layer");
+    }
+}
+
+Lambda
+DesignRules::minWidth(Layer layer) const
+{
+    switch (layer) {
+      case Layer::Diffusion:
+        return 2;
+      case Layer::Poly:
+        return 2;
+      case Layer::Metal:
+        return 3;
+      case Layer::Implant:
+        return 2;
+      case Layer::Contact:
+        return 2;
+      case Layer::Glass:
+        return 10;
+      default:
+        spm_panic("unknown layer");
+    }
+}
+
+Lambda
+DesignRules::minSpacing(Layer layer) const
+{
+    switch (layer) {
+      case Layer::Diffusion:
+        return 3;
+      case Layer::Poly:
+        return 2;
+      case Layer::Metal:
+        return 3;
+      case Layer::Implant:
+        return 2;
+      case Layer::Contact:
+        return 2;
+      case Layer::Glass:
+        return 10;
+      default:
+        spm_panic("unknown layer");
+    }
+}
+
+const DesignRules &
+defaultRules()
+{
+    static const DesignRules rules;
+    return rules;
+}
+
+} // namespace spm::layout

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Mask layers and the Mead-Conway lambda design rules.
+ *
+ * "Silicon-gate NMOS technology uses three conduction layers ... blue
+ * lines represent metal conduction paths, red lines represent
+ * polycrystalline silicon and green lines represent diffusion into
+ * the substrate. The three layers are insulated from each other except
+ * at contact cuts ... The yellow squares are areas of ion
+ * implantation" (Section 3.2.2).
+ */
+
+#ifndef SPM_LAYOUT_RULES_HH
+#define SPM_LAYOUT_RULES_HH
+
+#include <string>
+
+#include "layout/geometry.hh"
+
+namespace spm::layout
+{
+
+/** NMOS mask layers, with the paper's stick diagram colors. */
+enum class Layer : unsigned char
+{
+    Diffusion, ///< green: diffused paths and transistor channels
+    Poly,      ///< red: polysilicon paths and transistor gates
+    Metal,     ///< blue: metal power and signal paths
+    Implant,   ///< yellow: depletion implant for pullup loads
+    Contact,   ///< black dot: contact cut between layers
+    Glass,     ///< overglass opening for bonding pads
+};
+
+inline constexpr unsigned numLayers = 6;
+
+/** Layer name as used in reports. */
+const char *layerName(Layer layer);
+
+/** Stick diagram color per the Mead-Conway convention. */
+const char *layerColor(Layer layer);
+
+/** CIF layer name for the NMOS process (ND, NP, NM, NI, NC, NG). */
+const char *cifLayerName(Layer layer);
+
+/**
+ * The lambda design rules used by the DRC and cell generators.
+ * Values follow Mead & Conway chapter 2.
+ */
+struct DesignRules
+{
+    /** Minimum path width per layer, in lambda. */
+    Lambda minWidth(Layer layer) const;
+
+    /** Minimum separation between disjoint paths on a layer. */
+    Lambda minSpacing(Layer layer) const;
+
+    /** Poly must extend past diffusion by this much at a transistor. */
+    Lambda gateOverhang = 2;
+
+    /** Diffusion must extend past poly (source/drain) by this much. */
+    Lambda sourceDrainExtension = 2;
+
+    /** Contact cut size (square). */
+    Lambda contactSize = 2;
+
+    /** Surround of a contact cut by the connecting layers. */
+    Lambda contactSurround = 1;
+
+    /** Bonding pad size, per [Hon and Sequin 79] style guides. */
+    Lambda padSize = 100;
+
+    /** Minimum pad-to-pad spacing. */
+    Lambda padSpacing = 50;
+};
+
+/** Rules singleton used throughout the repository. */
+const DesignRules &defaultRules();
+
+} // namespace spm::layout
+
+#endif // SPM_LAYOUT_RULES_HH

@@ -1,0 +1,159 @@
+#include "layout/sticks.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace spm::layout
+{
+
+StickDiagram::StickDiagram(std::string diagram_name)
+    : diagramName(std::move(diagram_name))
+{
+}
+
+void
+StickDiagram::addSegment(Layer layer, Point from, Point to,
+                         const std::string &net)
+{
+    spm_assert(from.x == to.x || from.y == to.y,
+               "stick segments must be orthogonal");
+    segs.push_back(StickSegment{layer, from, to, net});
+}
+
+void
+StickDiagram::addMarker(StickComponent kind, Point at,
+                        const std::string &label)
+{
+    marks.push_back(StickMarker{kind, at, label});
+}
+
+Rect
+StickDiagram::boundingBox() const
+{
+    if (segs.empty() && marks.empty())
+        return Rect{};
+    Lambda x0 = 1 << 30, y0 = 1 << 30;
+    Lambda x1 = -(1 << 30), y1 = -(1 << 30);
+    auto expand = [&](Point p) {
+        x0 = std::min(x0, p.x);
+        y0 = std::min(y0, p.y);
+        x1 = std::max(x1, p.x);
+        y1 = std::max(y1, p.y);
+    };
+    for (const auto &s : segs) {
+        expand(s.from);
+        expand(s.to);
+    }
+    for (const auto &m : marks)
+        expand(m.at);
+    return Rect{x0, y0, x1, y1};
+}
+
+std::size_t
+StickDiagram::transistorCount() const
+{
+    std::size_t n = 0;
+    for (const auto &m : marks) {
+        if (m.kind == StickComponent::EnhancementFet ||
+            m.kind == StickComponent::DepletionFet) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::int64_t
+StickDiagram::wireLength(Layer layer) const
+{
+    std::int64_t total = 0;
+    for (const auto &s : segs) {
+        if (s.layer == layer) {
+            total += std::abs(static_cast<long>(s.to.x - s.from.x)) +
+                     std::abs(static_cast<long>(s.to.y - s.from.y));
+        }
+    }
+    return total;
+}
+
+std::vector<std::string>
+StickDiagram::nets() const
+{
+    std::set<std::string> uniq;
+    for (const auto &s : segs)
+        uniq.insert(s.net);
+    return {uniq.begin(), uniq.end()};
+}
+
+std::string
+StickDiagram::renderAscii() const
+{
+    const Rect box = boundingBox();
+    const auto cols = static_cast<std::size_t>(box.width() + 1);
+    const auto lines = static_cast<std::size_t>(box.height() + 1);
+    if (cols > 200 || lines > 200)
+        return "(stick diagram too large to render)\n";
+
+    // Glyph per layer: d(iffusion)/p(oly)/M(etal)/i(mplant).
+    auto glyph = [](Layer layer) {
+        switch (layer) {
+          case Layer::Diffusion:
+            return 'd';
+          case Layer::Poly:
+            return 'p';
+          case Layer::Metal:
+            return 'M';
+          case Layer::Implant:
+            return 'i';
+          default:
+            return '?';
+        }
+    };
+
+    std::vector<std::string> grid(lines, std::string(cols, ' '));
+    auto plot = [&](Point p, char c) {
+        const auto gx = static_cast<std::size_t>(p.x - box.x0);
+        const auto gy = static_cast<std::size_t>(p.y - box.y0);
+        grid[lines - 1 - gy][gx] = c;
+    };
+
+    for (const auto &s : segs) {
+        const char c = glyph(s.layer);
+        Point p = s.from;
+        const Lambda dx = s.to.x > s.from.x ? 1 : (s.to.x < s.from.x ? -1 : 0);
+        const Lambda dy = s.to.y > s.from.y ? 1 : (s.to.y < s.from.y ? -1 : 0);
+        while (true) {
+            plot(p, c);
+            if (p.x == s.to.x && p.y == s.to.y)
+                break;
+            p.x += dx;
+            p.y += dy;
+        }
+    }
+    for (const auto &m : marks) {
+        char c = '?';
+        switch (m.kind) {
+          case StickComponent::EnhancementFet:
+            c = 'T';
+            break;
+          case StickComponent::DepletionFet:
+            c = 'D';
+            break;
+          case StickComponent::ContactCut:
+            c = '*';
+            break;
+        }
+        plot(m.at, c);
+    }
+
+    std::ostringstream os;
+    os << "stick diagram: " << diagramName << " ("
+       << transistorCount() << " transistors)\n";
+    for (const auto &line : grid)
+        os << line << "\n";
+    return os.str();
+}
+
+} // namespace spm::layout

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Stick diagrams: the topological layout stage.
+ *
+ * "The stick diagram shows the relative positions of all signal paths,
+ * power connections, and components, but hides their absolute sizes
+ * and positions" (Section 3.2.2, Plate 1). A StickDiagram is a grid of
+ * colored segments and component markers; it is the intermediate
+ * artifact between a cell circuit and its mask layout in the design
+ * flow of Figure 4-1.
+ */
+
+#ifndef SPM_LAYOUT_STICKS_HH
+#define SPM_LAYOUT_STICKS_HH
+
+#include <string>
+#include <vector>
+
+#include "layout/geometry.hh"
+#include "layout/rules.hh"
+
+namespace spm::layout
+{
+
+/** Components that may sit on a stick diagram. */
+enum class StickComponent : unsigned char
+{
+    EnhancementFet, ///< poly crossing diffusion: a transistor
+    DepletionFet,   ///< implanted transistor used as a pullup
+    ContactCut,     ///< connection between two layers
+};
+
+/** A horizontal or vertical colored line between two grid points. */
+struct StickSegment
+{
+    Layer layer;
+    Point from;
+    Point to;
+    std::string net; ///< net label for connectivity checks
+};
+
+/** A component marker at a grid point. */
+struct StickMarker
+{
+    StickComponent kind;
+    Point at;
+    std::string label;
+};
+
+/**
+ * A topological (relative-position) cell plan.
+ *
+ * Coordinates are grid indices, not lambda; the layout generator
+ * assigns real dimensions later, which is exactly the paper's
+ * separation between "cell sticks" and "cell layouts" (Section 4).
+ */
+class StickDiagram
+{
+  public:
+    explicit StickDiagram(std::string diagram_name);
+
+    const std::string &name() const { return diagramName; }
+
+    /** Add an orthogonal segment; panics on diagonal geometry. */
+    void addSegment(Layer layer, Point from, Point to,
+                    const std::string &net);
+
+    /** Add a component marker. */
+    void addMarker(StickComponent kind, Point at,
+                   const std::string &label);
+
+    const std::vector<StickSegment> &segments() const { return segs; }
+    const std::vector<StickMarker> &markers() const { return marks; }
+
+    /** Grid bounding box. */
+    Rect boundingBox() const;
+
+    /** Count of transistors (enhancement plus depletion markers). */
+    std::size_t transistorCount() const;
+
+    /**
+     * Wire length per layer in grid units -- the communication cost
+     * the design philosophy says dominates VLSI performance
+     * (Section 2).
+     */
+    std::int64_t wireLength(Layer layer) const;
+
+    /** Distinct net labels used. */
+    std::vector<std::string> nets() const;
+
+    /** Render the diagram as ASCII art with layer glyphs. */
+    std::string renderAscii() const;
+
+  private:
+    std::string diagramName;
+    std::vector<StickSegment> segs;
+    std::vector<StickMarker> marks;
+};
+
+} // namespace spm::layout
+
+#endif // SPM_LAYOUT_STICKS_HH

@@ -1,0 +1,57 @@
+#include "systolic/clock.hh"
+
+#include "util/logging.hh"
+
+namespace spm::systolic
+{
+
+Clock::Clock(Picoseconds beat_period_ps) : periodPs(beat_period_ps)
+{
+    spm_assert(beat_period_ps > 0, "beat period must be positive");
+}
+
+void
+Clock::advancePhase()
+{
+    if (currentPhase == Phase::Phi1) {
+        currentPhase = Phase::Phi2;
+    } else {
+        currentPhase = Phase::Phi1;
+        ++beatCount;
+        stallPs = 0;
+    }
+}
+
+void
+Clock::advanceBeat()
+{
+    // Finish the current beat: advance until the next beat begins.
+    const Beat target = beatCount + 1;
+    while (beatCount < target || currentPhase != Phase::Phi1)
+        advancePhase();
+}
+
+Picoseconds
+Clock::timeNow() const
+{
+    Picoseconds t = beatCount * periodPs + stallPs;
+    if (currentPhase == Phase::Phi2)
+        t += periodPs / 2;
+    return t;
+}
+
+void
+Clock::stall(Picoseconds duration_ps)
+{
+    stallPs += duration_ps;
+}
+
+void
+Clock::reset()
+{
+    beatCount = 0;
+    currentPhase = Phase::Phi1;
+    stallPs = 0;
+}
+
+} // namespace spm::systolic

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The beat clock.
+ *
+ * "The data streams move at a steady rate between the host computer and
+ * the pattern matcher, with a constant time between data items"
+ * (Section 3.1). Clock models that steady rate: it counts beats, derives
+ * simulated time from a configurable beat period (250 ns on the 1979
+ * prototype), and exposes the two non-overlapping phases that the NMOS
+ * implementation uses within each beat (Section 3.2.2, Figure 3-5).
+ */
+
+#ifndef SPM_SYSTOLIC_CLOCK_HH
+#define SPM_SYSTOLIC_CLOCK_HH
+
+#include "util/types.hh"
+
+namespace spm::systolic
+{
+
+/** The two non-overlapping clock phases within one beat. */
+enum class Phase { Phi1, Phi2 };
+
+/**
+ * A two-phase beat clock.
+ *
+ * One beat is the interval during which one character arrives from
+ * either input stream. Within a beat, phase Phi1 admits new data into
+ * cells (pass transistors on) and Phi2 propagates outputs to neighbors.
+ */
+class Clock
+{
+  public:
+    /** @param beat_period_ps simulated duration of one beat. */
+    explicit Clock(Picoseconds beat_period_ps = prototypeBeatPs);
+
+    /** Current beat index, starting at zero. */
+    Beat beat() const { return beatCount; }
+
+    /** Current phase within the beat. */
+    Phase phase() const { return currentPhase; }
+
+    /** Advance half a beat (one phase). */
+    void advancePhase();
+
+    /** Advance one whole beat (both phases). */
+    void advanceBeat();
+
+    /** Simulated time at the start of the current phase. */
+    Picoseconds timeNow() const;
+
+    /** Beat period in picoseconds. */
+    Picoseconds beatPeriod() const { return periodPs; }
+
+    /**
+     * Model a clock stall: time passes without beats advancing.
+     * Dynamic storage nodes decay during stalls (Section 3.3.3); the
+     * gate substrate uses stalledTime() to decide when stored charge
+     * has leaked away.
+     */
+    void stall(Picoseconds duration_ps);
+
+    /** Accumulated stall time since the last beat advanced. */
+    Picoseconds stalledTime() const { return stallPs; }
+
+    /** Reset to beat zero. */
+    void reset();
+
+  private:
+    Picoseconds periodPs;
+    Beat beatCount = 0;
+    Phase currentPhase = Phase::Phi1;
+    Picoseconds stallPs = 0;
+};
+
+} // namespace spm::systolic
+
+#endif // SPM_SYSTOLIC_CLOCK_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Latched values and tokens for systolic data flow.
+ *
+ * A systolic array advances all data simultaneously on each beat. To
+ * simulate that without ordering artifacts, every storage element is a
+ * two-sided latch: cells read the "current" side, write the "next"
+ * side, and the engine commits all latches at once at the end of the
+ * beat. This mirrors the two-phase NMOS discipline where pass
+ * transistors isolate each stage's input while its output drives the
+ * neighbor (Section 3.2.2).
+ */
+
+#ifndef SPM_SYSTOLIC_LATCH_HH
+#define SPM_SYSTOLIC_LATCH_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace spm::systolic
+{
+
+/**
+ * A value moving through the array together with a validity flag.
+ *
+ * "To make each pair of characters meet, rather than just pass, we must
+ * separate them by one cell so that alternate cells are idle"
+ * (Section 3.2.1). The idle positions carry tokens with valid == false.
+ */
+template <typename T>
+struct Token
+{
+    T value{};
+    bool valid = false;
+
+    Token() = default;
+    Token(T v, bool is_valid = true) : value(v), valid(is_valid) {}
+
+    bool operator==(const Token &) const = default;
+};
+
+/**
+ * A double-sided storage element committed once per beat.
+ *
+ * Reads always observe the value latched at the previous commit, so
+ * evaluation order within a beat cannot matter.
+ */
+template <typename T>
+class Latch
+{
+  public:
+    Latch() = default;
+    explicit Latch(const T &initial) : cur(initial), nxt(initial) {}
+
+    /** The value latched at the last commit. */
+    const T &read() const { return cur; }
+
+    /** Stage a value for the next commit. */
+    void write(const T &v) { nxt = v; }
+
+    /** Make the staged value visible; called once per beat. */
+    void commit() { cur = nxt; }
+
+    /** Set both sides at once (initialization only). */
+    void force(const T &v) { cur = nxt = v; }
+
+  private:
+    T cur{};
+    T nxt{};
+};
+
+/**
+ * A fixed-length chain of latches: data written this beat emerges
+ * length() beats later. Used for staggering bit streams in the
+ * bit-serial comparator pipeline (Section 3.2.1, Figure 3-4).
+ */
+template <typename T>
+class DelayLine
+{
+  public:
+    explicit DelayLine(std::size_t length) : stages(length)
+    {
+        spm_assert(length > 0, "DelayLine needs at least one stage");
+    }
+
+    std::size_t length() const { return stages.size(); }
+
+    /** Value emerging from the line this beat. */
+    const T &
+    read() const
+    {
+        return stages.back().read();
+    }
+
+    /** Insert a value into the head of the line. */
+    void
+    write(const T &v)
+    {
+        stages.front().write(v);
+    }
+
+    /** Shift the whole line by one beat. */
+    void
+    commit()
+    {
+        // Propagate from the tail backward so each stage picks up its
+        // predecessor's pre-commit value.
+        for (std::size_t i = stages.size(); i-- > 1;)
+            stages[i].write(stages[i - 1].read());
+        for (auto &s : stages)
+            s.commit();
+    }
+
+    /** Reset every stage to a default-constructed value. */
+    void
+    flush()
+    {
+        for (auto &s : stages)
+            s.force(T{});
+    }
+
+  private:
+    std::vector<Latch<T>> stages;
+};
+
+} // namespace spm::systolic
+
+#endif // SPM_SYSTOLIC_LATCH_HH

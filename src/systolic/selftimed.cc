@@ -1,0 +1,66 @@
+#include "systolic/selftimed.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spm::systolic
+{
+
+SelfTimedModel::SelfTimedModel(const Config &config)
+    : cfg(config), rng(config.seed)
+{
+    spm_assert(cfg.cells > 0, "array needs at least one cell");
+    spm_assert(cfg.meanDelayNs > 0 && cfg.jitterNs >= 0 &&
+                   cfg.handshakeNs >= 0 && cfg.skewPerCellNs >= 0,
+               "bad timing parameters");
+    spm_assert(cfg.jitterNs < cfg.meanDelayNs,
+               "jitter exceeding the mean is unphysical");
+}
+
+double
+SelfTimedModel::sampleDelay()
+{
+    const double u = rng.nextDouble() * 2.0 - 1.0;
+    return cfg.meanDelayNs + u * cfg.jitterNs;
+}
+
+double
+SelfTimedModel::selfTimedCompletionNs(Beat beats)
+{
+    // T[i] holds the completion time of cell i's previous firing.
+    std::vector<double> prev(cfg.cells, 0.0);
+    std::vector<double> cur(cfg.cells, 0.0);
+    for (Beat k = 0; k < beats; ++k) {
+        for (std::size_t i = 0; i < cfg.cells; ++i) {
+            double ready = prev[i];
+            if (i > 0)
+                ready = std::max(ready, prev[i - 1]);
+            if (i + 1 < cfg.cells)
+                ready = std::max(ready, prev[i + 1]);
+            cur[i] = ready + sampleDelay() + cfg.handshakeNs;
+        }
+        std::swap(prev, cur);
+    }
+    const double total =
+        *std::max_element(prev.begin(), prev.end());
+    lastBeatNs = beats == 0 ? 0.0 : total / static_cast<double>(beats);
+    return total;
+}
+
+double
+SelfTimedModel::clockPeriodNs() const
+{
+    // The common clock must cover the worst-case delay anywhere on
+    // the chip plus distribution skew that grows with array length.
+    return cfg.meanDelayNs + cfg.jitterNs +
+           cfg.skewPerCellNs * static_cast<double>(cfg.cells);
+}
+
+double
+SelfTimedModel::clockedCompletionNs(Beat beats) const
+{
+    return clockPeriodNs() * static_cast<double>(beats);
+}
+
+} // namespace spm::systolic

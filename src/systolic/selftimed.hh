@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Self-timed vs clocked data flow (Section 3.3.2).
+ *
+ * "In a self-timed implementation, data flow control is distributed
+ * among the cells ... Each of the cells may run at its own pace,
+ * synchronizing with its neighbors only when communication is
+ * needed. The disadvantage is the extra circuitry needed to
+ * implement the signalling conventions. For systems that are small
+ * enough to use a common clock, like the pattern matching chip, the
+ * clocked data flow implementation should be chosen."
+ *
+ * This model quantifies that judgment: cells have per-firing delays
+ * with process variation. A clocked array runs at the worst-case
+ * delay of the slowest cell (plus clock margin); a self-timed array
+ * fires each cell as soon as its neighbors' previous values are
+ * available, paying a handshake overhead per transfer. Completion
+ * times come from the exact event recurrence, not from averages.
+ */
+
+#ifndef SPM_SYSTOLIC_SELFTIMED_HH
+#define SPM_SYSTOLIC_SELFTIMED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace spm::systolic
+{
+
+/** Timing model of one linear array under both disciplines. */
+class SelfTimedModel
+{
+  public:
+    struct Config
+    {
+        std::size_t cells = 8;
+        /** Nominal cell evaluation delay. */
+        double meanDelayNs = 100.0;
+        /**
+         * Half-width of the per-cell, per-firing uniform delay
+         * variation (process + data dependence).
+         */
+        double jitterNs = 25.0;
+        /** Request/acknowledge circuitry cost per self-timed firing. */
+        double handshakeNs = 15.0;
+        /**
+         * Clock distribution margin per cell of array length -- the
+         * skew that grows with chip size and eventually forces the
+         * self-timed choice (Section 3.3.2 / [Seitz 79]).
+         */
+        double skewPerCellNs = 0.5;
+        std::uint64_t seed = 1;
+    };
+
+    explicit SelfTimedModel(const Config &config);
+
+    /**
+     * Completion time of @p beats systolic beats under self-timed
+     * handshaking: cell i's k-th firing starts when its own and both
+     * neighbors' (k-1)-th firings are done, and takes its sampled
+     * delay plus the handshake overhead.
+     */
+    double selfTimedCompletionNs(Beat beats);
+
+    /**
+     * Completion time under a global clock: the period must cover
+     * the worst-case cell delay plus skew proportional to the array
+     * length.
+     */
+    double clockedCompletionNs(Beat beats) const;
+
+    /** The clocked period implied by the configuration. */
+    double clockPeriodNs() const;
+
+    /** Mean observed per-beat advance of the self-timed run. */
+    double lastSelfTimedBeatNs() const { return lastBeatNs; }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    double sampleDelay();
+
+    Config cfg;
+    Rng rng;
+    double lastBeatNs = 0.0;
+};
+
+} // namespace spm::systolic
+
+#endif // SPM_SYSTOLIC_SELFTIMED_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Beat-by-beat trace recording.
+ *
+ * Figure 3-2 of the paper traces "the flow of characters" through the
+ * cell array for several beats. TraceRecorder reproduces exactly that
+ * artifact: after each beat it snapshots every cell's stateString() and
+ * can render the collected history as a table with one row per beat and
+ * one column per cell.
+ */
+
+#ifndef SPM_SYSTOLIC_TRACE_HH
+#define SPM_SYSTOLIC_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace spm::systolic
+{
+
+class Engine;
+
+/** Records cell states after each beat for later rendering. */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param max_beats stop recording after this many beats to bound
+     *        memory; 0 means unlimited.
+     */
+    explicit TraceRecorder(std::size_t max_beats = 0)
+        : beatLimit(max_beats)
+    {
+    }
+
+    /** Capture the post-commit state of every cell; called by Engine. */
+    void snapshot(const Engine &engine, Beat beat);
+
+    /** Number of recorded beats. */
+    std::size_t beatCount() const { return rows.size(); }
+
+    /** Recorded state of cell @p cell_idx at recorded beat @p row. */
+    const std::string &at(std::size_t row, std::size_t cell_idx) const;
+
+    /** Beat index of recorded row @p row. */
+    Beat beatOf(std::size_t row) const;
+
+    /**
+     * Render the trace in the style of Figure 3-2: one row per beat,
+     * one column per cell, active cells marked with '*'.
+     */
+    std::string render(const Engine &engine) const;
+
+    void clear();
+
+  private:
+    struct Row
+    {
+        Beat beat;
+        std::vector<std::string> states;
+    };
+
+    std::size_t beatLimit;
+    std::vector<Row> rows;
+};
+
+} // namespace spm::systolic
+
+#endif // SPM_SYSTOLIC_TRACE_HH

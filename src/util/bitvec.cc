@@ -1,0 +1,157 @@
+#include "util/bitvec.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace spm
+{
+
+BitVec::BitVec(std::size_t n, bool value)
+{
+    resize(n, value);
+}
+
+BitVec
+BitVec::fromString(const std::string &bits)
+{
+    BitVec v;
+    for (char c : bits) {
+        spm_assert(c == '0' || c == '1',
+                   "BitVec::fromString: bad character '", c, "'");
+        v.pushBack(c == '1');
+    }
+    return v;
+}
+
+bool
+BitVec::get(std::size_t idx) const
+{
+    spm_assert(idx < numBits, "BitVec::get: index ", idx, " out of range ",
+               numBits);
+    return (words[wordIndex(idx)] & bitMask(idx)) != 0;
+}
+
+void
+BitVec::set(std::size_t idx, bool value)
+{
+    spm_assert(idx < numBits, "BitVec::set: index ", idx, " out of range ",
+               numBits);
+    if (value)
+        words[wordIndex(idx)] |= bitMask(idx);
+    else
+        words[wordIndex(idx)] &= ~bitMask(idx);
+}
+
+void
+BitVec::pushBack(bool value)
+{
+    if (numBits % bitsPerWord == 0)
+        words.push_back(0);
+    ++numBits;
+    set(numBits - 1, value);
+}
+
+void
+BitVec::clear()
+{
+    words.clear();
+    numBits = 0;
+}
+
+void
+BitVec::resize(std::size_t n, bool value)
+{
+    std::size_t old_bits = numBits;
+    std::size_t new_words = (n + bitsPerWord - 1) / bitsPerWord;
+    words.resize(new_words, value ? ~std::uint64_t(0) : 0);
+    numBits = n;
+    if (value && n > old_bits) {
+        // Bits in the partially used old tail word must be set by hand.
+        for (std::size_t i = old_bits; i < n && i % bitsPerWord != 0; ++i)
+            set(i, true);
+    }
+    trimTail();
+}
+
+std::size_t
+BitVec::popcount() const
+{
+    std::size_t total = 0;
+    for (std::uint64_t w : words)
+        total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+}
+
+std::size_t
+BitVec::findFirst() const
+{
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        if (words[wi] != 0) {
+            return wi * bitsPerWord +
+                   static_cast<std::size_t>(std::countr_zero(words[wi]));
+        }
+    }
+    return numBits;
+}
+
+BitVec &
+BitVec::operator&=(const BitVec &other)
+{
+    spm_assert(numBits == other.numBits, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] &= other.words[i];
+    return *this;
+}
+
+BitVec &
+BitVec::operator|=(const BitVec &other)
+{
+    spm_assert(numBits == other.numBits, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] |= other.words[i];
+    return *this;
+}
+
+BitVec &
+BitVec::operator^=(const BitVec &other)
+{
+    spm_assert(numBits == other.numBits, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] ^= other.words[i];
+    return *this;
+}
+
+void
+BitVec::flip()
+{
+    for (auto &w : words)
+        w = ~w;
+    trimTail();
+}
+
+bool
+BitVec::operator==(const BitVec &other) const
+{
+    return numBits == other.numBits && words == other.words;
+}
+
+std::string
+BitVec::toString() const
+{
+    std::string s;
+    s.reserve(numBits);
+    for (std::size_t i = 0; i < numBits; ++i)
+        s.push_back(get(i) ? '1' : '0');
+    return s;
+}
+
+void
+BitVec::trimTail()
+{
+    std::size_t used = numBits % bitsPerWord;
+    if (used != 0 && !words.empty())
+        words.back() &= (std::uint64_t(1) << used) - 1;
+}
+
+} // namespace spm

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A compact dynamic bit vector.
+ *
+ * The pattern matcher's output is "a stream of bits, each of which
+ * corresponds to one of the characters in the text string" (Section 3.1).
+ * BitVec is the container used throughout the repository for result
+ * streams, per-beat activity masks, and mask-layer bitmaps.
+ */
+
+#ifndef SPM_UTIL_BITVEC_HH
+#define SPM_UTIL_BITVEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spm
+{
+
+/**
+ * Dynamically sized vector of bits with word-parallel bulk operations.
+ *
+ * Unlike std::vector<bool>, BitVec exposes population count, word-wise
+ * logical operators, and a printable form, all of which the benches and
+ * tests rely on.
+ */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Construct with @p n bits, all set to @p value. */
+    explicit BitVec(std::size_t n, bool value = false);
+
+    /** Construct from a string of '0'/'1' characters. */
+    static BitVec fromString(const std::string &bits);
+
+    /** Number of bits held. */
+    std::size_t size() const { return numBits; }
+
+    /** True when no bits are held. */
+    bool empty() const { return numBits == 0; }
+
+    /** Read the bit at @p idx. */
+    bool get(std::size_t idx) const;
+
+    /** Set the bit at @p idx to @p value. */
+    void set(std::size_t idx, bool value);
+
+    /** Append one bit. */
+    void pushBack(bool value);
+
+    /** Remove all bits. */
+    void clear();
+
+    /** Resize to @p n bits; new bits are @p value. */
+    void resize(std::size_t n, bool value = false);
+
+    /** Number of set bits. */
+    std::size_t popcount() const;
+
+    /** Index of the first set bit, or size() if none. */
+    std::size_t findFirst() const;
+
+    /** Bitwise AND with @p other; sizes must match. */
+    BitVec &operator&=(const BitVec &other);
+
+    /** Bitwise OR with @p other; sizes must match. */
+    BitVec &operator|=(const BitVec &other);
+
+    /** Bitwise XOR with @p other; sizes must match. */
+    BitVec &operator^=(const BitVec &other);
+
+    /** Invert every bit in place. */
+    void flip();
+
+    bool operator==(const BitVec &other) const;
+
+    /** Render as a string of '0'/'1' characters, index 0 first. */
+    std::string toString() const;
+
+  private:
+    static constexpr std::size_t bitsPerWord = 64;
+
+    static std::size_t wordIndex(std::size_t idx)
+    {
+        return idx / bitsPerWord;
+    }
+    static std::uint64_t bitMask(std::size_t idx)
+    {
+        return std::uint64_t(1) << (idx % bitsPerWord);
+    }
+
+    /** Zero any bits beyond numBits in the last word. */
+    void trimTail();
+
+    std::vector<std::uint64_t> words;
+    std::size_t numBits = 0;
+};
+
+inline BitVec
+operator&(BitVec a, const BitVec &b)
+{
+    a &= b;
+    return a;
+}
+
+inline BitVec
+operator|(BitVec a, const BitVec &b)
+{
+    a |= b;
+    return a;
+}
+
+inline BitVec
+operator^(BitVec a, const BitVec &b)
+{
+    a ^= b;
+    return a;
+}
+
+} // namespace spm
+
+#endif // SPM_UTIL_BITVEC_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition.
+ *
+ * panic() is for internal invariant violations (simulator bugs); it
+ * aborts. fatal() is for user errors (bad configuration, inconsistent
+ * parameters); it exits with a nonzero status. warn()/inform() print
+ * status without stopping the simulation.
+ */
+
+#ifndef SPM_UTIL_LOGGING_HH
+#define SPM_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace spm
+{
+
+/** Terminate with a message; used for internal invariant violations. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with a message; used for user-caused errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr without stopping. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Build a message from stream-style arguments. */
+template <typename... Args>
+std::string
+formatMsg(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace spm
+
+#define spm_panic(...) \
+    ::spm::panicImpl(__FILE__, __LINE__, ::spm::formatMsg(__VA_ARGS__))
+#define spm_fatal(...) \
+    ::spm::fatalImpl(__FILE__, __LINE__, ::spm::formatMsg(__VA_ARGS__))
+#define spm_warn(...) ::spm::warnImpl(::spm::formatMsg(__VA_ARGS__))
+#define spm_inform(...) ::spm::informImpl(::spm::formatMsg(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define spm_assert(cond, ...)                                         \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::spm::panicImpl(__FILE__, __LINE__,                      \
+                ::spm::formatMsg("assertion '", #cond, "' failed: ",  \
+                                 ##__VA_ARGS__));                     \
+        }                                                             \
+    } while (0)
+
+#endif // SPM_UTIL_LOGGING_HH

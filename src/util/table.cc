@@ -1,0 +1,86 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace spm
+{
+
+Table::Table(std::string table_title) : title(std::move(table_title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> cells)
+{
+    header = std::move(cells);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::fixed(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::toString() const
+{
+    // Compute column widths across header and all rows.
+    std::vector<std::size_t> widths;
+    auto account = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    account(header);
+    for (const auto &r : rows)
+        account(r);
+
+    auto render_row = [&widths](std::ostringstream &os,
+                                const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << " " << cell
+               << std::string(widths[i] - cell.size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    std::size_t line_width = 1;
+    for (std::size_t w : widths)
+        line_width += w + 3;
+    const std::string rule(line_width, '-');
+
+    if (!title.empty())
+        os << title << "\n";
+    os << rule << "\n";
+    if (!header.empty()) {
+        render_row(os, header);
+        os << rule << "\n";
+    }
+    for (const auto &r : rows)
+        render_row(os, r);
+    os << rule << "\n";
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace spm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark reports.
+ *
+ * Every experiment bench prints the rows the paper's claims map onto
+ * (DESIGN.md, Section 5). Table produces aligned, bordered output so
+ * those rows read like a published table.
+ */
+
+#ifndef SPM_UTIL_TABLE_HH
+#define SPM_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace spm
+{
+
+/** A simple column-aligned ASCII table. */
+class Table
+{
+  public:
+    /** @param table_title caption printed above the table. */
+    explicit Table(std::string table_title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row; cell count may differ from the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format arbitrary streamable values into a row. */
+    template <typename... Args>
+    void
+    addRowOf(Args &&...args)
+    {
+        std::vector<std::string> cells;
+        (cells.push_back(formatCell(std::forward<Args>(args))), ...);
+        addRow(std::move(cells));
+    }
+
+    /** Render the full table. */
+    std::string toString() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Format a double with @p digits significant decimals. */
+    static std::string fixed(double v, int digits = 2);
+
+  private:
+    template <typename T>
+    static std::string formatCell(T &&v);
+
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+template <typename T>
+std::string
+Table::formatCell(T &&v)
+{
+    if constexpr (std::is_convertible_v<T, std::string>) {
+        return std::string(std::forward<T>(v));
+    } else if constexpr (std::is_floating_point_v<std::decay_t<T>>) {
+        return fixed(static_cast<double>(v));
+    } else {
+        return std::to_string(v);
+    }
+}
+
+} // namespace spm
+
+#endif // SPM_UTIL_TABLE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the reproduction.
+ *
+ * The paper's machine moves one character per "beat" -- the interval in
+ * which one character arrives from either input stream (Section 3.2.1).
+ * All simulators in this repository count time in beats and derive wall
+ * clock time from a configurable beat period.
+ */
+
+#ifndef SPM_UTIL_TYPES_HH
+#define SPM_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace spm
+{
+
+/** Beat counter. A beat is one character time (Section 3.2.1). */
+using Beat = std::uint64_t;
+
+/**
+ * A character drawn from the alphabet Sigma, encoded as a small integer.
+ * The prototype chip used 2-bit characters; we allow up to 16 bits.
+ */
+using Symbol = std::uint16_t;
+
+/** Number of bits used to encode one Symbol. */
+using BitWidth = unsigned;
+
+/** Simulated time in picoseconds. */
+using Picoseconds = std::uint64_t;
+
+/** The beat period of the fabricated prototype: 250 ns per character. */
+inline constexpr Picoseconds prototypeBeatPs = 250'000;
+
+/**
+ * Sentinel value used for the wild card character 'x' in pattern streams.
+ * The wild card is not a member of Sigma; it is carried alongside the
+ * pattern as the don't-care bit (Section 3.2.1), but at the API level it
+ * is convenient to denote it with a reserved symbol value.
+ */
+inline constexpr Symbol wildcardSymbol = 0xFFFF;
+
+} // namespace spm
+
+#endif // SPM_UTIL_TYPES_HH

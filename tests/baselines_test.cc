@@ -1,0 +1,222 @@
+/** @file Tests for the baseline matchers (Section 3.3.1 alternatives). */
+
+#include <gtest/gtest.h>
+
+#include "baselines/boyermoore.hh"
+#include "baselines/broadcast.hh"
+#include "baselines/fftmatch.hh"
+#include "baselines/kmp.hh"
+#include "baselines/naive.hh"
+#include "baselines/staticarray.hh"
+#include "core/reference.hh"
+#include "tests/helpers.hh"
+#include "util/strings.hh"
+
+namespace spm::baselines
+{
+namespace
+{
+
+using core::ReferenceMatcher;
+
+TEST(Naive, MatchesReference)
+{
+    NaiveMatcher naive;
+    ReferenceMatcher ref;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        const auto w = test::makeWorkload(i);
+        EXPECT_EQ(naive.match(w.text, w.pattern),
+                  ref.match(w.text, w.pattern));
+    }
+}
+
+TEST(Naive, CountsComparisons)
+{
+    NaiveMatcher naive;
+    naive.match(parseSymbols("AAAA"), parseSymbols("AA"));
+    // Three windows of two comparisons each, no early exits.
+    EXPECT_EQ(naive.lastComparisons(), 6u);
+}
+
+TEST(Kmp, FailureFunctionClassicExample)
+{
+    // ABABAC: fail = 0 0 1 2 3 0.
+    const auto fail =
+        KmpMatcher::failureFunction(parseSymbols("ABABAC"));
+    EXPECT_EQ(fail,
+              (std::vector<std::size_t>{0, 0, 1, 2, 3, 0}));
+}
+
+TEST(Kmp, MatchesReferenceOnExactPatterns)
+{
+    KmpMatcher kmp;
+    ReferenceMatcher ref;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        const auto w = test::makeWorkload(i, /*wildcards=*/false);
+        EXPECT_EQ(kmp.match(w.text, w.pattern),
+                  ref.match(w.text, w.pattern));
+    }
+}
+
+TEST(Kmp, LinearComparisonBound)
+{
+    KmpMatcher kmp;
+    WorkloadGen gen(1, 1); // binary alphabet: worst-ish case
+    const auto text = gen.randomText(2000);
+    const auto pat = gen.randomPattern(16);
+    kmp.match(text, pat);
+    EXPECT_LE(kmp.lastComparisons(), 2u * 2000)
+        << "KMP makes at most 2n comparisons";
+}
+
+TEST(Kmp, RefusesWildcards)
+{
+    // Section 3.1: the self-overlap precomputation is meaningless
+    // under wild cards.
+    KmpMatcher kmp;
+    EXPECT_FALSE(kmp.supportsWildcards());
+    EXPECT_THROW(kmp.match(parseSymbols("ABAB"), parseSymbols("AX")),
+                 std::runtime_error);
+}
+
+TEST(BoyerMoore, MatchesReferenceOnExactPatterns)
+{
+    BoyerMooreMatcher bm;
+    ReferenceMatcher ref;
+    for (std::uint64_t i = 10; i < 22; ++i) {
+        const auto w = test::makeWorkload(i, /*wildcards=*/false);
+        EXPECT_EQ(bm.match(w.text, w.pattern),
+                  ref.match(w.text, w.pattern))
+            << "workload " << i;
+    }
+}
+
+TEST(BoyerMoore, SublinearOnLargeAlphabet)
+{
+    // With an 8-character pattern over a 16-symbol alphabet, most
+    // windows are dismissed with one comparison and a full shift.
+    BoyerMooreMatcher bm;
+    WorkloadGen gen(2, 4);
+    const auto text = gen.randomText(4000);
+    const auto pat = gen.randomPattern(8);
+    bm.match(text, pat);
+    EXPECT_LT(bm.lastComparisons(), 4000u)
+        << "Boyer-Moore skips most of the text";
+}
+
+TEST(BoyerMoore, RefusesWildcards)
+{
+    BoyerMooreMatcher bm;
+    EXPECT_THROW(bm.match(parseSymbols("ABAB"), parseSymbols("AX")),
+                 std::runtime_error);
+}
+
+TEST(Fft, RadixTwoTransformRoundTrips)
+{
+    std::vector<std::complex<double>> v(8);
+    for (int i = 0; i < 8; ++i)
+        v[static_cast<std::size_t>(i)] = {double(i), 0.0};
+    auto w = v;
+    fft(w, false);
+    fft(w, true);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_NEAR(w[static_cast<std::size_t>(i)].real(),
+                    v[static_cast<std::size_t>(i)].real(), 1e-9);
+}
+
+TEST(Fft, CrossCorrelateSmallExample)
+{
+    // x = 1 2 3 4, y = 1 1: windows sums 3, 5, 7.
+    const auto c = crossCorrelate({1, 2, 3, 4}, {1, 1});
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_NEAR(c[0], 3.0, 1e-6);
+    EXPECT_NEAR(c[1], 5.0, 1e-6);
+    EXPECT_NEAR(c[2], 7.0, 1e-6);
+}
+
+TEST(Fft, MatchesReferenceWithWildcards)
+{
+    FftMatcher fftm;
+    ReferenceMatcher ref;
+    for (std::uint64_t i = 20; i < 32; ++i) {
+        const auto w = test::makeWorkload(i);
+        EXPECT_EQ(fftm.match(w.text, w.pattern),
+                  ref.match(w.text, w.pattern))
+            << "workload " << i;
+    }
+}
+
+TEST(Fft, LargeTextPrecisionHolds)
+{
+    FftMatcher fftm;
+    ReferenceMatcher ref;
+    WorkloadGen gen(3, 8); // full byte alphabet stresses precision
+    const auto pat = gen.randomPattern(32, 0.3);
+    const auto text = gen.textWithPlants(20000, pat, 997);
+    EXPECT_EQ(fftm.match(text, pat), ref.match(text, pat));
+}
+
+TEST(Broadcast, MatchesReference)
+{
+    BroadcastMatcher bc;
+    ReferenceMatcher ref;
+    for (std::uint64_t i = 30; i < 40; ++i) {
+        const auto w = test::makeWorkload(i);
+        EXPECT_EQ(bc.match(w.text, w.pattern),
+                  ref.match(w.text, w.pattern));
+    }
+}
+
+TEST(Broadcast, PaysLoadingAndFanout)
+{
+    BroadcastMatcher bc;
+    WorkloadGen gen(4, 2);
+    const auto pat = gen.randomPattern(16);
+    const auto text = gen.randomText(100);
+    bc.match(text, pat);
+    EXPECT_EQ(bc.lastLoadBeats(), 16u) << "one beat per pattern char";
+    EXPECT_EQ(bc.lastBeats(), 16u + 100u);
+    EXPECT_EQ(bc.lastCost().fanout, 16u);
+    // The broadcast channel either slows the beat...
+    EXPECT_GT(bc.lastCost().stretchedBeatPs(prototypeBeatPs),
+              prototypeBeatPs);
+    // ...or costs driver power proportional to the fanout.
+    EXPECT_DOUBLE_EQ(bc.lastCost().driverPowerUnits(), 16.0);
+}
+
+TEST(Broadcast, FanoutPenaltyGrowsWithPattern)
+{
+    const BroadcastCost small{8};
+    const BroadcastCost big{64};
+    EXPECT_LT(small.stretchedBeatPs(prototypeBeatPs),
+              big.stretchedBeatPs(prototypeBeatPs));
+}
+
+TEST(StaticArray, MatchesReference)
+{
+    StaticArrayMatcher sa;
+    ReferenceMatcher ref;
+    for (std::uint64_t i = 40; i < 52; ++i) {
+        const auto w = test::makeWorkload(i);
+        EXPECT_EQ(sa.match(w.text, w.pattern),
+                  ref.match(w.text, w.pattern))
+            << "workload " << i;
+    }
+}
+
+TEST(StaticArray, PaysLoadingTime)
+{
+    // Section 3.3.1: "Loading the cells in preparation for a pattern
+    // match would require extra time" -- the cost the bidirectional
+    // design avoids.
+    StaticArrayMatcher sa;
+    WorkloadGen gen(5, 2);
+    const auto pat = gen.randomPattern(12);
+    const auto text = gen.randomText(50);
+    sa.match(text, pat);
+    EXPECT_EQ(sa.lastLoadBeats(), 12u);
+    EXPECT_GT(sa.lastBeats(), 12u + 50u);
+}
+
+} // namespace
+} // namespace spm::baselines

@@ -1,0 +1,123 @@
+/** @file Tests for the bit-serial checkerboard pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "core/bitserial.hh"
+#include "core/reference.hh"
+#include "tests/helpers.hh"
+#include "util/strings.hh"
+
+namespace spm::core
+{
+namespace
+{
+
+TEST(BitSerial, PaperPrototypeConfiguration)
+{
+    // The fabricated chip: 8 cells of 2-bit characters (Plate 2).
+    BitSerialMatcher chip(8, 2);
+    ReferenceMatcher ref;
+    WorkloadGen gen(1, 2);
+    const auto pat = gen.randomPattern(8, 0.25);
+    const auto text = gen.textWithPlants(200, pat, 11);
+    EXPECT_EQ(chip.match(text, pat), ref.match(text, pat));
+}
+
+TEST(BitSerial, SingleBitAlphabet)
+{
+    BitSerialMatcher chip(0, 1);
+    ReferenceMatcher ref;
+    WorkloadGen gen(2, 1);
+    const auto pat = gen.randomPattern(4);
+    const auto text = gen.randomText(64);
+    EXPECT_EQ(chip.match(text, pat), ref.match(text, pat));
+}
+
+TEST(BitSerial, DerivesBitWidthFromWorkload)
+{
+    BitSerialMatcher chip; // 0 cells, 0 bits: both derived
+    const auto text = parseSymbols("ABCDEFG");
+    const auto pat = parseSymbols("CDE");
+    ReferenceMatcher ref;
+    EXPECT_EQ(chip.match(text, pat), ref.match(text, pat));
+}
+
+TEST(BitSerial, PipelineLatencyGrowsWithBitsOnly)
+{
+    WorkloadGen gen(3, 2);
+    const auto text = gen.randomText(100);
+    const auto pat = gen.randomPattern(4);
+    Beat b2 = 0, b4 = 0;
+    {
+        BitSerialMatcher chip(4, 2);
+        chip.match(text, pat);
+        b2 = chip.lastBeats();
+    }
+    {
+        BitSerialMatcher chip(4, 4);
+        chip.match(text, pat);
+        b4 = chip.lastBeats();
+    }
+    // Two more bit rows add exactly two beats of drain latency; the
+    // throughput (one character per beat) is unchanged.
+    EXPECT_EQ(b4, b2 + 2);
+}
+
+TEST(BitSerial, CheckerboardActivation)
+{
+    // "on each beat the active comparators form a checkerboard
+    // pattern" (Figure 3-4): with an even total of rows (comparator
+    // rows + the accumulator row), exactly half the cells hold valid
+    // meetings each beat.
+    BitSerialChip chip(4, 3);
+    const ChipFeedPlan plan(4, parseSymbols("AB"), 20);
+    const auto text = parseSymbols("ABABABABABABABABABAB");
+    for (Beat u = 0; u < 30; ++u) {
+        for (unsigned row = 0; row < 3; ++row) {
+            const PatToken p =
+                u >= row ? plan.patternAt(u - row) : PatToken{};
+            chip.feedPatternBit(
+                row, BitToken{(p.sym >> (2 - row)) != 0, p.valid});
+            const StrToken s =
+                u >= row ? plan.stringAt(u - row, text) : StrToken{};
+            chip.feedStringBit(
+                row, BitToken{(s.sym >> (2 - row)) != 0, s.valid});
+        }
+        chip.feedControl(u >= 2 ? plan.controlAt(u - 2) : CtlToken{});
+        const ResToken r = u >= 2 ? plan.resultAt(u - 2) : ResToken{};
+        chip.feedResult(r);
+        chip.step();
+    }
+    EXPECT_DOUBLE_EQ(chip.engine().utilization().mean(), 0.5);
+}
+
+TEST(BitSerial, MatchesBehavioralBeatForBeat)
+{
+    // The two fidelity tiers implement the same machine; outputs and
+    // (character-level) beat counts must agree.
+    const test::Workload w = test::makeWorkload(7);
+    BitSerialMatcher bits(w.pattern.size(), w.bits);
+    BehavioralMatcher chars(w.pattern.size());
+    EXPECT_EQ(bits.match(w.text, w.pattern),
+              chars.match(w.text, w.pattern));
+}
+
+/** Property sweep across bit widths and array sizes. */
+class BitSerialProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BitSerialProperty, MatchesReferenceOnRandomWorkloads)
+{
+    const test::Workload w = test::makeWorkload(GetParam() + 100);
+    ReferenceMatcher ref;
+    BitSerialMatcher chip(w.pattern.size() + GetParam() % 3, w.bits);
+    EXPECT_EQ(chip.match(w.text, w.pattern), ref.match(w.text, w.pattern));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, BitSerialProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+} // namespace
+} // namespace spm::core

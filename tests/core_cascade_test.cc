@@ -1,0 +1,126 @@
+/** @file Tests for multi-chip cascades (Figure 3-7). */
+
+#include <gtest/gtest.h>
+
+#include "core/behavioral.hh"
+#include "core/cascade.hh"
+#include "core/reference.hh"
+#include "tests/helpers.hh"
+#include "util/strings.hh"
+
+namespace spm::core
+{
+namespace
+{
+
+TEST(Cascade, FiveChipFigure37)
+{
+    // "A cascade of k chips with n cells each can match patterns of
+    // up to kn characters": five 8-cell chips handle a 40-character
+    // pattern that no single chip could.
+    CascadeMatcher cascade(5, 8);
+    ReferenceMatcher ref;
+    WorkloadGen gen(21, 2);
+    const auto pat = gen.randomPattern(40, 0.2);
+    const auto text = gen.textWithPlants(300, pat, 50);
+    EXPECT_EQ(cascade.match(text, pat), ref.match(text, pat));
+}
+
+TEST(Cascade, EquivalentToMonolithicChip)
+{
+    // The cascade's pin-to-pin wiring must be beat-for-beat identical
+    // to one long array: same outputs, same beat count.
+    WorkloadGen gen(22, 3);
+    const auto pat = gen.randomPattern(6, 0.3);
+    const auto text = gen.textWithPlants(120, pat, 9);
+
+    CascadeMatcher cascade(3, 2); // 3 chips x 2 cells
+    BehavioralMatcher mono(6);
+    EXPECT_EQ(cascade.match(text, pat), mono.match(text, pat));
+    EXPECT_EQ(cascade.lastBeats(), mono.lastBeats());
+}
+
+TEST(Cascade, SingleChipDegenerateCase)
+{
+    CascadeMatcher cascade(1, 4);
+    BehavioralMatcher mono(4);
+    const auto text = parseSymbols("ABCABC");
+    const auto pat = parseSymbols("BC");
+    EXPECT_EQ(cascade.match(text, pat), mono.match(text, pat));
+}
+
+TEST(Cascade, PatternSpanningChipBoundary)
+{
+    // A pattern longer than one chip forces every partial result to
+    // cross chip boundaries mid-accumulation.
+    CascadeMatcher cascade(2, 2);
+    ReferenceMatcher ref;
+    const auto text = parseSymbols("AABABABB");
+    const auto pat = parseSymbols("ABAB"); // 4 cells across 2 chips
+    EXPECT_EQ(cascade.match(text, pat), ref.match(text, pat));
+}
+
+TEST(Cascade, BoundaryTransferPreservesTokens)
+{
+    // Drive a 2x1 cascade manually and watch a pattern token hop
+    // between chips with a one-beat pin delay.
+    ChipCascade cascade(2, 1);
+    cascade.feedPattern(PatToken{3, true});
+    cascade.feedControl(CtlToken{true, false, true});
+    cascade.feedString(StrToken{});
+    cascade.feedResult(ResToken{});
+    cascade.step();
+    // The token is now in chip 0's single cell.
+    EXPECT_TRUE(cascade.chip(0).patternOut().valid);
+    EXPECT_EQ(cascade.chip(0).patternOut().sym, 3);
+    EXPECT_FALSE(cascade.chip(1).patternOut().valid);
+
+    cascade.feedPattern(PatToken{});
+    cascade.step();
+    EXPECT_FALSE(cascade.chip(0).patternOut().valid);
+    EXPECT_TRUE(cascade.chip(1).patternOut().valid);
+    EXPECT_EQ(cascade.chip(1).patternOut().sym, 3);
+}
+
+TEST(Cascade, PinBudgetPerChip)
+{
+    // Pattern/string in+out at char width, control and result pairs,
+    // two clocks, power and ground (Section 3.4).
+    EXPECT_EQ(ChipCascade::pinsPerChip(2), 4u * 2 + 4 + 2 + 2 + 2);
+    EXPECT_EQ(ChipCascade::pinsPerChip(8), 4u * 8 + 4 + 2 + 2 + 2);
+}
+
+TEST(Cascade, ParameterValidation)
+{
+    EXPECT_THROW(ChipCascade(0, 4), std::logic_error);
+    EXPECT_THROW(ChipCascade(4, 0), std::logic_error);
+}
+
+/** Property sweep over cascade geometries. */
+class CascadeProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CascadeProperty, MatchesReferenceOnRandomWorkloads)
+{
+    const std::uint64_t seed = GetParam();
+    WorkloadGen gen(seed * 31 + 5, 2);
+    const std::size_t chips = 1 + seed % 4;
+    const std::size_t cells = 1 + gen.rng().nextBelow(4);
+    const std::size_t max_pat = chips * cells;
+    const std::size_t len = 1 + gen.rng().nextBelow(max_pat);
+    const auto pat = gen.randomPattern(len, 0.25);
+    const auto text =
+        gen.textWithPlants(len + 60, pat, len + 2);
+
+    CascadeMatcher cascade(chips, cells);
+    ReferenceMatcher ref;
+    EXPECT_EQ(cascade.match(text, pat), ref.match(text, pat))
+        << chips << " chips x " << cells << " cells, pattern " << len;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, CascadeProperty,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+} // namespace
+} // namespace spm::core

@@ -1,0 +1,138 @@
+/** @file Tests for the gate-level chip. */
+
+#include <gtest/gtest.h>
+
+#include "core/bitserial.hh"
+#include "core/gatechip.hh"
+#include "core/reference.hh"
+#include "tests/helpers.hh"
+#include "util/strings.hh"
+
+namespace spm::core
+{
+namespace
+{
+
+TEST(GateChip, PrototypeInventory)
+{
+    // 8 cells x 2-bit characters: 16 single-bit comparators (7
+    // devices each) plus 8 accumulators.
+    GateChip chip(8, 2);
+    const gate::Netlist &net = chip.netlist();
+    EXPECT_EQ(net.countKind(gate::DeviceKind::Xnor2) +
+                  net.countKind(gate::DeviceKind::Xor2),
+              16u)
+        << "one equality gate per comparator cell";
+    EXPECT_GT(net.transistorCount(), 400u);
+    EXPECT_LT(net.transistorCount(), 1200u)
+        << "well inside late-70s NMOS budgets";
+}
+
+TEST(GateChip, MatchesReferenceOnPaperExample)
+{
+    GateLevelMatcher chip(3, 2);
+    ReferenceMatcher ref;
+    EXPECT_EQ(chip.match(test::paperText(), test::paperPattern()),
+              ref.match(test::paperText(), test::paperPattern()));
+}
+
+TEST(GateChip, MatchesBitSerialModel)
+{
+    const test::Workload w = test::makeWorkload(55);
+    GateLevelMatcher gates(w.pattern.size(), w.bits);
+    BitSerialMatcher tokens(w.pattern.size(), w.bits);
+    EXPECT_EQ(gates.match(w.text, w.pattern),
+              tokens.match(w.text, w.pattern));
+}
+
+TEST(GateChip, SimulatedTimeMatchesPrototypeRate)
+{
+    // 250 ns per beat: matching n characters takes about 2n beats of
+    // 250 ns each once the pipeline is full.
+    GateLevelMatcher chip(2, 1);
+    WorkloadGen gen(9, 1);
+    const auto text = gen.randomText(50);
+    const auto pat = gen.randomPattern(2);
+    chip.match(text, pat);
+    EXPECT_GT(chip.lastBeats(), 100u);
+}
+
+TEST(GateChip, StallDestroysState)
+{
+    // Section 3.3.3 failure injection: stop the clock past the
+    // retention limit and the dynamic registers lose their data.
+    GateChip chip(4, 2);
+    const ChipFeedPlan plan(4, parseSymbols("AB"), 8);
+    const auto text = parseSymbols("ABABABAB");
+    for (Beat u = 0; u < 12; ++u) {
+        for (unsigned row = 0; row < 2; ++row) {
+            const PatToken p =
+                u >= row ? plan.patternAt(u - row) : PatToken{};
+            chip.setPatternBit(row,
+                               p.valid && ((p.sym >> (1 - row)) & 1));
+            const StrToken s =
+                u >= row ? plan.stringAt(u - row, text) : StrToken{};
+            chip.setStringBit(row,
+                              s.valid && ((s.sym >> (1 - row)) & 1));
+        }
+        const CtlToken c = u >= 1 ? plan.controlAt(u - 1) : CtlToken{};
+        chip.setControl(c.valid && c.lambda, c.valid && c.x);
+        const ResToken r = u >= 1 ? plan.resultAt(u - 1) : ResToken{};
+        chip.setResultIn(r.valid && r.value);
+        chip.tick();
+    }
+    // Short stall: harmless. Long stall: many nodes decay to X.
+    EXPECT_EQ(chip.stall(gate::defaultRetentionPs / 100), 0u);
+    const std::size_t lost = chip.stall(2 * gate::defaultRetentionPs);
+    EXPECT_GT(lost, 10u)
+        << "a stopped clock wipes the dynamic shift registers";
+}
+
+TEST(GateChip, RowRangeChecked)
+{
+    GateChip chip(2, 2);
+    EXPECT_THROW(chip.setPatternBit(2, true), std::logic_error);
+    EXPECT_THROW(chip.setStringBit(5, false), std::logic_error);
+}
+
+TEST(GateChip, ParameterValidation)
+{
+    EXPECT_THROW(GateChip(0, 2), std::logic_error);
+    EXPECT_THROW(GateChip(2, 0), std::logic_error);
+    EXPECT_THROW(GateChip(2, 9), std::logic_error);
+}
+
+TEST(GateChip, TransistorCountScalesLinearly)
+{
+    GateLevelMatcher small(2, 2);
+    GateLevelMatcher big(8, 2);
+    WorkloadGen gen(5, 2);
+    const auto text = gen.randomText(20);
+    const auto pat = gen.randomPattern(2);
+    small.match(text, pat);
+    big.match(text, pat);
+    // 4x the cells: close to 4x the transistors (modulo edge cells).
+    const double ratio = static_cast<double>(big.lastTransistors()) /
+                         static_cast<double>(small.lastTransistors());
+    EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+/** Property sweep: gate level equals the reference definition. */
+class GateProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GateProperty, MatchesReferenceOnRandomWorkloads)
+{
+    const test::Workload w = test::makeWorkload(GetParam() + 300);
+    ReferenceMatcher ref;
+    GateLevelMatcher chip(w.pattern.size(), w.bits);
+    EXPECT_EQ(chip.match(w.text, w.pattern),
+              ref.match(w.text, w.pattern));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, GateProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+} // namespace
+} // namespace spm::core

@@ -1,0 +1,92 @@
+/** @file Tests for the match-counting array (Section 3.4). */
+
+#include <gtest/gtest.h>
+
+#include "core/reference.hh"
+#include "extensions/counting.hh"
+#include "tests/helpers.hh"
+#include "util/strings.hh"
+
+namespace spm::ext
+{
+namespace
+{
+
+TEST(Counting, SmallExample)
+{
+    SystolicMatchCounter counter;
+    const auto c = counter.count(parseSymbols("ABAB"),
+                                 parseSymbols("AB"));
+    EXPECT_EQ(c, (std::vector<unsigned>{0, 2, 0, 2}));
+}
+
+TEST(Counting, WildcardsAlwaysCount)
+{
+    SystolicMatchCounter counter;
+    const auto c = counter.count(parseSymbols("CD"),
+                                 parseSymbols("XX"));
+    EXPECT_EQ(c[1], 2u);
+}
+
+TEST(Counting, FullMatchCountEqualsPatternLength)
+{
+    SystolicMatchCounter counter;
+    const auto text = parseSymbols("ABCABC");
+    const auto pat = parseSymbols("ABC");
+    const auto c = counter.count(text, pat);
+    core::ReferenceMatcher ref;
+    const auto r = ref.match(text, pat);
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (r[i])
+            EXPECT_EQ(c[i], pat.size()) << "i=" << i;
+    }
+}
+
+TEST(Counting, CountGeneralizesMatching)
+{
+    // r_i == (count_i == k+1): the counting chip subsumes the
+    // matching chip.
+    core::ReferenceMatcher ref;
+    SystolicMatchCounter counter;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const auto w = test::makeWorkload(i + 60);
+        const auto counts = counter.count(w.text, w.pattern);
+        const auto bits = ref.match(w.text, w.pattern);
+        for (std::size_t j = w.pattern.size() - 1; j < w.text.size();
+             ++j) {
+            EXPECT_EQ(bits[j], counts[j] == w.pattern.size())
+                << "workload " << i << " position " << j;
+        }
+    }
+}
+
+TEST(Counting, MatchesReferenceCounts)
+{
+    SystolicMatchCounter counter;
+    for (std::uint64_t i = 0; i < 12; ++i) {
+        const auto w = test::makeWorkload(i + 70);
+        EXPECT_EQ(counter.count(w.text, w.pattern),
+                  core::referenceMatchCounts(w.text, w.pattern))
+            << "workload " << i;
+    }
+}
+
+TEST(Counting, OversizedArrayStillCorrect)
+{
+    SystolicMatchCounter counter(9);
+    const auto text = parseSymbols("ABCABCABC");
+    const auto pat = parseSymbols("AXC");
+    EXPECT_EQ(counter.count(text, pat),
+              core::referenceMatchCounts(text, pat));
+}
+
+TEST(Counting, DegenerateInputs)
+{
+    SystolicMatchCounter counter(4);
+    EXPECT_TRUE(counter.count({}, parseSymbols("A")).empty());
+    EXPECT_EQ(counter.count(parseSymbols("A"), parseSymbols("AB")),
+              (std::vector<unsigned>{0}));
+}
+
+} // namespace
+} // namespace spm::ext

@@ -1,0 +1,241 @@
+/** @file Tests for the numeric extensions (Section 3.4). */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/reference.hh"
+#include "extensions/numarray.hh"
+#include "util/rng.hh"
+
+namespace spm::ext
+{
+namespace
+{
+
+TEST(Correlator, PaperDefinition)
+{
+    // r_i = (s_{i-k} - p_0)^2 + ... + (s_i - p_k)^2.
+    SystolicCorrelator corr;
+    const auto r = corr.correlate({1, 2, 3}, {1, 1});
+    EXPECT_EQ(r, (std::vector<std::int64_t>{0, 1, 5}));
+}
+
+TEST(Correlator, ZeroMarksExactAlignment)
+{
+    SystolicCorrelator corr;
+    const auto r = corr.correlate({7, -2, 9, 7, -2}, {7, -2});
+    EXPECT_EQ(r[1], 0);
+    EXPECT_EQ(r[4], 0);
+    EXPECT_GT(r[2], 0);
+}
+
+TEST(Correlator, MatchesReferenceOnRandomSignals)
+{
+    Rng rng(101);
+    for (int it = 0; it < 20; ++it) {
+        const std::size_t k = 1 + rng.nextBelow(8);
+        const std::size_t n = k + rng.nextBelow(60);
+        std::vector<std::int64_t> sig(n), w(k);
+        for (auto &v : sig)
+            v = rng.nextInRange(-50, 50);
+        for (auto &v : w)
+            v = rng.nextInRange(-50, 50);
+        SystolicCorrelator corr(k + rng.nextBelow(3));
+        EXPECT_EQ(corr.correlate(sig, w),
+                  core::referenceCorrelation(sig, w));
+    }
+}
+
+TEST(Correlator, DegenerateInputs)
+{
+    SystolicCorrelator corr(4);
+    EXPECT_TRUE(corr.correlate({}, {1}).empty());
+    EXPECT_EQ(corr.correlate({1}, {1, 2}),
+              (std::vector<std::int64_t>{0}));
+}
+
+TEST(Fir, WindowDotSmallExample)
+{
+    // weights (1,2) over signal 1 2 3 4: windows 1*1+2*2=5, 1*2+2*3=8,
+    // 1*3+2*4=11.
+    SystolicFir f;
+    const auto y = f.windowDot({1, 2, 3, 4}, {1, 2});
+    EXPECT_EQ(y, (std::vector<std::int64_t>{0, 5, 8, 11}));
+}
+
+TEST(Fir, CausalFilterDefinition)
+{
+    // y_i = sum taps_j x_{i-j} with zero history: a moving sum.
+    SystolicFir f;
+    const auto y = f.fir({1, 2, 3, 4}, {1, 1, 1});
+    EXPECT_EQ(y, (std::vector<std::int64_t>{1, 3, 6, 9}));
+}
+
+TEST(Fir, ImpulseResponseIsTaps)
+{
+    SystolicFir f;
+    const auto y = f.fir({1, 0, 0, 0, 0}, {3, -2, 7});
+    EXPECT_EQ(y, (std::vector<std::int64_t>{3, -2, 7, 0, 0}));
+}
+
+TEST(Fir, MatchesDirectEvaluation)
+{
+    Rng rng(202);
+    for (int it = 0; it < 20; ++it) {
+        const std::size_t k = 1 + rng.nextBelow(8);
+        const std::size_t n = 1 + rng.nextBelow(60);
+        std::vector<std::int64_t> sig(n), taps(k);
+        for (auto &v : sig)
+            v = rng.nextInRange(-9, 9);
+        for (auto &v : taps)
+            v = rng.nextInRange(-9, 9);
+        SystolicFir f;
+        std::vector<std::int64_t> want(n, 0);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < k && j <= i; ++j)
+                want[i] += taps[j] * sig[i - j];
+        EXPECT_EQ(f.fir(sig, taps), want);
+    }
+}
+
+TEST(Convolve, SmallExample)
+{
+    SystolicFir f;
+    // (1 + 2x)(3 + 4x) = 3 + 10x + 8x^2.
+    EXPECT_EQ(f.convolve({1, 2}, {3, 4}),
+              (std::vector<std::int64_t>{3, 10, 8}));
+}
+
+TEST(Convolve, MatchesDirectEvaluation)
+{
+    Rng rng(303);
+    for (int it = 0; it < 15; ++it) {
+        const std::size_t na = 1 + rng.nextBelow(30);
+        const std::size_t nb = 1 + rng.nextBelow(8);
+        std::vector<std::int64_t> a(na), b(nb);
+        for (auto &v : a)
+            v = rng.nextInRange(-9, 9);
+        for (auto &v : b)
+            v = rng.nextInRange(-9, 9);
+        std::vector<std::int64_t> want(na + nb - 1, 0);
+        for (std::size_t i = 0; i < na; ++i)
+            for (std::size_t j = 0; j < nb; ++j)
+                want[i + j] += a[i] * b[j];
+        SystolicFir f;
+        EXPECT_EQ(f.convolve(a, b), want);
+    }
+}
+
+TEST(Convolve, IsCommutativeInEffect)
+{
+    SystolicFir f;
+    const std::vector<std::int64_t> a = {1, -2, 3, 0, 5};
+    const std::vector<std::int64_t> b = {2, 7};
+    EXPECT_EQ(f.convolve(a, b), f.convolve(b, a));
+}
+
+TEST(Distance, ChebyshevSmallExample)
+{
+    // weights (3, 7) over 1 5 9: windows max(|1-3|,|5-7|)=2,
+    // max(|5-3|,|9-7|)=2.
+    SystolicDistance dist;
+    const auto r = dist.chebyshev({1, 5, 9}, {3, 7});
+    EXPECT_EQ(r, (std::vector<std::int64_t>{0, 2, 2}));
+}
+
+TEST(Distance, ChebyshevMatchesDirectEvaluation)
+{
+    Rng rng(404);
+    for (int it = 0; it < 20; ++it) {
+        const std::size_t k = 1 + rng.nextBelow(8);
+        const std::size_t n = k + rng.nextBelow(50);
+        std::vector<std::int64_t> sig(n), w(k);
+        for (auto &v : sig)
+            v = rng.nextInRange(-50, 50);
+        for (auto &v : w)
+            v = rng.nextInRange(-50, 50);
+        std::vector<std::int64_t> want(n, 0);
+        for (std::size_t i = k - 1; i < n; ++i) {
+            std::int64_t mx = 0;
+            for (std::size_t j = 0; j < k; ++j)
+                mx = std::max(mx,
+                              std::abs(sig[i - (k - 1) + j] - w[j]));
+            want[i] = mx;
+        }
+        SystolicDistance dist(k + rng.nextBelow(3));
+        EXPECT_EQ(dist.chebyshev(sig, w), want);
+    }
+}
+
+TEST(Distance, ClosestPositionMatchesDirectEvaluation)
+{
+    Rng rng(505);
+    for (int it = 0; it < 20; ++it) {
+        const std::size_t k = 1 + rng.nextBelow(8);
+        const std::size_t n = k + rng.nextBelow(50);
+        std::vector<std::int64_t> sig(n), w(k);
+        for (auto &v : sig)
+            v = rng.nextInRange(-50, 50);
+        for (auto &v : w)
+            v = rng.nextInRange(-50, 50);
+        std::vector<std::int64_t> want(n, 0);
+        for (std::size_t i = k - 1; i < n; ++i) {
+            std::int64_t mn =
+                std::numeric_limits<std::int64_t>::max();
+            for (std::size_t j = 0; j < k; ++j)
+                mn = std::min(mn,
+                              std::abs(sig[i - (k - 1) + j] - w[j]));
+            want[i] = mn;
+        }
+        SystolicDistance dist;
+        EXPECT_EQ(dist.closestPosition(sig, w), want);
+    }
+}
+
+TEST(Distance, ChebyshevZeroMarksExactWindow)
+{
+    SystolicDistance dist;
+    const auto r = dist.chebyshev({9, 4, 2, 9, 4}, {9, 4});
+    EXPECT_EQ(r[1], 0);
+    EXPECT_EQ(r[4], 0);
+    EXPECT_GT(r[2], 0);
+}
+
+TEST(FoldOps, IdentityAndApplication)
+{
+    EXPECT_EQ(foldIdentity(FoldOp::Sum), 0);
+    EXPECT_EQ(foldIdentity(FoldOp::Min),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(foldIdentity(FoldOp::Max),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(applyFold(FoldOp::Sum, 3, 4), 7);
+    EXPECT_EQ(applyFold(FoldOp::SumOfSquares, 3, 4), 19);
+    EXPECT_EQ(applyFold(FoldOp::Min, 3, 4), 3);
+    EXPECT_EQ(applyFold(FoldOp::Max, 3, 4), 4);
+}
+
+TEST(NumericArray, RejectsOversizedWeights)
+{
+    EXPECT_THROW(
+        runWindowProtocol(2, MeetOp::Multiply, FoldOp::Sum,
+                          {1, 2, 3, 4}, {1, 2, 3}),
+        std::logic_error);
+}
+
+TEST(NumMeetCell, OpSelection)
+{
+    // Verify through the protocol: Subtract+SumOfSquares vs
+    // Multiply+Sum give different folds of the same streams.
+    const std::vector<std::int64_t> sig = {4, 5, 6};
+    const std::vector<std::int64_t> w = {1};
+    const auto sq = runWindowProtocol(1, MeetOp::Subtract,
+                                      FoldOp::SumOfSquares, sig, w);
+    EXPECT_EQ(sq, (std::vector<std::int64_t>{9, 16, 25}));
+    const auto prod =
+        runWindowProtocol(1, MeetOp::Multiply, FoldOp::Sum, sig, w);
+    EXPECT_EQ(prod, (std::vector<std::int64_t>{4, 5, 6}));
+}
+
+} // namespace
+} // namespace spm::ext

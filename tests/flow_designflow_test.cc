@@ -1,0 +1,124 @@
+/** @file Tests for the executable design flow (Figure 4-1). */
+
+#include <gtest/gtest.h>
+
+#include "flow/designflow.hh"
+#include "layout/cif.hh"
+#include "layout/drc.hh"
+
+namespace spm::flow
+{
+namespace
+{
+
+TEST(Figure41, GraphShapeMatchesPaper)
+{
+    const TaskGraph g = figure41Graph();
+    EXPECT_EQ(g.taskCount(), 9u);
+    // The algorithm gets the largest share of the effort: the core
+    // of the paper's design philosophy (Section 2).
+    const auto order = g.topologicalOrder();
+    EXPECT_EQ(g.task(order[0]).name, "Algorithm");
+    double max_effort = 0;
+    std::string max_task;
+    for (TaskId id = 0; id < g.taskCount(); ++id) {
+        if (g.task(id).effortDays > max_effort) {
+            max_effort = g.task(id).effortDays;
+            max_task = g.task(id).name;
+        }
+    }
+    EXPECT_EQ(max_task, "Algorithm");
+    // Two man-months, give or take.
+    EXPECT_NEAR(g.totalEffortDays(), 43.0, 10.0);
+}
+
+class DesignFlowFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        // The prototype configuration: 8 cells, 2-bit characters.
+        result = new DesignFlowResult(runDesignFlow(8, 2));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result;
+        result = nullptr;
+    }
+
+    static DesignFlowResult *result;
+};
+
+DesignFlowResult *DesignFlowFixture::result = nullptr;
+
+TEST_F(DesignFlowFixture, ProducesAllFourCellKinds)
+{
+    ASSERT_EQ(result->cellCircuits.size(), 4u);
+    EXPECT_EQ(result->cellCircuits[0]->name(), "comparator-pos");
+    EXPECT_EQ(result->cellCircuits[1]->name(), "comparator-neg");
+    EXPECT_EQ(result->cellCircuits[2]->name(), "accumulator-pos");
+    EXPECT_EQ(result->cellCircuits[3]->name(), "accumulator-neg");
+    EXPECT_EQ(result->cellSticks.size(), 4u);
+    EXPECT_EQ(result->cellLayouts.size(), 4u);
+}
+
+TEST_F(DesignFlowFixture, EveryStepLogged)
+{
+    // All Figure 4-1 subtasks plus the final mask step.
+    ASSERT_GE(result->steps.size(), 9u);
+    EXPECT_EQ(result->steps.front().task, "Algorithm");
+    EXPECT_EQ(result->steps.back().task, "Masks");
+}
+
+TEST_F(DesignFlowFixture, DieIsDrcClean)
+{
+    EXPECT_TRUE(result->drcViolations.empty())
+        << result->drcViolations.front();
+}
+
+TEST_F(DesignFlowFixture, AreaReportPlausibleFor1979)
+{
+    // Plate 2's prototype was a small multi-project die; our
+    // standard-cell abstraction lands in the same order of
+    // magnitude at lambda = 2.5 um.
+    EXPECT_GT(result->report.dieAreaMm2(2.5), 0.5);
+    EXPECT_LT(result->report.dieAreaMm2(2.5), 50.0);
+    EXPECT_GT(result->report.transistors, 400u);
+    EXPECT_EQ(result->report.padCount, result->pins);
+    EXPECT_GT(result->report.rectCount, 100u);
+}
+
+TEST_F(DesignFlowFixture, CifParsesBackToSameGeometry)
+{
+    const layout::MaskLayout parsed = layout::readCif(result->cif, 2.5);
+    EXPECT_EQ(parsed.shapeCount(), result->die.shapeCount());
+    EXPECT_EQ(parsed.boundingBox(), result->die.boundingBox());
+}
+
+TEST_F(DesignFlowFixture, ChipNetlistRetained)
+{
+    ASSERT_NE(result->chipNetlist, nullptr);
+    EXPECT_GT(result->chipNetlist->deviceCount(), 100u);
+}
+
+TEST(DesignFlow, ScalesWithCellCount)
+{
+    const DesignFlowResult small = runDesignFlow(2, 2);
+    const DesignFlowResult big = runDesignFlow(4, 2);
+    EXPECT_LT(small.report.transistors, big.report.transistors);
+    EXPECT_LT(small.report.coreArea, big.report.coreArea);
+    EXPECT_TRUE(small.drcViolations.empty());
+    EXPECT_TRUE(big.drcViolations.empty());
+}
+
+TEST(DesignFlow, ParameterValidation)
+{
+    EXPECT_THROW(runDesignFlow(0, 2), std::logic_error);
+    EXPECT_THROW(runDesignFlow(4, 0), std::logic_error);
+}
+
+} // namespace
+} // namespace spm::flow

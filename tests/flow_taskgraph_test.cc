@@ -1,0 +1,97 @@
+/** @file Tests for the task dependency graph engine (Section 4). */
+
+#include <gtest/gtest.h>
+
+#include "flow/taskgraph.hh"
+
+namespace spm::flow
+{
+namespace
+{
+
+TEST(TaskGraph, TopologicalOrderRespectsDependencies)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask("a", "", 1);
+    const TaskId b = g.addTask("b", "", 1);
+    const TaskId c = g.addTask("c", "", 1);
+    g.addDependency(c, b);
+    g.addDependency(b, a);
+    const auto order = g.topologicalOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], a);
+    EXPECT_EQ(order[1], b);
+    EXPECT_EQ(order[2], c);
+}
+
+TEST(TaskGraph, DetectsCycles)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask("a", "", 1);
+    const TaskId b = g.addTask("b", "", 1);
+    g.addDependency(a, b);
+    g.addDependency(b, a);
+    EXPECT_THROW(g.topologicalOrder(), std::runtime_error);
+}
+
+TEST(TaskGraph, SelfDependencyRejected)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask("a", "", 1);
+    EXPECT_THROW(g.addDependency(a, a), std::logic_error);
+}
+
+TEST(TaskGraph, EffortAccounting)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask("a", "", 2);
+    const TaskId b = g.addTask("b", "", 3);
+    const TaskId c = g.addTask("c", "", 5);
+    g.addDependency(c, a); // chain a -> c (7 days)
+    (void)b;               // b is parallel (3 days)
+    EXPECT_DOUBLE_EQ(g.totalEffortDays(), 10.0);
+    EXPECT_DOUBLE_EQ(g.criticalPathDays(), 7.0);
+    const auto path = g.criticalPath();
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path[0], a);
+    EXPECT_EQ(path[1], c);
+}
+
+TEST(TaskGraph, ParallelBranchesShortenCriticalPath)
+{
+    TaskGraph g;
+    const TaskId root = g.addTask("root", "", 1);
+    const TaskId l1 = g.addTask("l1", "", 4);
+    const TaskId l2 = g.addTask("l2", "", 2);
+    const TaskId join = g.addTask("join", "", 1);
+    g.addDependency(l1, root);
+    g.addDependency(l2, root);
+    g.addDependency(join, l1);
+    g.addDependency(join, l2);
+    EXPECT_DOUBLE_EQ(g.totalEffortDays(), 8.0);
+    EXPECT_DOUBLE_EQ(g.criticalPathDays(), 6.0) << "root->l1->join";
+}
+
+TEST(TaskGraph, RenderListsTasksAndDeps)
+{
+    TaskGraph g;
+    const TaskId a = g.addTask("Algorithm", "think hard", 10);
+    const TaskId b = g.addTask("Layout", "draw rectangles", 5);
+    g.addDependency(b, a);
+    const std::string s = g.render();
+    EXPECT_NE(s.find("Algorithm"), std::string::npos);
+    EXPECT_NE(s.find("Layout"), std::string::npos);
+    EXPECT_NE(s.find("<-  Algorithm"), std::string::npos);
+    EXPECT_NE(s.find("think hard"), std::string::npos);
+}
+
+TEST(TaskGraph, BadIdsPanic)
+{
+    TaskGraph g;
+    g.addTask("a", "", 1);
+    EXPECT_THROW(g.task(5), std::logic_error);
+    EXPECT_THROW(g.addDependency(0, 9), std::logic_error);
+}
+
+} // namespace
+} // namespace spm::flow

@@ -1,0 +1,106 @@
+/** @file Unit tests for three-valued logic and device evaluation. */
+
+#include <gtest/gtest.h>
+
+#include "gate/device.hh"
+#include "gate/logic.hh"
+
+namespace spm::gate
+{
+namespace
+{
+
+constexpr LogicValue L = LogicValue::L;
+constexpr LogicValue H = LogicValue::H;
+constexpr LogicValue X = LogicValue::X;
+
+TEST(Logic, NotTable)
+{
+    EXPECT_EQ(logicNot(L), H);
+    EXPECT_EQ(logicNot(H), L);
+    EXPECT_EQ(logicNot(X), X);
+}
+
+TEST(Logic, AndControllingLow)
+{
+    EXPECT_EQ(logicAnd(L, X), L);
+    EXPECT_EQ(logicAnd(X, L), L);
+    EXPECT_EQ(logicAnd(H, H), H);
+    EXPECT_EQ(logicAnd(H, X), X);
+    EXPECT_EQ(logicAnd(X, X), X);
+}
+
+TEST(Logic, OrControllingHigh)
+{
+    EXPECT_EQ(logicOr(H, X), H);
+    EXPECT_EQ(logicOr(X, H), H);
+    EXPECT_EQ(logicOr(L, L), L);
+    EXPECT_EQ(logicOr(L, X), X);
+}
+
+TEST(Logic, XorPropagatesX)
+{
+    EXPECT_EQ(logicXor(L, H), H);
+    EXPECT_EQ(logicXor(H, H), L);
+    EXPECT_EQ(logicXor(X, L), X);
+    EXPECT_EQ(logicXor(H, X), X);
+}
+
+TEST(Logic, XnorIsEquality)
+{
+    EXPECT_EQ(logicXnor(L, L), H);
+    EXPECT_EQ(logicXnor(H, H), H);
+    EXPECT_EQ(logicXnor(L, H), L);
+    EXPECT_EQ(logicXnor(X, H), X);
+}
+
+TEST(Logic, Helpers)
+{
+    EXPECT_EQ(toLogic(true), H);
+    EXPECT_EQ(toLogic(false), L);
+    EXPECT_TRUE(isKnown(L));
+    EXPECT_FALSE(isKnown(X));
+    EXPECT_EQ(logicChar(L), '0');
+    EXPECT_EQ(logicChar(H), '1');
+    EXPECT_EQ(logicChar(X), 'X');
+}
+
+TEST(Device, GateEvaluation)
+{
+    EXPECT_EQ(Device::evalGate(DeviceKind::Inverter, L, X), H);
+    EXPECT_EQ(Device::evalGate(DeviceKind::Nand2, H, H), L);
+    EXPECT_EQ(Device::evalGate(DeviceKind::Nand2, L, H), H);
+    EXPECT_EQ(Device::evalGate(DeviceKind::Nor2, L, L), H);
+    EXPECT_EQ(Device::evalGate(DeviceKind::And2, H, H), H);
+    EXPECT_EQ(Device::evalGate(DeviceKind::Or2, L, H), H);
+    EXPECT_EQ(Device::evalGate(DeviceKind::Xor2, H, L), H);
+    EXPECT_EQ(Device::evalGate(DeviceKind::Xnor2, H, H), H);
+}
+
+TEST(Device, PassGateHasNoCombinationalEval)
+{
+    EXPECT_THROW(Device::evalGate(DeviceKind::PassGate, L, L),
+                 std::logic_error);
+}
+
+TEST(Device, TransistorBudgets)
+{
+    // The Figure 3-6 positive comparator: 3 pass transistors, two
+    // inverters, an XNOR and a NAND.
+    const unsigned total =
+        3 * Device::transistorCount(DeviceKind::PassGate) +
+        2 * Device::transistorCount(DeviceKind::Inverter) +
+        Device::transistorCount(DeviceKind::Xnor2) +
+        Device::transistorCount(DeviceKind::Nand2);
+    EXPECT_EQ(total, 3u + 4u + 8u + 3u);
+}
+
+TEST(Device, KindNames)
+{
+    EXPECT_STREQ(Device::kindName(DeviceKind::Inverter), "inv");
+    EXPECT_STREQ(Device::kindName(DeviceKind::PassGate), "pass");
+    EXPECT_STREQ(Device::kindName(DeviceKind::Xnor2), "xnor2");
+}
+
+} // namespace
+} // namespace spm::gate

@@ -1,0 +1,211 @@
+/** @file Unit tests for the event-driven netlist simulator. */
+
+#include <gtest/gtest.h>
+
+#include "gate/netlist.hh"
+
+namespace spm::gate
+{
+namespace
+{
+
+TEST(Netlist, InverterChainSettles)
+{
+    Netlist net("chain");
+    const NodeId in = net.addNode("in");
+    net.markInput(in);
+    NodeId prev = in;
+    for (int i = 0; i < 5; ++i) {
+        const NodeId out = net.addNode("n" + std::to_string(i));
+        net.addInverter(prev, out);
+        prev = out;
+    }
+    net.setInput(in, LogicValue::H, 0);
+    net.settle(0);
+    // Five inversions of H is L.
+    EXPECT_EQ(net.value(prev), LogicValue::L);
+    net.setInput(in, LogicValue::L, 1);
+    net.settle(1);
+    EXPECT_EQ(net.value(prev), LogicValue::H);
+}
+
+TEST(Netlist, NodesStartUnknown)
+{
+    Netlist net;
+    const NodeId n = net.addNode("n");
+    EXPECT_EQ(net.value(n), LogicValue::X);
+    EXPECT_THROW(net.boolValue(n), std::logic_error);
+}
+
+TEST(Netlist, GatesEvaluateThroughFanout)
+{
+    Netlist net;
+    const NodeId a = net.addNode("a");
+    const NodeId b = net.addNode("b");
+    const NodeId nand_out = net.addNode("nand");
+    const NodeId inv_out = net.addNode("and");
+    net.markInput(a);
+    net.markInput(b);
+    net.addGate(DeviceKind::Nand2, a, b, nand_out);
+    net.addInverter(nand_out, inv_out);
+
+    net.setInput(a, LogicValue::H, 0);
+    net.setInput(b, LogicValue::H, 0);
+    net.settle(0);
+    EXPECT_EQ(net.value(nand_out), LogicValue::L);
+    EXPECT_EQ(net.value(inv_out), LogicValue::H);
+}
+
+TEST(Netlist, SingleDriverEnforced)
+{
+    Netlist net;
+    const NodeId a = net.addNode("a");
+    const NodeId out = net.addNode("out");
+    net.addInverter(a, out);
+    EXPECT_THROW(net.addInverter(a, out), std::logic_error);
+}
+
+TEST(Netlist, InputsMustBeDriverless)
+{
+    Netlist net;
+    const NodeId a = net.addNode("a");
+    const NodeId out = net.addNode("out");
+    net.addInverter(a, out);
+    EXPECT_THROW(net.markInput(out), std::logic_error);
+    net.markInput(a);
+    EXPECT_THROW(net.setInput(out, LogicValue::H, 0), std::logic_error);
+}
+
+TEST(Netlist, PassGateConductsOnlyWhenHigh)
+{
+    Netlist net;
+    const NodeId in = net.addNode("in");
+    const NodeId clk = net.addNode("clk");
+    const NodeId stored = net.addNode("stored");
+    net.markInput(in);
+    net.markInput(clk);
+    net.addPassGate(in, clk, stored);
+
+    net.setInput(in, LogicValue::H, 0);
+    net.setInput(clk, LogicValue::L, 0);
+    net.settle(0);
+    EXPECT_EQ(net.value(stored), LogicValue::X) << "off: keeps charge (X)";
+
+    net.setInput(clk, LogicValue::H, 1);
+    net.settle(1);
+    EXPECT_EQ(net.value(stored), LogicValue::H);
+
+    net.setInput(clk, LogicValue::L, 2);
+    net.setInput(in, LogicValue::L, 3);
+    net.settle(3);
+    EXPECT_EQ(net.value(stored), LogicValue::H)
+        << "stored charge survives input changes while off";
+}
+
+TEST(Netlist, UnknownClockCorruptsStorage)
+{
+    Netlist net;
+    const NodeId in = net.addNode("in");
+    const NodeId clk = net.addNode("clk");
+    const NodeId stored = net.addNode("stored");
+    net.markInput(in);
+    net.markInput(clk);
+    net.addPassGate(in, clk, stored);
+    net.setInput(in, LogicValue::H, 0);
+    net.setInput(clk, LogicValue::H, 0);
+    net.settle(0);
+    net.setInput(clk, LogicValue::X, 1);
+    net.settle(1);
+    EXPECT_EQ(net.value(stored), LogicValue::X);
+}
+
+TEST(Netlist, ChargeDecaysAfterRetention)
+{
+    Netlist net;
+    const NodeId in = net.addNode("in");
+    const NodeId clk = net.addNode("clk");
+    const NodeId stored = net.addNode("stored");
+    const NodeId out = net.addNode("out");
+    net.markInput(in);
+    net.markInput(clk);
+    net.addPassGate(in, clk, stored);
+    net.addInverter(stored, out);
+
+    net.setInput(in, LogicValue::H, 0);
+    net.setInput(clk, LogicValue::H, 0);
+    net.settle(0);
+    net.setInput(clk, LogicValue::L, 100);
+    net.settle(100);
+    EXPECT_EQ(net.value(out), LogicValue::L);
+
+    // Within retention: data survives.
+    EXPECT_EQ(net.decayCharge(100 + defaultRetentionPs / 2), 0u);
+    EXPECT_EQ(net.value(stored), LogicValue::H);
+
+    // Past retention: the charge leaks away and fanout sees X.
+    EXPECT_EQ(net.decayCharge(200 + 2 * defaultRetentionPs), 1u);
+    EXPECT_EQ(net.value(stored), LogicValue::X);
+    EXPECT_EQ(net.value(out), LogicValue::X);
+}
+
+TEST(Netlist, DrivenNodesNeverDecay)
+{
+    Netlist net;
+    const NodeId in = net.addNode("in");
+    const NodeId out = net.addNode("out");
+    net.markInput(in);
+    net.addInverter(in, out);
+    net.setInput(in, LogicValue::H, 0);
+    net.settle(0);
+    EXPECT_EQ(net.decayCharge(10 * defaultRetentionPs), 0u);
+    EXPECT_EQ(net.value(out), LogicValue::L);
+}
+
+TEST(Netlist, RefreshedNodesSurviveDecaySweep)
+{
+    Netlist net;
+    const NodeId in = net.addNode("in");
+    const NodeId clk = net.addNode("clk");
+    const NodeId stored = net.addNode("stored");
+    net.markInput(in);
+    net.markInput(clk);
+    net.addPassGate(in, clk, stored);
+    net.setInput(in, LogicValue::L, 0);
+    // Conducting pass gate: the node counts as driven, not storing.
+    net.setInput(clk, LogicValue::H, 0);
+    net.settle(0);
+    EXPECT_EQ(net.decayCharge(5 * defaultRetentionPs), 0u);
+    EXPECT_EQ(net.value(stored), LogicValue::L);
+}
+
+TEST(Netlist, StatisticsCount)
+{
+    Netlist net("stats");
+    const NodeId a = net.addNode("a");
+    const NodeId b = net.addNode("b");
+    const NodeId o1 = net.addNode("o1");
+    const NodeId o2 = net.addNode("o2");
+    net.markInput(a);
+    net.markInput(b);
+    net.addGate(DeviceKind::Xnor2, a, b, o1);
+    net.addInverter(o1, o2);
+    EXPECT_EQ(net.deviceCount(), 2u);
+    EXPECT_EQ(net.nodeCount(), 4u);
+    EXPECT_EQ(net.transistorCount(), 8u + 2u);
+    EXPECT_EQ(net.countKind(DeviceKind::Xnor2), 1u);
+    EXPECT_EQ(net.countKind(DeviceKind::PassGate), 0u);
+    EXPECT_EQ(net.name(), "stats");
+    net.setInput(a, LogicValue::H, 0);
+    net.settle(0);
+    EXPECT_GT(net.evalCount(), 0u);
+}
+
+TEST(Netlist, NodeNamesPreserved)
+{
+    Netlist net;
+    const NodeId n = net.addNode("my_node");
+    EXPECT_EQ(net.nodeName(n), "my_node");
+}
+
+} // namespace
+} // namespace spm::gate

@@ -1,0 +1,141 @@
+/** @file Tests for PLA generation (Section 3.3.3 alternative). */
+
+#include <gtest/gtest.h>
+
+#include "gate/pla.hh"
+
+namespace spm::gate
+{
+namespace
+{
+
+constexpr LogicValue L = LogicValue::L;
+constexpr LogicValue H = LogicValue::H;
+
+/** Harness: instantiate a spec and evaluate it for every input. */
+class PlaHarness
+{
+  public:
+    explicit PlaHarness(const PlaSpec &s) : spec(s)
+    {
+        for (unsigned i = 0; i < spec.numInputs; ++i) {
+            inputs.push_back(net.addNode("in" + std::to_string(i)));
+            net.markInput(inputs.back());
+        }
+        for (unsigned o = 0; o < spec.numOutputs; ++o)
+            outputs.push_back(net.addNode("out" + std::to_string(o)));
+        buildPla(net, "pla", spec, inputs, outputs);
+    }
+
+    std::uint32_t
+    evaluate(std::uint32_t in_mask)
+    {
+        ++now;
+        for (unsigned i = 0; i < spec.numInputs; ++i) {
+            net.setInput(inputs[i],
+                         (in_mask & (1u << i)) ? H : L, now);
+        }
+        net.settle(now);
+        std::uint32_t out = 0;
+        for (unsigned o = 0; o < spec.numOutputs; ++o) {
+            if (net.value(outputs[o]) == H)
+                out |= 1u << o;
+        }
+        return out;
+    }
+
+    PlaSpec spec;
+    Netlist net;
+    std::vector<NodeId> inputs;
+    std::vector<NodeId> outputs;
+    Picoseconds now = 0;
+};
+
+TEST(PlaSpec, EvaluateMatchesTermSemantics)
+{
+    // out0 = a & ~b ; out1 = b.
+    PlaSpec spec;
+    spec.numInputs = 2;
+    spec.numOutputs = 2;
+    spec.terms = {{0b11, 0b01, 0b01}, {0b10, 0b10, 0b10}};
+    spec.check();
+    EXPECT_EQ(spec.evaluate(0b00), 0u);
+    EXPECT_EQ(spec.evaluate(0b01), 0b01u);
+    EXPECT_EQ(spec.evaluate(0b10), 0b10u);
+    EXPECT_EQ(spec.evaluate(0b11), 0b10u);
+}
+
+TEST(PlaSpec, CheckRejectsMalformedTerms)
+{
+    PlaSpec spec;
+    spec.numInputs = 2;
+    spec.numOutputs = 1;
+    spec.terms = {{0b100, 0, 1}}; // tests input 2 of 2
+    EXPECT_THROW(spec.check(), std::logic_error);
+    spec.terms = {{0b01, 0b11, 1}}; // value outside care
+    EXPECT_THROW(spec.check(), std::logic_error);
+    spec.terms = {{0b01, 0b01, 0}}; // feeds nothing
+    EXPECT_THROW(spec.check(), std::logic_error);
+}
+
+TEST(Pla, HardwareMatchesSoftwareExhaustively)
+{
+    // A 4-input, 2-output spec with shared and single-literal terms.
+    PlaSpec spec;
+    spec.numInputs = 4;
+    spec.numOutputs = 2;
+    spec.terms = {
+        {0b0011, 0b0011, 0b01}, // a b        -> out0
+        {0b1100, 0b0100, 0b11}, // c ~d       -> both
+        {0b1000, 0b1000, 0b10}, // d          -> out1
+        {0b0110, 0b0000, 0b01}, // ~b ~c      -> out0
+    };
+    spec.check();
+    PlaHarness h(spec);
+    for (std::uint32_t in = 0; in < 16; ++in)
+        EXPECT_EQ(h.evaluate(in), spec.evaluate(in)) << "in=" << in;
+}
+
+TEST(Pla, AccumulatorSpecImplementsCellAlgorithm)
+{
+    const PlaSpec spec = accumulatorPlaSpec();
+    PlaHarness h(spec);
+    for (std::uint32_t in = 0; in < 32; ++in) {
+        const bool lambda = in & 1;
+        const bool x = in & 2;
+        const bool d = in & 4;
+        const bool r = in & 8;
+        const bool t = in & 16;
+        const bool tm = t && (x || d);
+        const bool want_rout = lambda ? tm : r;
+        const bool want_tnext = lambda || tm;
+        const std::uint32_t got = h.evaluate(in);
+        EXPECT_EQ((got & 1) != 0, want_rout) << "in=" << in;
+        EXPECT_EQ((got & 2) != 0, want_tnext) << "in=" << in;
+    }
+}
+
+TEST(Pla, TransistorEstimateCountsPlanes)
+{
+    PlaSpec spec;
+    spec.numInputs = 2;
+    spec.numOutputs = 1;
+    spec.terms = {{0b11, 0b11, 1}};
+    spec.check();
+    // 2 inverters (4) + 1 term pullup + 1 output pullup + 2 AND
+    // literals + 1 OR connection.
+    EXPECT_EQ(spec.transistorEstimate(), 4u + 1 + 1 + 2 + 1);
+}
+
+TEST(Pla, AccumulatorPlaCostsMoreThanRandomLogic)
+{
+    // Section 3.3.3: "The small size of the pattern matcher cells
+    // ... made the use of random logic possible." The PLA version of
+    // the accumulator core costs more transistors than the ~20 the
+    // random-logic gates need.
+    const PlaSpec spec = accumulatorPlaSpec();
+    EXPECT_GT(spec.transistorEstimate(), 20u);
+}
+
+} // namespace
+} // namespace spm::gate

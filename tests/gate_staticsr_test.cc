@@ -1,0 +1,191 @@
+/** @file Tests for the static shift register stage (Section 3.3.3). */
+
+#include <gtest/gtest.h>
+
+#include "gate/netlist.hh"
+#include "gate/stdcells.hh"
+
+namespace spm::gate
+{
+namespace
+{
+
+constexpr LogicValue L = LogicValue::L;
+constexpr LogicValue H = LogicValue::H;
+
+class StaticStageHarness
+{
+  public:
+    StaticStageHarness()
+    {
+        in = net.addNode("in");
+        clk = net.addNode("clk");
+        shift = net.addNode("shift");
+        net.markInput(in);
+        net.markInput(clk);
+        net.markInput(shift);
+        out = buildStaticShiftStage(net, "st", in, clk, shift);
+        net.setInput(clk, L, 0);
+        net.setInput(shift, L, 0);
+        net.settle(0);
+    }
+
+    /** Pulse the clock with the given data and shift command. */
+    void
+    pulse(bool data, bool do_shift)
+    {
+        ++now;
+        net.setInput(in, data ? H : L, now);
+        net.setInput(shift, do_shift ? H : L, now);
+        net.setInput(clk, H, now);
+        net.settle(now);
+        net.setInput(clk, L, ++now);
+        net.settle(now);
+    }
+
+    LogicValue value() const { return net.value(out); }
+
+    Netlist net;
+    NodeId in, clk, shift, out;
+    Picoseconds now = 0;
+};
+
+TEST(StaticStage, LoadsWhenShiftCommanded)
+{
+    StaticStageHarness h;
+    h.pulse(true, true);
+    EXPECT_EQ(h.value(), H);
+    h.pulse(false, true);
+    EXPECT_EQ(h.value(), L);
+}
+
+TEST(StaticStage, DoesNotInvert)
+{
+    // Unlike the dynamic stage ("They do not invert data between
+    // stages, as do dynamic shift registers").
+    StaticStageHarness h;
+    h.pulse(true, true);
+    EXPECT_EQ(h.value(), H) << "stored value has the input's sense";
+}
+
+TEST(StaticStage, HoldsWhenShiftLow)
+{
+    StaticStageHarness h;
+    h.pulse(true, true);
+    // Clock keeps running, shift deasserted, input changing: the
+    // regeneration loop must hold the bit.
+    for (int i = 0; i < 10; ++i)
+        h.pulse(i % 2 == 0, false);
+    EXPECT_EQ(h.value(), H);
+}
+
+TEST(StaticStage, SurvivesIndefiniteStall)
+{
+    // The defining advantage over the dynamic register: data can be
+    // held "indefinitely" -- no node decays because every node is
+    // statically driven.
+    StaticStageHarness h;
+    h.pulse(true, true);
+    const std::size_t lost =
+        h.net.decayCharge(h.now + 1000 * defaultRetentionPs);
+    EXPECT_EQ(lost, 0u);
+    EXPECT_EQ(h.value(), H);
+}
+
+TEST(StaticStage, DynamicStageDiesUnderSameStall)
+{
+    // Control experiment: the Figure 3-5 dynamic stage loses its bit
+    // under the stall the static stage just survived.
+    Netlist net;
+    const NodeId in = net.addNode("in");
+    const NodeId clk = net.addNode("clk");
+    net.markInput(in);
+    net.markInput(clk);
+    const NodeId out = buildShiftStage(net, "dyn", in, clk);
+    net.setInput(in, H, 1);
+    net.setInput(clk, H, 1);
+    net.settle(1);
+    net.setInput(clk, L, 2);
+    net.settle(2);
+    ASSERT_EQ(net.value(out), L);
+    EXPECT_EQ(net.decayCharge(1000 * defaultRetentionPs), 1u);
+    EXPECT_EQ(net.value(out), LogicValue::X);
+}
+
+TEST(StaticStage, CostsManyMoreTransistorsThanDynamic)
+{
+    // The price of regeneration: the paper picked dynamic registers
+    // because one inverter plus one pass transistor per cell kept
+    // the cells tiny.
+    Netlist stat;
+    {
+        const NodeId in = stat.addNode("in");
+        const NodeId clk = stat.addNode("clk");
+        const NodeId shift = stat.addNode("shift");
+        stat.markInput(in);
+        stat.markInput(clk);
+        stat.markInput(shift);
+        buildStaticShiftStage(stat, "s", in, clk, shift);
+    }
+    Netlist dyn;
+    {
+        const NodeId in = dyn.addNode("in");
+        const NodeId clk = dyn.addNode("clk");
+        dyn.markInput(in);
+        dyn.markInput(clk);
+        buildShiftStage(dyn, "d", in, clk);
+    }
+    EXPECT_GE(stat.transistorCount(), 4 * dyn.transistorCount());
+}
+
+TEST(StaticStage, ChainOnOnePhaseIsTransparentWhileShifting)
+{
+    // Level-sensitive latches on a single phase ripple data through
+    // the whole chain during one shift pulse -- which is why a real
+    // register, static or dynamic, clocks alternate stages on
+    // opposite phases (Figure 3-5). This test documents the
+    // transparency and verifies the chain still *holds* perfectly
+    // once shift is deasserted.
+    Netlist net;
+    const NodeId in = net.addNode("in");
+    const NodeId clk = net.addNode("clk");
+    const NodeId shift = net.addNode("shift");
+    net.markInput(in);
+    net.markInput(clk);
+    net.markInput(shift);
+    NodeId stage = in;
+    std::vector<NodeId> outs;
+    for (int i = 0; i < 3; ++i) {
+        stage = buildStaticShiftStage(net, "s" + std::to_string(i),
+                                      stage, clk, shift);
+        outs.push_back(stage);
+    }
+    net.setInput(clk, L, 0);
+    net.setInput(shift, L, 0);
+    net.settle(0);
+
+    Picoseconds now = 0;
+    auto pulse = [&](bool data, bool do_shift) {
+        ++now;
+        net.setInput(in, data ? H : L, now);
+        net.setInput(shift, do_shift ? H : L, now);
+        net.setInput(clk, H, now);
+        net.settle(now);
+        net.setInput(clk, L, ++now);
+        net.settle(now);
+    };
+
+    // While shifting, the open chain is transparent end to end.
+    pulse(true, true);
+    EXPECT_EQ(net.value(outs[2]), H);
+    // Deassert shift: the bit parks and survives input changes and
+    // further clock pulses.
+    pulse(false, false);
+    pulse(false, false);
+    EXPECT_EQ(net.value(outs[2]), H);
+    EXPECT_EQ(net.decayCharge(1000 * defaultRetentionPs), 0u);
+    EXPECT_EQ(net.value(outs[2]), H);
+}
+
+} // namespace
+} // namespace spm::gate

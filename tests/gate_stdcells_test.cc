@@ -1,0 +1,287 @@
+/** @file Unit tests for the comparator and accumulator standard cells. */
+
+#include <gtest/gtest.h>
+
+#include "gate/netlist.hh"
+#include "gate/stdcells.hh"
+
+namespace spm::gate
+{
+namespace
+{
+
+constexpr LogicValue L = LogicValue::L;
+constexpr LogicValue H = LogicValue::H;
+
+/** Harness around a single comparator cell. */
+class ComparatorHarness
+{
+  public:
+    explicit ComparatorHarness(bool positive) : net("harness")
+    {
+        clk = net.addNode("clk");
+        net.markInput(clk);
+        ports.pIn = net.addNode("p_in");
+        ports.sIn = net.addNode("s_in");
+        ports.dIn = net.addNode("d_in");
+        ports.pOut = net.addNode("p_out");
+        ports.sOut = net.addNode("s_out");
+        ports.dOut = net.addNode("d_out");
+        net.markInput(ports.pIn);
+        net.markInput(ports.sIn);
+        net.markInput(ports.dIn);
+        buildComparator(net, "cell", ports, clk, positive);
+        net.setInput(clk, L, 0);
+        net.settle(0);
+    }
+
+    /** Apply inputs and pulse the clock once. */
+    void
+    latch(bool p, bool s, bool d)
+    {
+        ++now;
+        net.setInput(ports.pIn, p ? H : L, now);
+        net.setInput(ports.sIn, s ? H : L, now);
+        net.setInput(ports.dIn, d ? H : L, now);
+        net.setInput(clk, H, now);
+        net.settle(now);
+        net.setInput(clk, L, ++now);
+        net.settle(now);
+    }
+
+    bool pOut() const { return net.value(ports.pOut) == H; }
+    bool sOut() const { return net.value(ports.sOut) == H; }
+    bool dOut() const { return net.value(ports.dOut) == H; }
+
+    Netlist net;
+    NodeId clk;
+    ComparatorPorts ports;
+    Picoseconds now = 0;
+};
+
+TEST(Comparator, PositiveTwinTruthTable)
+{
+    // Positive twin: positive inputs, inverted outputs:
+    //   pOut = NOT p, sOut = NOT s, dOut = NOT (d AND (p == s)).
+    for (int p = 0; p <= 1; ++p) {
+        for (int s = 0; s <= 1; ++s) {
+            for (int d = 0; d <= 1; ++d) {
+                ComparatorHarness h(true);
+                h.latch(p, s, d);
+                EXPECT_EQ(h.pOut(), !p);
+                EXPECT_EQ(h.sOut(), !s);
+                EXPECT_EQ(h.dOut(), !(d && p == s))
+                    << "p=" << p << " s=" << s << " d=" << d;
+            }
+        }
+    }
+}
+
+TEST(Comparator, NegativeTwinTruthTable)
+{
+    // Inverted twin: inverted inputs, positive outputs. Feeding the
+    // complements must recover the positive function.
+    for (int p = 0; p <= 1; ++p) {
+        for (int s = 0; s <= 1; ++s) {
+            for (int d = 0; d <= 1; ++d) {
+                ComparatorHarness h(false);
+                h.latch(!p, !s, !d); // inverted senses
+                EXPECT_EQ(h.pOut(), p);
+                EXPECT_EQ(h.sOut(), s);
+                EXPECT_EQ(h.dOut(), d && p == s)
+                    << "p=" << p << " s=" << s << " d=" << d;
+            }
+        }
+    }
+}
+
+TEST(Comparator, HoldsOutputsWhileClockLow)
+{
+    ComparatorHarness h(true);
+    h.latch(true, true, true);
+    ASSERT_FALSE(h.dOut()); // match with d: dOut = NOT true
+    // Change inputs without clocking: outputs must not move.
+    h.net.setInput(h.ports.pIn, L, h.now + 1);
+    h.net.setInput(h.ports.sIn, H, h.now + 1);
+    h.net.settle(h.now + 1);
+    EXPECT_FALSE(h.dOut());
+    EXPECT_FALSE(h.pOut());
+}
+
+TEST(Comparator, DeviceInventoryMatchesFigure36)
+{
+    // Three pass transistors, two shift register inverters, the
+    // equality gate and the d gate.
+    ComparatorHarness h(true);
+    EXPECT_EQ(h.net.countKind(DeviceKind::PassGate), 3u);
+    EXPECT_EQ(h.net.countKind(DeviceKind::Inverter), 2u);
+    EXPECT_EQ(h.net.countKind(DeviceKind::Xnor2), 1u);
+    EXPECT_EQ(h.net.countKind(DeviceKind::Nand2), 1u);
+    EXPECT_EQ(h.net.deviceCount(), 7u);
+}
+
+TEST(ShiftStage, InvertsAndStores)
+{
+    Netlist net;
+    const NodeId in = net.addNode("in");
+    const NodeId clk = net.addNode("clk");
+    net.markInput(in);
+    net.markInput(clk);
+    const NodeId out = buildShiftStage(net, "st", in, clk);
+    net.setInput(clk, L, 0);
+
+    net.setInput(in, H, 1);
+    net.setInput(clk, H, 1);
+    net.settle(1);
+    net.setInput(clk, L, 2);
+    net.settle(2);
+    EXPECT_EQ(net.value(out), L) << "stage inverts";
+
+    net.setInput(in, L, 3); // no clock: stored value holds
+    net.settle(3);
+    EXPECT_EQ(net.value(out), L);
+}
+
+/** Harness around one accumulator cell with a two-phase clock. */
+class AccumulatorHarness
+{
+  public:
+    explicit AccumulatorHarness(bool positive) : net("harness")
+    {
+        clkA = net.addNode("clkA");
+        clkB = net.addNode("clkB");
+        net.markInput(clkA);
+        net.markInput(clkB);
+        ports.lambdaIn = net.addNode("l_in");
+        ports.xIn = net.addNode("x_in");
+        ports.dIn = net.addNode("d_in");
+        ports.rIn = net.addNode("r_in");
+        ports.lambdaOut = net.addNode("l_out");
+        ports.xOut = net.addNode("x_out");
+        ports.rOut = net.addNode("r_out");
+        net.markInput(ports.lambdaIn);
+        net.markInput(ports.xIn);
+        net.markInput(ports.dIn);
+        net.markInput(ports.rIn);
+        buildAccumulator(net, "cell", ports, clkA, clkB, positive);
+        net.setInput(clkA, L, 0);
+        net.setInput(clkB, L, 0);
+        net.settle(0);
+        pos = positive;
+        // The dynamic t loop wakes up as undefined charge; one lambda
+        // beat defines it (t <- TRUE), just as the chip needs a
+        // priming recirculation after power-up.
+        beat(true, false, false, false);
+    }
+
+    /**
+     * One active beat (inputs latched on clkA) followed by one idle
+     * beat (t updated on clkB), in positive logic.
+     */
+    void
+    beat(bool lambda, bool x, bool d, bool r)
+    {
+        auto lv = [this](bool v) { return v == pos ? H : L; };
+        ++now;
+        net.setInput(ports.lambdaIn, lv(lambda), now);
+        net.setInput(ports.xIn, lv(x), now);
+        net.setInput(ports.dIn, lv(d), now);
+        net.setInput(ports.rIn, lv(r), now);
+        net.setInput(clkA, H, now);
+        net.settle(now);
+        net.setInput(clkA, L, ++now);
+        net.settle(now);
+        net.setInput(clkB, H, ++now);
+        net.settle(now);
+        net.setInput(clkB, L, ++now);
+        net.settle(now);
+    }
+
+    bool
+    rOut() const
+    {
+        const bool raw = net.value(ports.rOut) == H;
+        return pos ? !raw : raw; // positive twin inverts outputs
+    }
+
+    Netlist net;
+    NodeId clkA, clkB;
+    AccumulatorPorts ports;
+    Picoseconds now = 0;
+    bool pos;
+};
+
+class AccumulatorTwinTest : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(AccumulatorTwinTest, MatchRunEmitsAccumulatedResult)
+{
+    AccumulatorHarness h(GetParam());
+    // Pattern of length 3, all comparisons match: lambda on the
+    // third beat must output TRUE.
+    h.beat(false, false, true, false);
+    h.beat(false, false, true, false);
+    h.beat(true, false, true, false);
+    EXPECT_TRUE(h.rOut());
+}
+
+TEST_P(AccumulatorTwinTest, SingleMismatchKillsResult)
+{
+    AccumulatorHarness h(GetParam());
+    h.beat(false, false, true, false);
+    h.beat(false, false, false, false); // mismatch mid-pattern
+    h.beat(true, false, true, false);
+    EXPECT_FALSE(h.rOut());
+}
+
+TEST_P(AccumulatorTwinTest, WildcardOverridesMismatch)
+{
+    AccumulatorHarness h(GetParam());
+    h.beat(false, false, true, false);
+    h.beat(false, true, false, false); // mismatch but x set
+    h.beat(true, false, true, false);
+    EXPECT_TRUE(h.rOut());
+}
+
+TEST_P(AccumulatorTwinTest, LambdaResetsForNextSubstring)
+{
+    AccumulatorHarness h(GetParam());
+    // A failed window must not poison the next one.
+    h.beat(false, false, false, false);
+    h.beat(true, false, true, false);
+    EXPECT_FALSE(h.rOut());
+    h.beat(false, false, true, false);
+    h.beat(true, false, true, false);
+    EXPECT_TRUE(h.rOut());
+}
+
+TEST_P(AccumulatorTwinTest, PassesResultStreamBetweenLambdas)
+{
+    AccumulatorHarness h(GetParam());
+    h.beat(false, false, true, true); // non-lambda: rOut <- rIn
+    EXPECT_TRUE(h.rOut());
+    h.beat(false, false, true, false);
+    EXPECT_FALSE(h.rOut());
+}
+
+TEST_P(AccumulatorTwinTest, ForwardsControlBits)
+{
+    AccumulatorHarness h(GetParam());
+    h.beat(true, true, false, false);
+    // Outputs are positive for the negative twin, inverted for the
+    // positive twin.
+    const bool raw_l = h.net.value(h.ports.lambdaOut) == H;
+    const bool raw_x = h.net.value(h.ports.xOut) == H;
+    EXPECT_EQ(h.pos ? !raw_l : raw_l, true);
+    EXPECT_EQ(h.pos ? !raw_x : raw_x, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTwins, AccumulatorTwinTest,
+                         ::testing::Values(true, false),
+                         [](const auto &info) {
+                             return info.param ? "positive" : "negative";
+                         });
+
+} // namespace
+} // namespace spm::gate

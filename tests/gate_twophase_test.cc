@@ -1,0 +1,143 @@
+/** @file Unit tests for the two-phase clock driver. */
+
+#include <gtest/gtest.h>
+
+#include "gate/stdcells.hh"
+#include "gate/twophase.hh"
+
+namespace spm::gate
+{
+namespace
+{
+
+constexpr LogicValue L = LogicValue::L;
+constexpr LogicValue H = LogicValue::H;
+
+TEST(TwoPhaseClock, StartsQuiescent)
+{
+    Netlist net;
+    TwoPhaseClock clk(net);
+    EXPECT_EQ(net.value(clk.phi1()), L);
+    EXPECT_EQ(net.value(clk.phi2()), L);
+    EXPECT_EQ(clk.beat(), 0u);
+    EXPECT_EQ(clk.now(), 0u);
+}
+
+TEST(TwoPhaseClock, PhasesAlternateByBeatParity)
+{
+    Netlist net;
+    TwoPhaseClock clk(net, 1000);
+    // A pass gate on each phase records which phase pulsed.
+    const NodeId one = net.addNode("one");
+    net.markInput(one);
+    const NodeId via1 = net.addNode("via1");
+    const NodeId via2 = net.addNode("via2");
+    net.addPassGate(one, clk.phi1(), via1);
+    net.addPassGate(one, clk.phi2(), via2);
+    net.setInput(one, H, 0);
+    net.settle(0);
+
+    clk.tickBeat(); // beat 0: phi1
+    EXPECT_EQ(net.value(via1), H);
+    EXPECT_EQ(net.value(via2), LogicValue::X);
+    clk.tickBeat(); // beat 1: phi2
+    EXPECT_EQ(net.value(via2), H);
+    EXPECT_EQ(clk.beat(), 2u);
+}
+
+TEST(TwoPhaseClock, PhaseForParity)
+{
+    Netlist net;
+    TwoPhaseClock clk(net);
+    EXPECT_EQ(clk.phaseFor(0), clk.phi1());
+    EXPECT_EQ(clk.phaseFor(1), clk.phi2());
+    EXPECT_EQ(clk.phaseFor(2), clk.phi1());
+}
+
+TEST(TwoPhaseClock, TimeAdvancesOneBeatPerTick)
+{
+    Netlist net;
+    TwoPhaseClock clk(net, 250'000);
+    clk.run(4);
+    EXPECT_EQ(clk.now(), 4u * 250'000u);
+    EXPECT_EQ(clk.beat(), 4u);
+}
+
+TEST(TwoPhaseClock, ShiftRegisterAdvancesOneStagePerBeat)
+{
+    // Figure 3-5: a chain of pass transistor + inverter stages on
+    // alternating phases; one data bit advances one stage per beat.
+    Netlist net;
+    TwoPhaseClock clk(net, 1000);
+    const NodeId in = net.addNode("in");
+    net.markInput(in);
+    NodeId stage = in;
+    std::vector<NodeId> outs;
+    for (int i = 0; i < 4; ++i) {
+        stage = buildShiftStage(net, "s" + std::to_string(i), stage,
+                                clk.phaseFor(i));
+        outs.push_back(stage);
+    }
+
+    net.setInput(in, H, 0);
+    clk.tickBeat();
+    EXPECT_EQ(net.value(outs[0]), L); // one inversion
+    net.setInput(in, L, clk.now());
+    clk.tickBeat();
+    EXPECT_EQ(net.value(outs[1]), H); // two inversions of the H
+    clk.tickBeat();
+    clk.tickBeat();
+    EXPECT_EQ(net.value(outs[3]), H) << "H arrives after 4 beats";
+}
+
+TEST(TwoPhaseClock, StallWithinRetentionIsHarmless)
+{
+    Netlist net;
+    TwoPhaseClock clk(net, 1000);
+    const NodeId in = net.addNode("in");
+    net.markInput(in);
+    const NodeId out = buildShiftStage(net, "s", in, clk.phi1());
+    net.setInput(in, H, 0);
+    clk.tickBeat();
+    EXPECT_EQ(net.value(out), L);
+    EXPECT_EQ(clk.stall(defaultRetentionPs / 10), 0u);
+    EXPECT_EQ(net.value(out), L);
+}
+
+TEST(TwoPhaseClock, LongStallDestroysDynamicData)
+{
+    // Section 3.3.3: dynamic shift registers hold data for about
+    // 1 ms; a stopped clock loses the chip's entire state.
+    Netlist net;
+    TwoPhaseClock clk(net, 1000);
+    const NodeId in = net.addNode("in");
+    net.markInput(in);
+    const NodeId out = buildShiftStage(net, "s", in, clk.phi1());
+    net.setInput(in, H, 0);
+    clk.tickBeat();
+    ASSERT_EQ(net.value(out), L);
+    EXPECT_EQ(clk.stall(2 * defaultRetentionPs), 1u);
+    EXPECT_EQ(net.value(out), LogicValue::X);
+}
+
+TEST(TwoPhaseClock, ContinuousShiftingRefreshes)
+{
+    // Data is refreshed only by shifting it: many beats with stalls
+    // that keep each phi1-to-phi1 gap inside retention never decay.
+    // (A phi1-clocked stage refreshes every *other* beat, so each
+    // per-beat stall may be at most half the remaining budget.)
+    Netlist net;
+    TwoPhaseClock clk(net, 1000);
+    const NodeId in = net.addNode("in");
+    net.markInput(in);
+    const NodeId out = buildShiftStage(net, "s", in, clk.phi1());
+    for (int i = 0; i < 50; ++i) {
+        net.setInput(in, H, clk.now());
+        clk.tickBeat();
+        EXPECT_EQ(clk.stall(defaultRetentionPs / 3), 0u) << "beat " << i;
+    }
+    EXPECT_EQ(net.value(out), L);
+}
+
+} // namespace
+} // namespace spm::gate

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the test suite: deterministic workloads and the
+ * paper's own running example.
+ */
+
+#ifndef SPM_TESTS_HELPERS_HH
+#define SPM_TESTS_HELPERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/strings.hh"
+#include "util/types.hh"
+
+namespace spm::test
+{
+
+/** A matching workload: text, pattern, and its generator settings. */
+struct Workload
+{
+    std::vector<Symbol> text;
+    std::vector<Symbol> pattern;
+    BitWidth bits;
+};
+
+/**
+ * Deterministic workload for a sweep index: varies pattern length,
+ * text length, wild card density and alphabet with the index.
+ */
+inline Workload
+makeWorkload(std::uint64_t index, bool wildcards = true)
+{
+    const BitWidth bits = 1 + index % 4;
+    WorkloadGen gen(0xC0FFEE + index, bits);
+    const std::size_t len = 1 + gen.rng().nextBelow(10);
+    const std::size_t n = len + gen.rng().nextBelow(80);
+    const double density = wildcards ? 0.25 : 0.0;
+    Workload w;
+    w.bits = bits;
+    w.pattern = gen.randomPattern(len, density);
+    w.text = gen.textWithPlants(n, w.pattern,
+                                len + 1 + gen.rng().nextBelow(6));
+    return w;
+}
+
+/** The pattern of the paper's Figure 3-1 example: AXC. */
+inline std::vector<Symbol>
+paperPattern()
+{
+    return parseSymbols("AXC");
+}
+
+/** A text exercising the Figure 3-1 example's matches. */
+inline std::vector<Symbol>
+paperText()
+{
+    return parseSymbols("ABCAACCACB");
+}
+
+} // namespace spm::test
+
+#endif // SPM_TESTS_HELPERS_HH

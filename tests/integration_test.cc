@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cross-module integration tests: every matcher implementation in the
+ * repository must agree on shared workloads, and the design flow's
+ * output must describe the chip the simulators simulate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/boyermoore.hh"
+#include "baselines/broadcast.hh"
+#include "baselines/fftmatch.hh"
+#include "baselines/kmp.hh"
+#include "baselines/naive.hh"
+#include "baselines/staticarray.hh"
+#include "core/behavioral.hh"
+#include "core/bitserial.hh"
+#include "core/cascade.hh"
+#include "core/gatechip.hh"
+#include "core/multipass.hh"
+#include "core/reference.hh"
+#include "flow/designflow.hh"
+#include "tests/helpers.hh"
+#include "util/strings.hh"
+
+namespace spm
+{
+namespace
+{
+
+using namespace spm::core;
+using namespace spm::baselines;
+
+/** All wild-card-capable matchers under test. */
+std::vector<std::unique_ptr<Matcher>>
+allWildcardMatchers(std::size_t pattern_len, BitWidth bits)
+{
+    std::vector<std::unique_ptr<Matcher>> out;
+    out.push_back(std::make_unique<BehavioralMatcher>(pattern_len));
+    out.push_back(
+        std::make_unique<BitSerialMatcher>(pattern_len, bits));
+    out.push_back(
+        std::make_unique<GateLevelMatcher>(pattern_len, bits));
+    out.push_back(std::make_unique<CascadeMatcher>(
+        2, (pattern_len + 1) / 2));
+    out.push_back(std::make_unique<MultipassMatcher>(
+        std::max<std::size_t>(1, pattern_len / 2)));
+    out.push_back(std::make_unique<NaiveMatcher>());
+    out.push_back(std::make_unique<FftMatcher>());
+    out.push_back(std::make_unique<BroadcastMatcher>());
+    out.push_back(std::make_unique<StaticArrayMatcher>());
+    return out;
+}
+
+TEST(Integration, NineImplementationsAgreeOnPaperExample)
+{
+    const auto text = test::paperText();
+    const auto pattern = test::paperPattern();
+    ReferenceMatcher ref;
+    const auto want = ref.match(text, pattern);
+    for (auto &m : allWildcardMatchers(pattern.size(), 2)) {
+        EXPECT_EQ(m->match(text, pattern), want) << m->name();
+        EXPECT_TRUE(m->supportsWildcards()) << m->name();
+    }
+}
+
+class CrossImplementation
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CrossImplementation, AllMatchersAgreeOnRandomWorkloads)
+{
+    const test::Workload w = test::makeWorkload(GetParam() + 500);
+    ReferenceMatcher ref;
+    const auto want = ref.match(w.text, w.pattern);
+    for (auto &m : allWildcardMatchers(w.pattern.size(), w.bits)) {
+        EXPECT_EQ(m->match(w.text, w.pattern), want)
+            << m->name() << " on workload " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, CrossImplementation,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Integration, ExactMatchersAgreeToo)
+{
+    KmpMatcher kmp;
+    BoyerMooreMatcher bm;
+    ReferenceMatcher ref;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        const auto w = test::makeWorkload(i + 900, false);
+        const auto want = ref.match(w.text, w.pattern);
+        EXPECT_EQ(kmp.match(w.text, w.pattern), want);
+        EXPECT_EQ(bm.match(w.text, w.pattern), want);
+    }
+}
+
+TEST(Integration, FlowChipSizeMatchesSimulatedChip)
+{
+    // The design flow's transistor report must equal the count of
+    // the gate-level chip the matcher tests simulate.
+    const auto flow_result = flow::runDesignFlow(4, 2);
+    GateChip chip(4, 2);
+    EXPECT_EQ(flow_result.report.transistors,
+              chip.netlist().transistorCount());
+}
+
+TEST(Integration, SystolicBeatsAreImplementationInvariant)
+{
+    // Character-level and cascade report identical beat counts; the
+    // bit-serial pipe adds exactly its drain latency.
+    WorkloadGen gen(77, 2);
+    const auto pat = gen.randomPattern(4);
+    const auto text = gen.randomText(100);
+
+    BehavioralMatcher chars(4);
+    CascadeMatcher cascade(2, 2);
+    BitSerialMatcher bits(4, 2);
+    chars.match(text, pat);
+    cascade.match(text, pat);
+    bits.match(text, pat);
+    EXPECT_EQ(chars.lastBeats(), cascade.lastBeats());
+    EXPECT_EQ(bits.lastBeats(), chars.lastBeats() + 1);
+}
+
+} // namespace
+} // namespace spm

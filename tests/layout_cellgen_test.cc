@@ -1,0 +1,165 @@
+/** @file Unit tests for layout generation from circuits. */
+
+#include <gtest/gtest.h>
+
+#include "gate/stdcells.hh"
+#include "layout/cellgen.hh"
+#include "layout/drc.hh"
+
+namespace spm::layout
+{
+namespace
+{
+
+/** Build a standalone positive comparator netlist. */
+gate::Netlist
+comparatorNet()
+{
+    gate::Netlist net("cmp");
+    const gate::NodeId clk = net.addNode("clk");
+    net.markInput(clk);
+    gate::ComparatorPorts ports;
+    ports.pIn = net.addNode("p_in");
+    ports.sIn = net.addNode("s_in");
+    ports.dIn = net.addNode("d_in");
+    ports.pOut = net.addNode("p_out");
+    ports.sOut = net.addNode("s_out");
+    ports.dOut = net.addNode("d_out");
+    net.markInput(ports.pIn);
+    net.markInput(ports.sIn);
+    net.markInput(ports.dIn);
+    gate::buildComparator(net, "cell", ports, clk, true);
+    return net;
+}
+
+class DeviceTileTest
+    : public ::testing::TestWithParam<gate::DeviceKind>
+{
+};
+
+TEST_P(DeviceTileTest, TileIsDrcClean)
+{
+    const MaskLayout tile = deviceTile(GetParam(), "tile");
+    const auto violations = checkLayout(tile);
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations[0].toString());
+}
+
+TEST_P(DeviceTileTest, TileHasRailsAndPorts)
+{
+    const MaskLayout tile = deviceTile(GetParam(), "tile");
+    EXPECT_GT(tile.areaOn(Layer::Metal), 0);
+    EXPECT_GT(tile.areaOn(Layer::Diffusion), 0);
+    EXPECT_GT(tile.areaOn(Layer::Poly), 0);
+    EXPECT_NO_THROW(tile.port("a"));
+    EXPECT_NO_THROW(tile.port("out"));
+    EXPECT_EQ(tile.boundingBox().height(), tileHeight);
+    EXPECT_EQ(tile.boundingBox().width(), tileWidth(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DeviceTileTest,
+    ::testing::Values(gate::DeviceKind::Inverter,
+                      gate::DeviceKind::Nand2, gate::DeviceKind::Nor2,
+                      gate::DeviceKind::And2, gate::DeviceKind::Or2,
+                      gate::DeviceKind::Xor2, gate::DeviceKind::Xnor2,
+                      gate::DeviceKind::PassGate),
+    [](const auto &info) {
+        return gate::Device::kindName(info.param);
+    });
+
+TEST(DeviceTile, StaticGatesCarryImplant)
+{
+    EXPECT_GT(deviceTile(gate::DeviceKind::Inverter, "i")
+                  .areaOn(Layer::Implant),
+              0);
+    EXPECT_EQ(deviceTile(gate::DeviceKind::PassGate, "p")
+                  .areaOn(Layer::Implant),
+              0)
+        << "pass transistors have no pullup";
+}
+
+TEST(CellGen, ComparatorLayoutIsDrcClean)
+{
+    const gate::Netlist net = comparatorNet();
+    const MaskLayout cell = generateCellLayout(net, "cmp-layout");
+    const auto violations = checkLayout(cell);
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations[0].toString());
+    EXPECT_GT(cell.cellArea(), 0);
+}
+
+TEST(CellGen, LayoutHasPowerAndNetPorts)
+{
+    const gate::Netlist net = comparatorNet();
+    const MaskLayout cell = generateCellLayout(net, "cmp-layout");
+    EXPECT_NO_THROW(cell.port("vdd"));
+    EXPECT_NO_THROW(cell.port("gnd"));
+    EXPECT_NO_THROW(cell.port("p_in.w"));
+    EXPECT_NO_THROW(cell.port("d_out.e"));
+}
+
+TEST(CellGen, SticksMatchCircuitInventory)
+{
+    const gate::Netlist net = comparatorNet();
+    const StickDiagram sticks = generateCellSticks(net, "cmp-sticks");
+    // One enhancement marker per device plus one depletion pullup per
+    // static gate (4 of the 7 devices).
+    EXPECT_EQ(sticks.transistorCount(), net.deviceCount() + 4);
+    EXPECT_FALSE(sticks.nets().empty());
+    EXPECT_GT(sticks.wireLength(Layer::Metal), 0);
+}
+
+TEST(CellGen, TiledArrayIsDrcCleanAndScales)
+{
+    const gate::Netlist net = comparatorNet();
+    const MaskLayout cell = generateCellLayout(net, "cell");
+    const MaskLayout small = tileCellArray(cell, cell, 1, 2, "a12");
+    const MaskLayout big = tileCellArray(cell, cell, 2, 4, "a24");
+    EXPECT_TRUE(isClean(small));
+    EXPECT_TRUE(isClean(big));
+    // 4x the cells means roughly 4x the area.
+    const double ratio = static_cast<double>(big.cellArea()) /
+                         static_cast<double>(small.cellArea());
+    EXPECT_NEAR(ratio, 4.0, 1.0);
+}
+
+TEST(CellGen, PadRingAddsRequestedPads)
+{
+    MaskLayout core("core");
+    core.addRect(Layer::Metal, Rect{0, 0, 600, 300});
+    const MaskLayout die = addPadRing(core, 12, "die");
+    EXPECT_TRUE(isClean(die));
+    for (int i = 0; i < 12; ++i)
+        EXPECT_NO_THROW(die.port("pad" + std::to_string(i)));
+    EXPECT_GT(die.cellArea(), core.cellArea());
+}
+
+TEST(CellGen, PadLimitedDieGrowsToSeatAllPads)
+{
+    // A tiny core with many pads: the die becomes pad-limited and
+    // grows until the perimeter seats every pad, staying DRC-clean.
+    MaskLayout core("tiny");
+    core.addRect(Layer::Metal, Rect{0, 0, 10, 10});
+    const MaskLayout die = addPadRing(core, 64, "die");
+    EXPECT_TRUE(isClean(die));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_NO_THROW(die.port("pad" + std::to_string(i)));
+    const DesignRules &rules = defaultRules();
+    // 16 pads per side at (pad + spacing) pitch do not fit around a
+    // 10-lambda core without growth.
+    EXPECT_GE(die.boundingBox().width(),
+              16 * (rules.padSize + rules.padSpacing));
+}
+
+TEST(AreaReport, ConvertsToPhysicalUnits)
+{
+    AreaReport report;
+    report.dieArea = 1'000'000; // lambda^2
+    // At lambda = 2.5 um: 1e6 * 6.25 um^2 = 6.25 mm^2.
+    EXPECT_NEAR(report.dieAreaMm2(2.5), 6.25, 1e-9);
+    EXPECT_NE(report.toString().find("6.25"), std::string::npos);
+}
+
+} // namespace
+} // namespace spm::layout

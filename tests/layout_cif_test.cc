@@ -1,0 +1,98 @@
+/** @file Unit tests for the CIF writer and reader. */
+
+#include <gtest/gtest.h>
+
+#include "layout/cif.hh"
+
+namespace spm::layout
+{
+namespace
+{
+
+MaskLayout
+sampleLayout()
+{
+    MaskLayout cell("sample");
+    cell.addRect(Layer::Diffusion, Rect{0, 0, 2, 10});
+    cell.addRect(Layer::Poly, Rect{-2, 4, 6, 6});
+    cell.addRect(Layer::Metal, Rect{0, 12, 8, 15});
+    cell.addRect(Layer::Contact, Rect{0, 0, 2, 2});
+    cell.addRect(Layer::Implant, Rect{1, 7, 3, 9});
+    return cell;
+}
+
+TEST(Cif, WriterEmitsStructure)
+{
+    const std::string cif = writeCif(sampleLayout(), 2.5, 3);
+    EXPECT_NE(cif.find("DS 3 1 1;"), std::string::npos);
+    EXPECT_NE(cif.find("9 sample;"), std::string::npos);
+    EXPECT_NE(cif.find("L ND;"), std::string::npos);
+    EXPECT_NE(cif.find("L NP;"), std::string::npos);
+    EXPECT_NE(cif.find("L NM;"), std::string::npos);
+    EXPECT_NE(cif.find("DF;"), std::string::npos);
+    EXPECT_NE(cif.find("C 3;"), std::string::npos);
+    EXPECT_EQ(cif.back(), '\n');
+}
+
+TEST(Cif, BoxesInCentimicrons)
+{
+    MaskLayout cell("one");
+    cell.addRect(Layer::Metal, Rect{0, 0, 4, 2});
+    const std::string cif = writeCif(cell, 2.5);
+    // 4 lambda x 2.5 um = 10 um = 1000 centimicrons; center (2,1)
+    // lambda = (500, 250).
+    EXPECT_NE(cif.find("B 1000 500 500 250;"), std::string::npos);
+}
+
+TEST(Cif, RoundTripPreservesGeometry)
+{
+    const MaskLayout original = sampleLayout();
+    const MaskLayout parsed = readCif(writeCif(original, 2.5), 2.5);
+    EXPECT_EQ(parsed.name(), original.name());
+    ASSERT_EQ(parsed.shapeCount(), original.shapeCount());
+    // The writer groups by layer, so compare as multisets.
+    auto key = [](const Shape &s) {
+        return std::tuple(static_cast<int>(s.layer), s.rect.x0,
+                          s.rect.y0, s.rect.x1, s.rect.y1);
+    };
+    std::vector<decltype(key(original.shapes()[0]))> a, b;
+    for (const Shape &s : original.shapes())
+        a.push_back(key(s));
+    for (const Shape &s : parsed.shapes())
+        b.push_back(key(s));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Cif, RoundTripAtDifferentLambda)
+{
+    const MaskLayout original = sampleLayout();
+    const MaskLayout parsed = readCif(writeCif(original, 1.5), 1.5);
+    EXPECT_EQ(parsed.shapeCount(), original.shapeCount());
+    EXPECT_EQ(parsed.boundingBox(), original.boundingBox());
+}
+
+TEST(Cif, ReaderRejectsUnknownCommands)
+{
+    EXPECT_THROW(readCif("W 1 2 3;\n"), std::runtime_error);
+}
+
+TEST(Cif, ReaderRejectsBoxBeforeLayer)
+{
+    EXPECT_THROW(readCif("B 100 100 50 50;\n"), std::logic_error);
+}
+
+TEST(Cif, ReaderSkipsCommentsAndControl)
+{
+    const std::string cif =
+        "(a comment);\nDS 1 1 1;\n9 c;\nL NM;\nB 500 500 250 250;\n"
+        "DF;\nC 1;\nE\n";
+    const MaskLayout parsed = readCif(cif, 2.5);
+    EXPECT_EQ(parsed.name(), "c");
+    ASSERT_EQ(parsed.shapeCount(), 1u);
+    EXPECT_EQ(parsed.shapes()[0].rect, Rect(0, 0, 2, 2));
+}
+
+} // namespace
+} // namespace spm::layout

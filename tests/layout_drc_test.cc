@@ -1,0 +1,89 @@
+/** @file Unit tests for the design rule checker. */
+
+#include <gtest/gtest.h>
+
+#include "layout/drc.hh"
+
+namespace spm::layout
+{
+namespace
+{
+
+TEST(Drc, CleanLayoutPasses)
+{
+    MaskLayout cell("ok");
+    cell.addRect(Layer::Metal, Rect{0, 0, 10, 3});
+    cell.addRect(Layer::Metal, Rect{0, 6, 10, 9}); // 3 lambda apart
+    cell.addRect(Layer::Poly, Rect{0, 0, 2, 8});
+    cell.addRect(Layer::Poly, Rect{4, 0, 6, 8}); // 2 lambda apart
+    EXPECT_TRUE(isClean(cell));
+}
+
+TEST(Drc, DetectsWidthViolation)
+{
+    MaskLayout cell("thin");
+    cell.addRect(Layer::Metal, Rect{0, 0, 10, 2}); // metal needs 3
+    const auto v = checkLayout(cell);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, DrcViolation::Kind::Width);
+    EXPECT_EQ(v[0].layer, Layer::Metal);
+    EXPECT_NE(v[0].toString().find("width"), std::string::npos);
+}
+
+TEST(Drc, DetectsSpacingViolation)
+{
+    MaskLayout cell("close");
+    cell.addRect(Layer::Diffusion, Rect{0, 0, 2, 10});
+    cell.addRect(Layer::Diffusion, Rect{4, 0, 6, 10}); // needs 3, has 2
+    const auto v = checkLayout(cell);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, DrcViolation::Kind::Spacing);
+    EXPECT_EQ(v[0].layer, Layer::Diffusion);
+}
+
+TEST(Drc, TouchingShapesAreSameNet)
+{
+    MaskLayout cell("abut");
+    cell.addRect(Layer::Metal, Rect{0, 0, 5, 3});
+    cell.addRect(Layer::Metal, Rect{5, 0, 10, 3});  // abutting
+    cell.addRect(Layer::Metal, Rect{8, 0, 12, 3});  // overlapping
+    EXPECT_TRUE(isClean(cell));
+}
+
+TEST(Drc, DifferentLayersDoNotInteract)
+{
+    MaskLayout cell("cross");
+    cell.addRect(Layer::Poly, Rect{0, 0, 2, 10});
+    cell.addRect(Layer::Diffusion, Rect{3, 0, 5, 10});
+    // 1 lambda poly-diffusion gap would violate a same-layer rule,
+    // but cross-layer spacing is not checked in this rule set.
+    cell.addRect(Layer::Metal, Rect{2, 0, 5, 10});
+    EXPECT_TRUE(isClean(cell));
+}
+
+TEST(Drc, DiagonalSpacingChecked)
+{
+    MaskLayout cell("diag");
+    cell.addRect(Layer::Metal, Rect{0, 0, 4, 4});
+    cell.addRect(Layer::Metal, Rect{5, 5, 9, 9}); // 1 lambda diagonal
+    const auto v = checkLayout(cell);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, DrcViolation::Kind::Spacing);
+}
+
+TEST(Drc, ReportsMultipleViolations)
+{
+    MaskLayout cell("bad");
+    cell.addRect(Layer::Metal, Rect{0, 0, 10, 2});  // width
+    cell.addRect(Layer::Poly, Rect{0, 0, 2, 4});
+    cell.addRect(Layer::Poly, Rect{3, 0, 5, 4});    // spacing
+    EXPECT_EQ(checkLayout(cell).size(), 2u);
+}
+
+TEST(Drc, EmptyLayoutIsClean)
+{
+    EXPECT_TRUE(isClean(MaskLayout("empty")));
+}
+
+} // namespace
+} // namespace spm::layout

@@ -1,0 +1,83 @@
+/** @file Unit tests for lambda-unit geometry. */
+
+#include <gtest/gtest.h>
+
+#include "layout/geometry.hh"
+
+namespace spm::layout
+{
+namespace
+{
+
+TEST(Rect, BasicProperties)
+{
+    const Rect r{0, 0, 4, 6};
+    EXPECT_EQ(r.width(), 4);
+    EXPECT_EQ(r.height(), 6);
+    EXPECT_EQ(r.area(), 24);
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(Rect{}.empty());
+}
+
+TEST(Rect, InvertedConstructionPanics)
+{
+    EXPECT_THROW(Rect(4, 0, 0, 4), std::logic_error);
+}
+
+TEST(Rect, OverlapIsInteriorOnly)
+{
+    const Rect a{0, 0, 4, 4};
+    EXPECT_TRUE(a.overlaps(Rect{2, 2, 6, 6}));
+    EXPECT_FALSE(a.overlaps(Rect{4, 0, 8, 4})) << "abutting is not overlap";
+    EXPECT_FALSE(a.overlaps(Rect{5, 5, 6, 6}));
+}
+
+TEST(Rect, Containment)
+{
+    const Rect a{0, 0, 10, 10};
+    EXPECT_TRUE(a.contains(Rect{2, 2, 8, 8}));
+    EXPECT_TRUE(a.contains(a));
+    EXPECT_FALSE(a.contains(Rect{2, 2, 11, 8}));
+}
+
+TEST(Rect, UnionAndIntersect)
+{
+    const Rect a{0, 0, 4, 4};
+    const Rect b{2, 2, 6, 8};
+    EXPECT_EQ(a.unionWith(b), Rect(0, 0, 6, 8));
+    EXPECT_EQ(a.intersect(b), Rect(2, 2, 4, 4));
+    EXPECT_TRUE(a.intersect(Rect{10, 10, 12, 12}).empty());
+}
+
+TEST(Rect, UnionWithEmpty)
+{
+    const Rect a{1, 1, 3, 3};
+    EXPECT_EQ(a.unionWith(Rect{}), a);
+    EXPECT_EQ(Rect{}.unionWith(a), a);
+}
+
+TEST(Rect, InflateAndTranslate)
+{
+    const Rect a{2, 2, 4, 4};
+    EXPECT_EQ(a.inflated(1), Rect(1, 1, 5, 5));
+    EXPECT_EQ(a.inflated(-1), Rect(3, 3, 3, 3));
+    EXPECT_EQ(a.translated(10, -2), Rect(12, 0, 14, 2));
+}
+
+TEST(Rect, SeparationMeasuresGap)
+{
+    const Rect a{0, 0, 4, 4};
+    EXPECT_EQ(a.separation(Rect{6, 0, 8, 4}), 2) << "horizontal gap";
+    EXPECT_EQ(a.separation(Rect{0, 7, 4, 9}), 3) << "vertical gap";
+    EXPECT_EQ(a.separation(Rect{4, 0, 6, 4}), 0) << "abutting";
+    EXPECT_EQ(a.separation(Rect{2, 2, 3, 3}), 0) << "overlapping";
+    EXPECT_EQ(a.separation(Rect{6, 7, 8, 9}), 3) << "diagonal: max gap";
+}
+
+TEST(Rect, ToStringIsReadable)
+{
+    EXPECT_EQ(Rect(1, 2, 3, 4).toString(), "[1,2 3,4]");
+}
+
+} // namespace
+} // namespace spm::layout

@@ -1,0 +1,144 @@
+/** @file Unit tests for mask layouts and stick diagrams. */
+
+#include <gtest/gtest.h>
+
+#include "layout/masklayout.hh"
+#include "layout/sticks.hh"
+
+namespace spm::layout
+{
+namespace
+{
+
+TEST(MaskLayout, CollectsShapesAndBounds)
+{
+    MaskLayout cell("c");
+    cell.addRect(Layer::Metal, Rect{0, 0, 4, 3});
+    cell.addRect(Layer::Poly, Rect{10, 5, 12, 9});
+    EXPECT_EQ(cell.shapeCount(), 2u);
+    EXPECT_EQ(cell.boundingBox(), Rect(0, 0, 12, 9));
+    EXPECT_EQ(cell.cellArea(), 12 * 9);
+    EXPECT_EQ(cell.areaOn(Layer::Metal), 12);
+    EXPECT_EQ(cell.areaOn(Layer::Poly), 8);
+    EXPECT_EQ(cell.areaOn(Layer::Diffusion), 0);
+}
+
+TEST(MaskLayout, RejectsDegenerateRects)
+{
+    MaskLayout cell;
+    EXPECT_THROW(cell.addRect(Layer::Metal, Rect{0, 0, 0, 5}),
+                 std::logic_error);
+}
+
+TEST(MaskLayout, PortsLookup)
+{
+    MaskLayout cell;
+    cell.addPort("in", Layer::Poly, Point{1, 2});
+    EXPECT_EQ(cell.port("in").at, (Point{1, 2}));
+    EXPECT_EQ(cell.port("in").layer, Layer::Poly);
+    EXPECT_THROW(cell.port("missing"), std::logic_error);
+}
+
+TEST(MaskLayout, MergeTranslatesShapesAndPrefixesPorts)
+{
+    MaskLayout inner("inner");
+    inner.addRect(Layer::Diffusion, Rect{0, 0, 2, 2});
+    inner.addPort("out", Layer::Metal, Point{1, 1});
+
+    MaskLayout outer("outer");
+    outer.merge(inner, 10, 20, "a.");
+    EXPECT_EQ(outer.shapes()[0].rect, Rect(10, 20, 12, 22));
+    EXPECT_EQ(outer.port("a.out").at, (Point{11, 21}));
+}
+
+TEST(MaskLayout, AsciiRenderShowsLayers)
+{
+    MaskLayout cell("tiny");
+    cell.addRect(Layer::Metal, Rect{0, 0, 4, 4});
+    const std::string art = cell.renderAscii(2);
+    EXPECT_NE(art.find('M'), std::string::npos);
+    EXPECT_NE(art.find("tiny"), std::string::npos);
+}
+
+TEST(MaskLayout, EmptyRenderIsSafe)
+{
+    MaskLayout cell;
+    EXPECT_EQ(cell.renderAscii(), "(empty layout)\n");
+}
+
+TEST(Layers, NamesAndColors)
+{
+    EXPECT_STREQ(layerName(Layer::Diffusion), "diffusion");
+    EXPECT_STREQ(layerColor(Layer::Diffusion), "green");
+    EXPECT_STREQ(layerColor(Layer::Poly), "red");
+    EXPECT_STREQ(layerColor(Layer::Metal), "blue");
+    EXPECT_STREQ(layerColor(Layer::Implant), "yellow");
+    EXPECT_STREQ(cifLayerName(Layer::Metal), "NM");
+}
+
+TEST(DesignRules, MeadConwayValues)
+{
+    const DesignRules &r = defaultRules();
+    EXPECT_EQ(r.minWidth(Layer::Diffusion), 2);
+    EXPECT_EQ(r.minWidth(Layer::Poly), 2);
+    EXPECT_EQ(r.minWidth(Layer::Metal), 3);
+    EXPECT_EQ(r.minSpacing(Layer::Diffusion), 3);
+    EXPECT_EQ(r.minSpacing(Layer::Poly), 2);
+    EXPECT_EQ(r.minSpacing(Layer::Metal), 3);
+    EXPECT_EQ(r.contactSize, 2);
+}
+
+TEST(StickDiagram, SegmentsAndMarkers)
+{
+    StickDiagram s("cell");
+    s.addSegment(Layer::Poly, Point{0, 0}, Point{0, 4}, "clk");
+    s.addSegment(Layer::Diffusion, Point{0, 2}, Point{5, 2}, "p");
+    s.addMarker(StickComponent::EnhancementFet, Point{0, 2}, "T1");
+    s.addMarker(StickComponent::DepletionFet, Point{2, 2}, "pull");
+    s.addMarker(StickComponent::ContactCut, Point{5, 2}, "c");
+    EXPECT_EQ(s.segments().size(), 2u);
+    EXPECT_EQ(s.markers().size(), 3u);
+    EXPECT_EQ(s.transistorCount(), 2u);
+    EXPECT_EQ(s.boundingBox(), Rect(0, 0, 5, 4));
+}
+
+TEST(StickDiagram, RejectsDiagonals)
+{
+    StickDiagram s("bad");
+    EXPECT_THROW(
+        s.addSegment(Layer::Poly, Point{0, 0}, Point{2, 2}, "n"),
+        std::logic_error);
+}
+
+TEST(StickDiagram, WireLengthByLayer)
+{
+    StickDiagram s("w");
+    s.addSegment(Layer::Metal, Point{0, 0}, Point{10, 0}, "a");
+    s.addSegment(Layer::Metal, Point{0, 0}, Point{0, 5}, "a");
+    s.addSegment(Layer::Poly, Point{0, 0}, Point{3, 0}, "b");
+    EXPECT_EQ(s.wireLength(Layer::Metal), 15);
+    EXPECT_EQ(s.wireLength(Layer::Poly), 3);
+    EXPECT_EQ(s.wireLength(Layer::Diffusion), 0);
+}
+
+TEST(StickDiagram, NetsAreUnique)
+{
+    StickDiagram s("n");
+    s.addSegment(Layer::Metal, Point{0, 0}, Point{1, 0}, "vdd");
+    s.addSegment(Layer::Metal, Point{0, 1}, Point{1, 1}, "vdd");
+    s.addSegment(Layer::Poly, Point{0, 2}, Point{1, 2}, "clk");
+    EXPECT_EQ(s.nets().size(), 2u);
+}
+
+TEST(StickDiagram, AsciiRenderShowsComponents)
+{
+    StickDiagram s("art");
+    s.addSegment(Layer::Diffusion, Point{0, 0}, Point{4, 0}, "d");
+    s.addMarker(StickComponent::EnhancementFet, Point{2, 0}, "T");
+    const std::string art = s.renderAscii();
+    EXPECT_NE(art.find('T'), std::string::npos);
+    EXPECT_NE(art.find('d'), std::string::npos);
+}
+
+} // namespace
+} // namespace spm::layout

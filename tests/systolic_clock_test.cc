@@ -1,0 +1,156 @@
+/** @file Unit tests for the beat clock, latches and delay lines. */
+
+#include <gtest/gtest.h>
+
+#include "systolic/clock.hh"
+#include "systolic/latch.hh"
+
+namespace spm::systolic
+{
+namespace
+{
+
+TEST(Clock, StartsAtBeatZeroPhi1)
+{
+    Clock c;
+    EXPECT_EQ(c.beat(), 0u);
+    EXPECT_EQ(c.phase(), Phase::Phi1);
+    EXPECT_EQ(c.timeNow(), 0u);
+    EXPECT_EQ(c.beatPeriod(), prototypeBeatPs);
+}
+
+TEST(Clock, PhasesAlternateWithinBeat)
+{
+    Clock c(1000);
+    c.advancePhase();
+    EXPECT_EQ(c.phase(), Phase::Phi2);
+    EXPECT_EQ(c.beat(), 0u);
+    EXPECT_EQ(c.timeNow(), 500u);
+    c.advancePhase();
+    EXPECT_EQ(c.phase(), Phase::Phi1);
+    EXPECT_EQ(c.beat(), 1u);
+    EXPECT_EQ(c.timeNow(), 1000u);
+}
+
+TEST(Clock, AdvanceBeatFromEitherPhase)
+{
+    Clock c(100);
+    c.advanceBeat();
+    EXPECT_EQ(c.beat(), 1u);
+    EXPECT_EQ(c.phase(), Phase::Phi1);
+    c.advancePhase(); // now in Phi2
+    c.advanceBeat();
+    EXPECT_EQ(c.beat(), 2u);
+    EXPECT_EQ(c.phase(), Phase::Phi1);
+}
+
+TEST(Clock, PrototypePeriodIs250ns)
+{
+    Clock c;
+    c.advanceBeat();
+    c.advanceBeat();
+    // Two beats at 250 ns = 500,000 ps.
+    EXPECT_EQ(c.timeNow(), 500'000u);
+}
+
+TEST(Clock, StallAccumulatesAndClearsOnBeat)
+{
+    Clock c(100);
+    c.stall(40);
+    c.stall(10);
+    EXPECT_EQ(c.stalledTime(), 50u);
+    EXPECT_EQ(c.timeNow(), 50u);
+    c.advanceBeat();
+    EXPECT_EQ(c.stalledTime(), 0u);
+}
+
+TEST(Clock, ResetRestoresInitialState)
+{
+    Clock c(100);
+    c.advanceBeat();
+    c.stall(5);
+    c.reset();
+    EXPECT_EQ(c.beat(), 0u);
+    EXPECT_EQ(c.timeNow(), 0u);
+}
+
+TEST(Clock, ZeroPeriodPanics)
+{
+    EXPECT_THROW(Clock(0), std::logic_error);
+}
+
+TEST(Latch, ReadSeesOnlyCommittedWrites)
+{
+    Latch<int> l(1);
+    EXPECT_EQ(l.read(), 1);
+    l.write(2);
+    EXPECT_EQ(l.read(), 1) << "write must not be visible before commit";
+    l.commit();
+    EXPECT_EQ(l.read(), 2);
+}
+
+TEST(Latch, CommitWithoutWriteHolds)
+{
+    Latch<int> l(7);
+    l.commit();
+    EXPECT_EQ(l.read(), 7);
+}
+
+TEST(Latch, ForceSetsBothSides)
+{
+    Latch<int> l;
+    l.force(9);
+    EXPECT_EQ(l.read(), 9);
+    l.commit();
+    EXPECT_EQ(l.read(), 9);
+}
+
+TEST(Token, DefaultInvalid)
+{
+    Token<int> t;
+    EXPECT_FALSE(t.valid);
+    Token<int> v(3);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.value, 3);
+}
+
+TEST(DelayLine, DelaysByLength)
+{
+    DelayLine<int> line(3);
+    std::vector<int> seen;
+    for (int i = 1; i <= 6; ++i) {
+        line.write(i);
+        line.commit();
+        seen.push_back(line.read());
+    }
+    // Values emerge 3 commits after being written.
+    EXPECT_EQ(seen[2], 1);
+    EXPECT_EQ(seen[3], 2);
+    EXPECT_EQ(seen[5], 4);
+}
+
+TEST(DelayLine, LengthOneIsSingleBeat)
+{
+    DelayLine<int> line(1);
+    line.write(5);
+    line.commit();
+    EXPECT_EQ(line.read(), 5);
+}
+
+TEST(DelayLine, FlushClears)
+{
+    DelayLine<int> line(2);
+    line.write(1);
+    line.commit();
+    line.flush();
+    line.commit();
+    EXPECT_EQ(line.read(), 0);
+}
+
+TEST(DelayLine, ZeroLengthPanics)
+{
+    EXPECT_THROW(DelayLine<int>(0), std::logic_error);
+}
+
+} // namespace
+} // namespace spm::systolic

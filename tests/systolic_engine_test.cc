@@ -1,0 +1,183 @@
+/** @file Unit tests for the systolic engine and trace recorder. */
+
+#include <gtest/gtest.h>
+
+#include "systolic/engine.hh"
+#include "systolic/latch.hh"
+#include "systolic/trace.hh"
+
+namespace spm::systolic
+{
+namespace
+{
+
+/** A shift stage: copies its source latch on every beat. */
+class StageCell : public CellBase
+{
+  public:
+    StageCell(std::string name, unsigned parity, const Latch<int> *src)
+        : CellBase(std::move(name), parity), source(src)
+    {
+    }
+
+    void evaluate(Beat) override { value.write(source->read()); }
+    void commit() override { value.commit(); }
+
+    std::string
+    stateString() const override
+    {
+        return std::to_string(value.read());
+    }
+
+    const Latch<int> &out() const { return value; }
+
+  private:
+    const Latch<int> *source;
+    Latch<int> value;
+};
+
+class EngineFixture : public ::testing::Test
+{
+  protected:
+    /** Build a chain of @p n stages fed from `input`. */
+    void
+    buildChain(std::size_t n)
+    {
+        const Latch<int> *src = &input;
+        for (std::size_t i = 0; i < n; ++i) {
+            auto &cell = engine.makeCell<StageCell>(
+                "s" + std::to_string(i), static_cast<unsigned>(i % 2),
+                src);
+            cells.push_back(&cell);
+            src = &cell.out();
+        }
+    }
+
+    Engine engine;
+    Latch<int> input;
+    std::vector<StageCell *> cells;
+};
+
+TEST_F(EngineFixture, DataMovesOneCellPerBeat)
+{
+    buildChain(4);
+    input.force(42);
+    engine.step();
+    EXPECT_EQ(cells[0]->out().read(), 42);
+    EXPECT_EQ(cells[1]->out().read(), 0);
+    input.force(0);
+    engine.step();
+    EXPECT_EQ(cells[1]->out().read(), 42);
+    engine.step();
+    engine.step();
+    EXPECT_EQ(cells[3]->out().read(), 42);
+}
+
+TEST_F(EngineFixture, SimultaneousMovement)
+{
+    // Feed a new value every beat; after k beats cell c holds the
+    // value fed k-c beats ago -- no value may skip a cell.
+    buildChain(3);
+    for (int v = 1; v <= 5; ++v) {
+        input.force(v * 10);
+        engine.step();
+    }
+    EXPECT_EQ(cells[0]->out().read(), 50);
+    EXPECT_EQ(cells[1]->out().read(), 40);
+    EXPECT_EQ(cells[2]->out().read(), 30);
+}
+
+TEST_F(EngineFixture, ClockAdvancesWithSteps)
+{
+    buildChain(1);
+    engine.run(5);
+    EXPECT_EQ(engine.clock().beat(), 5u);
+    EXPECT_EQ(engine.stats().counter("beats").value(), 5u);
+    EXPECT_EQ(engine.stats().counter("evaluations").value(), 5u);
+}
+
+TEST_F(EngineFixture, UtilizationIsHalfForAlternatingParity)
+{
+    buildChain(4); // parities 0,1,0,1
+    engine.run(10);
+    EXPECT_DOUBLE_EQ(engine.lastUtilization(), 0.5);
+    EXPECT_DOUBLE_EQ(engine.utilization().mean(), 0.5);
+}
+
+TEST_F(EngineFixture, HooksRunInOrder)
+{
+    buildChain(1);
+    std::vector<std::string> events;
+    engine.onBeatStart([&events](Beat b) {
+        events.push_back("start" + std::to_string(b));
+    });
+    engine.onBeatEnd([&events](Beat b) {
+        events.push_back("end" + std::to_string(b));
+    });
+    engine.run(2);
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0], "start0");
+    EXPECT_EQ(events[1], "end0");
+    EXPECT_EQ(events[2], "start1");
+    EXPECT_EQ(events[3], "end1");
+}
+
+TEST_F(EngineFixture, CellAccessByIndex)
+{
+    buildChain(2);
+    EXPECT_EQ(engine.cellCount(), 2u);
+    EXPECT_EQ(engine.cell(0).cellName(), "s0");
+    EXPECT_THROW(engine.cell(2), std::logic_error);
+}
+
+TEST_F(EngineFixture, TraceRecordsPerBeatStates)
+{
+    buildChain(2);
+    TraceRecorder trace;
+    engine.attachTrace(&trace);
+    input.force(7);
+    engine.step();
+    input.force(8);
+    engine.step();
+    ASSERT_EQ(trace.beatCount(), 2u);
+    EXPECT_EQ(trace.beatOf(0), 0u);
+    // Cell 0 has parity 0, active on beat 0 -> starred.
+    EXPECT_EQ(trace.at(0, 0), "7*");
+    EXPECT_EQ(trace.at(1, 0), "8");
+    EXPECT_EQ(trace.at(1, 1), "7*");
+}
+
+TEST_F(EngineFixture, TraceRenderContainsHeaders)
+{
+    buildChain(2);
+    TraceRecorder trace;
+    engine.attachTrace(&trace);
+    engine.run(3);
+    const std::string s = trace.render(engine);
+    EXPECT_NE(s.find("beat"), std::string::npos);
+    EXPECT_NE(s.find("s0"), std::string::npos);
+    EXPECT_NE(s.find("s1"), std::string::npos);
+}
+
+TEST_F(EngineFixture, TraceBeatLimitBoundsMemory)
+{
+    buildChain(1);
+    TraceRecorder trace(2);
+    engine.attachTrace(&trace);
+    engine.run(10);
+    EXPECT_EQ(trace.beatCount(), 2u);
+}
+
+TEST(CellBase, ActivityFollowsParity)
+{
+    Latch<int> src;
+    StageCell even("e", 0, &src);
+    StageCell odd("o", 1, &src);
+    EXPECT_TRUE(even.activeOn(0));
+    EXPECT_FALSE(even.activeOn(1));
+    EXPECT_FALSE(odd.activeOn(0));
+    EXPECT_TRUE(odd.activeOn(1));
+}
+
+} // namespace
+} // namespace spm::systolic

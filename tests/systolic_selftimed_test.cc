@@ -1,0 +1,115 @@
+/** @file Tests for the self-timed vs clocked timing model. */
+
+#include <gtest/gtest.h>
+
+#include "systolic/selftimed.hh"
+
+namespace spm::systolic
+{
+namespace
+{
+
+SelfTimedModel::Config
+baseConfig()
+{
+    SelfTimedModel::Config cfg;
+    cfg.cells = 16;
+    cfg.meanDelayNs = 100.0;
+    cfg.jitterNs = 25.0;
+    cfg.handshakeNs = 15.0;
+    cfg.skewPerCellNs = 0.5;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(SelfTimed, DeterministicForSeed)
+{
+    SelfTimedModel a(baseConfig()), b(baseConfig());
+    EXPECT_DOUBLE_EQ(a.selfTimedCompletionNs(100),
+                     b.selfTimedCompletionNs(100));
+}
+
+TEST(SelfTimed, ZeroBeatsIsFree)
+{
+    SelfTimedModel m(baseConfig());
+    EXPECT_DOUBLE_EQ(m.selfTimedCompletionNs(0), 0.0);
+    EXPECT_DOUBLE_EQ(m.clockedCompletionNs(0), 0.0);
+}
+
+TEST(SelfTimed, CompletionBoundedByBestAndWorstCase)
+{
+    auto cfg = baseConfig();
+    SelfTimedModel m(cfg);
+    const Beat beats = 500;
+    const double t = m.selfTimedCompletionNs(beats);
+    // Lower bound: every beat takes at least min delay + handshake.
+    EXPECT_GE(t, (cfg.meanDelayNs - cfg.jitterNs + cfg.handshakeNs) *
+                     static_cast<double>(beats));
+    // Upper bound: never worse than worst-case lockstep.
+    EXPECT_LE(t, (cfg.meanDelayNs + cfg.jitterNs + cfg.handshakeNs) *
+                     static_cast<double>(beats) +
+                     1e-6);
+}
+
+TEST(SelfTimed, ClockPeriodCoversWorstCasePlusSkew)
+{
+    auto cfg = baseConfig();
+    SelfTimedModel m(cfg);
+    EXPECT_DOUBLE_EQ(m.clockPeriodNs(),
+                     100.0 + 25.0 + 0.5 * 16);
+}
+
+TEST(SelfTimed, SmallArraysFavorTheClock)
+{
+    // The paper's judgment for the pattern matching chip: at 8
+    // cells, skew is negligible and the handshake overhead makes
+    // self-timing slower.
+    auto cfg = baseConfig();
+    cfg.cells = 8;
+    SelfTimedModel m(cfg);
+    const Beat beats = 2000;
+    EXPECT_GT(m.selfTimedCompletionNs(beats),
+              m.clockedCompletionNs(beats));
+}
+
+TEST(SelfTimed, LargeArraysFavorSelfTiming)
+{
+    // "For larger systems, of course, self-timed communication may
+    // have to be used": skew grows with array length until the
+    // clocked period loses to handshaking.
+    auto cfg = baseConfig();
+    cfg.cells = 512;
+    SelfTimedModel m(cfg);
+    const Beat beats = 500;
+    EXPECT_LT(m.selfTimedCompletionNs(beats),
+              m.clockedCompletionNs(beats));
+}
+
+TEST(SelfTimed, JitterAveragesOutInLongRuns)
+{
+    // The self-timed per-beat advance converges near the mean delay
+    // plus handshake (neighbors absorb each other's jitter only
+    // partially; the max over three neighbors biases upward of the
+    // mean but stays well under worst case).
+    auto cfg = baseConfig();
+    cfg.cells = 64;
+    SelfTimedModel m(cfg);
+    m.selfTimedCompletionNs(3000);
+    const double per_beat = m.lastSelfTimedBeatNs();
+    EXPECT_GT(per_beat, cfg.meanDelayNs + cfg.handshakeNs - 1.0);
+    EXPECT_LT(per_beat,
+              cfg.meanDelayNs + cfg.jitterNs + cfg.handshakeNs);
+}
+
+TEST(SelfTimed, ParameterValidation)
+{
+    auto cfg = baseConfig();
+    cfg.cells = 0;
+    EXPECT_THROW(SelfTimedModel{cfg}, std::logic_error);
+    cfg = baseConfig();
+    cfg.jitterNs = 200.0;
+    EXPECT_THROW(SelfTimedModel{cfg}, std::logic_error);
+}
+
+} // namespace
+} // namespace spm::systolic

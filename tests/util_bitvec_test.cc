@@ -1,0 +1,141 @@
+/** @file Unit tests for the BitVec container. */
+
+#include <gtest/gtest.h>
+
+#include "util/bitvec.hh"
+
+namespace spm
+{
+namespace
+{
+
+TEST(BitVec, StartsEmpty)
+{
+    BitVec v;
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, ConstructFilled)
+{
+    BitVec zeros(100, false);
+    EXPECT_EQ(zeros.size(), 100u);
+    EXPECT_EQ(zeros.popcount(), 0u);
+
+    BitVec ones(100, true);
+    EXPECT_EQ(ones.popcount(), 100u);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_TRUE(ones.get(i));
+}
+
+TEST(BitVec, SetAndGet)
+{
+    BitVec v(130);
+    v.set(0, true);
+    v.set(64, true);
+    v.set(129, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(129));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_FALSE(v.get(63));
+    EXPECT_EQ(v.popcount(), 3u);
+
+    v.set(64, false);
+    EXPECT_FALSE(v.get(64));
+    EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVec, PushBackCrossesWordBoundary)
+{
+    BitVec v;
+    for (int i = 0; i < 70; ++i)
+        v.pushBack(i % 3 == 0);
+    EXPECT_EQ(v.size(), 70u);
+    for (int i = 0; i < 70; ++i)
+        EXPECT_EQ(v.get(i), i % 3 == 0) << "bit " << i;
+}
+
+TEST(BitVec, FromStringAndToString)
+{
+    const std::string s = "0110100101";
+    BitVec v = BitVec::fromString(s);
+    EXPECT_EQ(v.toString(), s);
+    EXPECT_EQ(v.popcount(), 5u);
+}
+
+TEST(BitVec, FromStringRejectsJunk)
+{
+    EXPECT_THROW(BitVec::fromString("01a"), std::logic_error);
+}
+
+TEST(BitVec, FindFirst)
+{
+    BitVec v(200);
+    EXPECT_EQ(v.findFirst(), 200u);
+    v.set(131, true);
+    EXPECT_EQ(v.findFirst(), 131u);
+    v.set(7, true);
+    EXPECT_EQ(v.findFirst(), 7u);
+}
+
+TEST(BitVec, LogicalOperators)
+{
+    BitVec a = BitVec::fromString("1100");
+    BitVec b = BitVec::fromString("1010");
+    EXPECT_EQ((a & b).toString(), "1000");
+    EXPECT_EQ((a | b).toString(), "1110");
+    EXPECT_EQ((a ^ b).toString(), "0110");
+}
+
+TEST(BitVec, SizeMismatchPanics)
+{
+    BitVec a(4), b(5);
+    EXPECT_THROW(a &= b, std::logic_error);
+}
+
+TEST(BitVec, FlipRespectsTail)
+{
+    BitVec v(66, false);
+    v.flip();
+    EXPECT_EQ(v.popcount(), 66u);
+    v.flip();
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, ResizeGrowsWithValue)
+{
+    BitVec v(10, false);
+    v.resize(80, true);
+    EXPECT_EQ(v.size(), 80u);
+    EXPECT_EQ(v.popcount(), 70u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_FALSE(v.get(i));
+    for (std::size_t i = 10; i < 80; ++i)
+        EXPECT_TRUE(v.get(i));
+}
+
+TEST(BitVec, ResizeShrinkDropsBits)
+{
+    BitVec v(80, true);
+    v.resize(5);
+    EXPECT_EQ(v.size(), 5u);
+    EXPECT_EQ(v.popcount(), 5u);
+}
+
+TEST(BitVec, EqualityIncludesLength)
+{
+    EXPECT_EQ(BitVec::fromString("101"), BitVec::fromString("101"));
+    EXPECT_FALSE(BitVec::fromString("101") == BitVec::fromString("1010"));
+}
+
+TEST(BitVec, OutOfRangeAccessPanics)
+{
+    BitVec v(8);
+    EXPECT_THROW(v.get(8), std::logic_error);
+    EXPECT_THROW(v.set(9, true), std::logic_error);
+}
+
+} // namespace
+} // namespace spm

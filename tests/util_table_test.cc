@@ -1,0 +1,58 @@
+/** @file Unit tests for the ASCII table renderer. */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace spm
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    Table t("caption");
+    t.setHeader({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("caption"), std::string::npos);
+    EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+    EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, RowOfFormatsMixedTypes)
+{
+    Table t;
+    t.addRowOf("k", 42, 2.5, std::string("s"));
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("2.50"), std::string::npos);
+    EXPECT_NE(s.find("s"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(Table, ShortRowsPadOut)
+{
+    Table t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"only"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("| only |"), std::string::npos);
+}
+
+TEST(Table, FixedFormatsDigits)
+{
+    EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fixed(3.0, 0), "3");
+    EXPECT_EQ(Table::fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Table, EmptyTableStillRenders)
+{
+    Table t;
+    EXPECT_FALSE(t.toString().empty());
+}
+
+} // namespace
+} // namespace spm
