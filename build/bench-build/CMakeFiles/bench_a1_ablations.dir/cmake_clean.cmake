@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a1_ablations"
+  "../bench/bench_a1_ablations.pdb"
+  "CMakeFiles/bench_a1_ablations.dir/bench_a1_ablations.cc.o"
+  "CMakeFiles/bench_a1_ablations.dir/bench_a1_ablations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_wafer_scale"
+  "../bench/bench_a2_wafer_scale.pdb"
+  "CMakeFiles/bench_a2_wafer_scale.dir/bench_a2_wafer_scale.cc.o"
+  "CMakeFiles/bench_a2_wafer_scale.dir/bench_a2_wafer_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_wafer_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

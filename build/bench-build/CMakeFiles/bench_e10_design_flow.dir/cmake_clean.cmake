@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_design_flow"
+  "../bench/bench_e10_design_flow.pdb"
+  "CMakeFiles/bench_e10_design_flow.dir/bench_e10_design_flow.cc.o"
+  "CMakeFiles/bench_e10_design_flow.dir/bench_e10_design_flow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_design_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

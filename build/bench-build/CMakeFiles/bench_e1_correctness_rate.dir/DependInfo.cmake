@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e1_correctness_rate.cc" "bench-build/CMakeFiles/bench_e1_correctness_rate.dir/bench_e1_correctness_rate.cc.o" "gcc" "bench-build/CMakeFiles/bench_e1_correctness_rate.dir/bench_e1_correctness_rate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/spm_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/spm_extensions.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/spm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/spm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/spm_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/spm_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_choreography"
+  "../bench/bench_e2_choreography.pdb"
+  "CMakeFiles/bench_e2_choreography.dir/bench_e2_choreography.cc.o"
+  "CMakeFiles/bench_e2_choreography.dir/bench_e2_choreography.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_choreography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_checkerboard"
+  "../bench/bench_e3_checkerboard.pdb"
+  "CMakeFiles/bench_e3_checkerboard.dir/bench_e3_checkerboard.cc.o"
+  "CMakeFiles/bench_e3_checkerboard.dir/bench_e3_checkerboard.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_checkerboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

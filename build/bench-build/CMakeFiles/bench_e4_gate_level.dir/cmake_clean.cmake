@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_gate_level"
+  "../bench/bench_e4_gate_level.pdb"
+  "CMakeFiles/bench_e4_gate_level.dir/bench_e4_gate_level.cc.o"
+  "CMakeFiles/bench_e4_gate_level.dir/bench_e4_gate_level.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_gate_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_data_rate"
+  "../bench/bench_e5_data_rate.pdb"
+  "CMakeFiles/bench_e5_data_rate.dir/bench_e5_data_rate.cc.o"
+  "CMakeFiles/bench_e5_data_rate.dir/bench_e5_data_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_data_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_alternatives"
+  "../bench/bench_e6_alternatives.pdb"
+  "CMakeFiles/bench_e6_alternatives.dir/bench_e6_alternatives.cc.o"
+  "CMakeFiles/bench_e6_alternatives.dir/bench_e6_alternatives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_cascade"
+  "../bench/bench_e7_cascade.pdb"
+  "CMakeFiles/bench_e7_cascade.dir/bench_e7_cascade.cc.o"
+  "CMakeFiles/bench_e7_cascade.dir/bench_e7_cascade.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_extensions"
+  "../bench/bench_e8_extensions.pdb"
+  "CMakeFiles/bench_e8_extensions.dir/bench_e8_extensions.cc.o"
+  "CMakeFiles/bench_e8_extensions.dir/bench_e8_extensions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_convolution"
+  "../bench/bench_e9_convolution.pdb"
+  "CMakeFiles/bench_e9_convolution.dir/bench_e9_convolution.cc.o"
+  "CMakeFiles/bench_e9_convolution.dir/bench_e9_convolution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

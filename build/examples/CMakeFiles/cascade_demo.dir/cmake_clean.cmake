@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_demo.dir/cascade_demo.cpp.o"
+  "CMakeFiles/cascade_demo.dir/cascade_demo.cpp.o.d"
+  "cascade_demo"
+  "cascade_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_design_flow.dir/chip_design_flow.cpp.o"
+  "CMakeFiles/chip_design_flow.dir/chip_design_flow.cpp.o.d"
+  "chip_design_flow"
+  "chip_design_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_design_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

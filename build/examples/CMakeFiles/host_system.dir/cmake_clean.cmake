@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_system.dir/host_system.cpp.o"
+  "CMakeFiles/host_system.dir/host_system.cpp.o.d"
+  "host_system"
+  "host_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

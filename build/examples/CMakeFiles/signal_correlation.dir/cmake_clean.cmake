@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_correlation.dir/signal_correlation.cpp.o"
+  "CMakeFiles/signal_correlation.dir/signal_correlation.cpp.o.d"
+  "signal_correlation"
+  "signal_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

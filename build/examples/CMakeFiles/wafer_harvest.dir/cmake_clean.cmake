@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafer_harvest.dir/wafer_harvest.cpp.o"
+  "CMakeFiles/wafer_harvest.dir/wafer_harvest.cpp.o.d"
+  "wafer_harvest"
+  "wafer_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafer_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wafer_harvest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/boyermoore.cc" "src/baselines/CMakeFiles/spm_baselines.dir/boyermoore.cc.o" "gcc" "src/baselines/CMakeFiles/spm_baselines.dir/boyermoore.cc.o.d"
+  "/root/repo/src/baselines/broadcast.cc" "src/baselines/CMakeFiles/spm_baselines.dir/broadcast.cc.o" "gcc" "src/baselines/CMakeFiles/spm_baselines.dir/broadcast.cc.o.d"
+  "/root/repo/src/baselines/fftmatch.cc" "src/baselines/CMakeFiles/spm_baselines.dir/fftmatch.cc.o" "gcc" "src/baselines/CMakeFiles/spm_baselines.dir/fftmatch.cc.o.d"
+  "/root/repo/src/baselines/kmp.cc" "src/baselines/CMakeFiles/spm_baselines.dir/kmp.cc.o" "gcc" "src/baselines/CMakeFiles/spm_baselines.dir/kmp.cc.o.d"
+  "/root/repo/src/baselines/naive.cc" "src/baselines/CMakeFiles/spm_baselines.dir/naive.cc.o" "gcc" "src/baselines/CMakeFiles/spm_baselines.dir/naive.cc.o.d"
+  "/root/repo/src/baselines/staticarray.cc" "src/baselines/CMakeFiles/spm_baselines.dir/staticarray.cc.o" "gcc" "src/baselines/CMakeFiles/spm_baselines.dir/staticarray.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/spm_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/spm_systolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_baselines.dir/boyermoore.cc.o"
+  "CMakeFiles/spm_baselines.dir/boyermoore.cc.o.d"
+  "CMakeFiles/spm_baselines.dir/broadcast.cc.o"
+  "CMakeFiles/spm_baselines.dir/broadcast.cc.o.d"
+  "CMakeFiles/spm_baselines.dir/fftmatch.cc.o"
+  "CMakeFiles/spm_baselines.dir/fftmatch.cc.o.d"
+  "CMakeFiles/spm_baselines.dir/kmp.cc.o"
+  "CMakeFiles/spm_baselines.dir/kmp.cc.o.d"
+  "CMakeFiles/spm_baselines.dir/naive.cc.o"
+  "CMakeFiles/spm_baselines.dir/naive.cc.o.d"
+  "CMakeFiles/spm_baselines.dir/staticarray.cc.o"
+  "CMakeFiles/spm_baselines.dir/staticarray.cc.o.d"
+  "libspm_baselines.a"
+  "libspm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

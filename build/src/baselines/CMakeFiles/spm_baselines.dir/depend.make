@@ -1,0 +1,2 @@
+# Empty dependencies file for spm_baselines.
+# This may be replaced when dependencies are built.

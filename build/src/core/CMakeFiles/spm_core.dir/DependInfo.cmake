@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/behavioral.cc" "src/core/CMakeFiles/spm_core.dir/behavioral.cc.o" "gcc" "src/core/CMakeFiles/spm_core.dir/behavioral.cc.o.d"
+  "/root/repo/src/core/bitserial.cc" "src/core/CMakeFiles/spm_core.dir/bitserial.cc.o" "gcc" "src/core/CMakeFiles/spm_core.dir/bitserial.cc.o.d"
+  "/root/repo/src/core/cascade.cc" "src/core/CMakeFiles/spm_core.dir/cascade.cc.o" "gcc" "src/core/CMakeFiles/spm_core.dir/cascade.cc.o.d"
+  "/root/repo/src/core/cells.cc" "src/core/CMakeFiles/spm_core.dir/cells.cc.o" "gcc" "src/core/CMakeFiles/spm_core.dir/cells.cc.o.d"
+  "/root/repo/src/core/gatechip.cc" "src/core/CMakeFiles/spm_core.dir/gatechip.cc.o" "gcc" "src/core/CMakeFiles/spm_core.dir/gatechip.cc.o.d"
+  "/root/repo/src/core/hostbus.cc" "src/core/CMakeFiles/spm_core.dir/hostbus.cc.o" "gcc" "src/core/CMakeFiles/spm_core.dir/hostbus.cc.o.d"
+  "/root/repo/src/core/multipass.cc" "src/core/CMakeFiles/spm_core.dir/multipass.cc.o" "gcc" "src/core/CMakeFiles/spm_core.dir/multipass.cc.o.d"
+  "/root/repo/src/core/reference.cc" "src/core/CMakeFiles/spm_core.dir/reference.cc.o" "gcc" "src/core/CMakeFiles/spm_core.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/spm_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/spm_gate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_core.dir/behavioral.cc.o"
+  "CMakeFiles/spm_core.dir/behavioral.cc.o.d"
+  "CMakeFiles/spm_core.dir/bitserial.cc.o"
+  "CMakeFiles/spm_core.dir/bitserial.cc.o.d"
+  "CMakeFiles/spm_core.dir/cascade.cc.o"
+  "CMakeFiles/spm_core.dir/cascade.cc.o.d"
+  "CMakeFiles/spm_core.dir/cells.cc.o"
+  "CMakeFiles/spm_core.dir/cells.cc.o.d"
+  "CMakeFiles/spm_core.dir/gatechip.cc.o"
+  "CMakeFiles/spm_core.dir/gatechip.cc.o.d"
+  "CMakeFiles/spm_core.dir/hostbus.cc.o"
+  "CMakeFiles/spm_core.dir/hostbus.cc.o.d"
+  "CMakeFiles/spm_core.dir/multipass.cc.o"
+  "CMakeFiles/spm_core.dir/multipass.cc.o.d"
+  "CMakeFiles/spm_core.dir/reference.cc.o"
+  "CMakeFiles/spm_core.dir/reference.cc.o.d"
+  "libspm_core.a"
+  "libspm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extensions/counting.cc" "src/extensions/CMakeFiles/spm_extensions.dir/counting.cc.o" "gcc" "src/extensions/CMakeFiles/spm_extensions.dir/counting.cc.o.d"
+  "/root/repo/src/extensions/numarray.cc" "src/extensions/CMakeFiles/spm_extensions.dir/numarray.cc.o" "gcc" "src/extensions/CMakeFiles/spm_extensions.dir/numarray.cc.o.d"
+  "/root/repo/src/extensions/numcells.cc" "src/extensions/CMakeFiles/spm_extensions.dir/numcells.cc.o" "gcc" "src/extensions/CMakeFiles/spm_extensions.dir/numcells.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/spm_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/spm_gate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

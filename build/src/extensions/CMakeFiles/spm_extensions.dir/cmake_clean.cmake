@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_extensions.dir/counting.cc.o"
+  "CMakeFiles/spm_extensions.dir/counting.cc.o.d"
+  "CMakeFiles/spm_extensions.dir/numarray.cc.o"
+  "CMakeFiles/spm_extensions.dir/numarray.cc.o.d"
+  "CMakeFiles/spm_extensions.dir/numcells.cc.o"
+  "CMakeFiles/spm_extensions.dir/numcells.cc.o.d"
+  "libspm_extensions.a"
+  "libspm_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/designflow.cc" "src/flow/CMakeFiles/spm_flow.dir/designflow.cc.o" "gcc" "src/flow/CMakeFiles/spm_flow.dir/designflow.cc.o.d"
+  "/root/repo/src/flow/taskgraph.cc" "src/flow/CMakeFiles/spm_flow.dir/taskgraph.cc.o" "gcc" "src/flow/CMakeFiles/spm_flow.dir/taskgraph.cc.o.d"
+  "/root/repo/src/flow/wafer.cc" "src/flow/CMakeFiles/spm_flow.dir/wafer.cc.o" "gcc" "src/flow/CMakeFiles/spm_flow.dir/wafer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/spm_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/spm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/spm_systolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_flow.dir/designflow.cc.o"
+  "CMakeFiles/spm_flow.dir/designflow.cc.o.d"
+  "CMakeFiles/spm_flow.dir/taskgraph.cc.o"
+  "CMakeFiles/spm_flow.dir/taskgraph.cc.o.d"
+  "CMakeFiles/spm_flow.dir/wafer.cc.o"
+  "CMakeFiles/spm_flow.dir/wafer.cc.o.d"
+  "libspm_flow.a"
+  "libspm_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gate/device.cc" "src/gate/CMakeFiles/spm_gate.dir/device.cc.o" "gcc" "src/gate/CMakeFiles/spm_gate.dir/device.cc.o.d"
+  "/root/repo/src/gate/netlist.cc" "src/gate/CMakeFiles/spm_gate.dir/netlist.cc.o" "gcc" "src/gate/CMakeFiles/spm_gate.dir/netlist.cc.o.d"
+  "/root/repo/src/gate/pla.cc" "src/gate/CMakeFiles/spm_gate.dir/pla.cc.o" "gcc" "src/gate/CMakeFiles/spm_gate.dir/pla.cc.o.d"
+  "/root/repo/src/gate/stdcells.cc" "src/gate/CMakeFiles/spm_gate.dir/stdcells.cc.o" "gcc" "src/gate/CMakeFiles/spm_gate.dir/stdcells.cc.o.d"
+  "/root/repo/src/gate/twophase.cc" "src/gate/CMakeFiles/spm_gate.dir/twophase.cc.o" "gcc" "src/gate/CMakeFiles/spm_gate.dir/twophase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/spm_systolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_gate.dir/device.cc.o"
+  "CMakeFiles/spm_gate.dir/device.cc.o.d"
+  "CMakeFiles/spm_gate.dir/netlist.cc.o"
+  "CMakeFiles/spm_gate.dir/netlist.cc.o.d"
+  "CMakeFiles/spm_gate.dir/pla.cc.o"
+  "CMakeFiles/spm_gate.dir/pla.cc.o.d"
+  "CMakeFiles/spm_gate.dir/stdcells.cc.o"
+  "CMakeFiles/spm_gate.dir/stdcells.cc.o.d"
+  "CMakeFiles/spm_gate.dir/twophase.cc.o"
+  "CMakeFiles/spm_gate.dir/twophase.cc.o.d"
+  "libspm_gate.a"
+  "libspm_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

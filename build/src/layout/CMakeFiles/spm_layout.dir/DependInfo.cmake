@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/cellgen.cc" "src/layout/CMakeFiles/spm_layout.dir/cellgen.cc.o" "gcc" "src/layout/CMakeFiles/spm_layout.dir/cellgen.cc.o.d"
+  "/root/repo/src/layout/cif.cc" "src/layout/CMakeFiles/spm_layout.dir/cif.cc.o" "gcc" "src/layout/CMakeFiles/spm_layout.dir/cif.cc.o.d"
+  "/root/repo/src/layout/drc.cc" "src/layout/CMakeFiles/spm_layout.dir/drc.cc.o" "gcc" "src/layout/CMakeFiles/spm_layout.dir/drc.cc.o.d"
+  "/root/repo/src/layout/geometry.cc" "src/layout/CMakeFiles/spm_layout.dir/geometry.cc.o" "gcc" "src/layout/CMakeFiles/spm_layout.dir/geometry.cc.o.d"
+  "/root/repo/src/layout/masklayout.cc" "src/layout/CMakeFiles/spm_layout.dir/masklayout.cc.o" "gcc" "src/layout/CMakeFiles/spm_layout.dir/masklayout.cc.o.d"
+  "/root/repo/src/layout/rules.cc" "src/layout/CMakeFiles/spm_layout.dir/rules.cc.o" "gcc" "src/layout/CMakeFiles/spm_layout.dir/rules.cc.o.d"
+  "/root/repo/src/layout/sticks.cc" "src/layout/CMakeFiles/spm_layout.dir/sticks.cc.o" "gcc" "src/layout/CMakeFiles/spm_layout.dir/sticks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/spm_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/spm_systolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

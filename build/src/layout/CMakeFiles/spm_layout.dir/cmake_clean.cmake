@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_layout.dir/cellgen.cc.o"
+  "CMakeFiles/spm_layout.dir/cellgen.cc.o.d"
+  "CMakeFiles/spm_layout.dir/cif.cc.o"
+  "CMakeFiles/spm_layout.dir/cif.cc.o.d"
+  "CMakeFiles/spm_layout.dir/drc.cc.o"
+  "CMakeFiles/spm_layout.dir/drc.cc.o.d"
+  "CMakeFiles/spm_layout.dir/geometry.cc.o"
+  "CMakeFiles/spm_layout.dir/geometry.cc.o.d"
+  "CMakeFiles/spm_layout.dir/masklayout.cc.o"
+  "CMakeFiles/spm_layout.dir/masklayout.cc.o.d"
+  "CMakeFiles/spm_layout.dir/rules.cc.o"
+  "CMakeFiles/spm_layout.dir/rules.cc.o.d"
+  "CMakeFiles/spm_layout.dir/sticks.cc.o"
+  "CMakeFiles/spm_layout.dir/sticks.cc.o.d"
+  "libspm_layout.a"
+  "libspm_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

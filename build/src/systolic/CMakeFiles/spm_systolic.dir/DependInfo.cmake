@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systolic/clock.cc" "src/systolic/CMakeFiles/spm_systolic.dir/clock.cc.o" "gcc" "src/systolic/CMakeFiles/spm_systolic.dir/clock.cc.o.d"
+  "/root/repo/src/systolic/engine.cc" "src/systolic/CMakeFiles/spm_systolic.dir/engine.cc.o" "gcc" "src/systolic/CMakeFiles/spm_systolic.dir/engine.cc.o.d"
+  "/root/repo/src/systolic/selftimed.cc" "src/systolic/CMakeFiles/spm_systolic.dir/selftimed.cc.o" "gcc" "src/systolic/CMakeFiles/spm_systolic.dir/selftimed.cc.o.d"
+  "/root/repo/src/systolic/trace.cc" "src/systolic/CMakeFiles/spm_systolic.dir/trace.cc.o" "gcc" "src/systolic/CMakeFiles/spm_systolic.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_systolic.dir/clock.cc.o"
+  "CMakeFiles/spm_systolic.dir/clock.cc.o.d"
+  "CMakeFiles/spm_systolic.dir/engine.cc.o"
+  "CMakeFiles/spm_systolic.dir/engine.cc.o.d"
+  "CMakeFiles/spm_systolic.dir/selftimed.cc.o"
+  "CMakeFiles/spm_systolic.dir/selftimed.cc.o.d"
+  "CMakeFiles/spm_systolic.dir/trace.cc.o"
+  "CMakeFiles/spm_systolic.dir/trace.cc.o.d"
+  "libspm_systolic.a"
+  "libspm_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spm_systolic.
+# This may be replaced when dependencies are built.

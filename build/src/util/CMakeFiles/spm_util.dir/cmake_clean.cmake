@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_util.dir/bitvec.cc.o"
+  "CMakeFiles/spm_util.dir/bitvec.cc.o.d"
+  "CMakeFiles/spm_util.dir/logging.cc.o"
+  "CMakeFiles/spm_util.dir/logging.cc.o.d"
+  "CMakeFiles/spm_util.dir/rng.cc.o"
+  "CMakeFiles/spm_util.dir/rng.cc.o.d"
+  "CMakeFiles/spm_util.dir/stats.cc.o"
+  "CMakeFiles/spm_util.dir/stats.cc.o.d"
+  "CMakeFiles/spm_util.dir/strings.cc.o"
+  "CMakeFiles/spm_util.dir/strings.cc.o.d"
+  "CMakeFiles/spm_util.dir/table.cc.o"
+  "CMakeFiles/spm_util.dir/table.cc.o.d"
+  "libspm_util.a"
+  "libspm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspm_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_behavioral_test.dir/core_behavioral_test.cc.o"
+  "CMakeFiles/core_behavioral_test.dir/core_behavioral_test.cc.o.d"
+  "core_behavioral_test"
+  "core_behavioral_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_behavioral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

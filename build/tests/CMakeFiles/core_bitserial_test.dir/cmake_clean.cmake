@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bitserial_test.dir/core_bitserial_test.cc.o"
+  "CMakeFiles/core_bitserial_test.dir/core_bitserial_test.cc.o.d"
+  "core_bitserial_test"
+  "core_bitserial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bitserial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

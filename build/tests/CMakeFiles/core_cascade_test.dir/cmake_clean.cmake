@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cascade_test.dir/core_cascade_test.cc.o"
+  "CMakeFiles/core_cascade_test.dir/core_cascade_test.cc.o.d"
+  "core_cascade_test"
+  "core_cascade_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cascade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hostbus_test.dir/core_hostbus_test.cc.o"
+  "CMakeFiles/core_hostbus_test.dir/core_hostbus_test.cc.o.d"
+  "core_hostbus_test"
+  "core_hostbus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hostbus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multipass_test.dir/core_multipass_test.cc.o"
+  "CMakeFiles/core_multipass_test.dir/core_multipass_test.cc.o.d"
+  "core_multipass_test"
+  "core_multipass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multipass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

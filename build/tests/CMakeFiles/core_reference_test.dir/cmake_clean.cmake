@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_reference_test.dir/core_reference_test.cc.o"
+  "CMakeFiles/core_reference_test.dir/core_reference_test.cc.o.d"
+  "core_reference_test"
+  "core_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

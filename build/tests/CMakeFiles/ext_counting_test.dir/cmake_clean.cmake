@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_counting_test.dir/ext_counting_test.cc.o"
+  "CMakeFiles/ext_counting_test.dir/ext_counting_test.cc.o.d"
+  "ext_counting_test"
+  "ext_counting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

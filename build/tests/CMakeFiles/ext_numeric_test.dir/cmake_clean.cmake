@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_numeric_test.dir/ext_numeric_test.cc.o"
+  "CMakeFiles/ext_numeric_test.dir/ext_numeric_test.cc.o.d"
+  "ext_numeric_test"
+  "ext_numeric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_numeric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_designflow_test.dir/flow_designflow_test.cc.o"
+  "CMakeFiles/flow_designflow_test.dir/flow_designflow_test.cc.o.d"
+  "flow_designflow_test"
+  "flow_designflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_designflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

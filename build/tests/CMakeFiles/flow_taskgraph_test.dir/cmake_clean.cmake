@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_taskgraph_test.dir/flow_taskgraph_test.cc.o"
+  "CMakeFiles/flow_taskgraph_test.dir/flow_taskgraph_test.cc.o.d"
+  "flow_taskgraph_test"
+  "flow_taskgraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_taskgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

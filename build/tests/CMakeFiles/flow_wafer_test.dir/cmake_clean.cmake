@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_wafer_test.dir/flow_wafer_test.cc.o"
+  "CMakeFiles/flow_wafer_test.dir/flow_wafer_test.cc.o.d"
+  "flow_wafer_test"
+  "flow_wafer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_wafer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

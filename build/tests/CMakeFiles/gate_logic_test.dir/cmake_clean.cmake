@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_logic_test.dir/gate_logic_test.cc.o"
+  "CMakeFiles/gate_logic_test.dir/gate_logic_test.cc.o.d"
+  "gate_logic_test"
+  "gate_logic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_netlist_test.dir/gate_netlist_test.cc.o"
+  "CMakeFiles/gate_netlist_test.dir/gate_netlist_test.cc.o.d"
+  "gate_netlist_test"
+  "gate_netlist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_netlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

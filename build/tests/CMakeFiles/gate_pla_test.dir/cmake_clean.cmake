@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_pla_test.dir/gate_pla_test.cc.o"
+  "CMakeFiles/gate_pla_test.dir/gate_pla_test.cc.o.d"
+  "gate_pla_test"
+  "gate_pla_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_pla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_staticsr_test.dir/gate_staticsr_test.cc.o"
+  "CMakeFiles/gate_staticsr_test.dir/gate_staticsr_test.cc.o.d"
+  "gate_staticsr_test"
+  "gate_staticsr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_staticsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

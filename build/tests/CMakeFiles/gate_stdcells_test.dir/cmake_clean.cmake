@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_stdcells_test.dir/gate_stdcells_test.cc.o"
+  "CMakeFiles/gate_stdcells_test.dir/gate_stdcells_test.cc.o.d"
+  "gate_stdcells_test"
+  "gate_stdcells_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_stdcells_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_twophase_test.dir/gate_twophase_test.cc.o"
+  "CMakeFiles/gate_twophase_test.dir/gate_twophase_test.cc.o.d"
+  "gate_twophase_test"
+  "gate_twophase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_twophase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

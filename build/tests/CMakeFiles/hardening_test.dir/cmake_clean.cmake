@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardening_test.dir/hardening_test.cc.o"
+  "CMakeFiles/hardening_test.dir/hardening_test.cc.o.d"
+  "hardening_test"
+  "hardening_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

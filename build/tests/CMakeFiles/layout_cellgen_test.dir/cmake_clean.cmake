@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_cellgen_test.dir/layout_cellgen_test.cc.o"
+  "CMakeFiles/layout_cellgen_test.dir/layout_cellgen_test.cc.o.d"
+  "layout_cellgen_test"
+  "layout_cellgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_cellgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

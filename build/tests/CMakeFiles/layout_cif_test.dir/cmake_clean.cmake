@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_cif_test.dir/layout_cif_test.cc.o"
+  "CMakeFiles/layout_cif_test.dir/layout_cif_test.cc.o.d"
+  "layout_cif_test"
+  "layout_cif_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_cif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_drc_test.dir/layout_drc_test.cc.o"
+  "CMakeFiles/layout_drc_test.dir/layout_drc_test.cc.o.d"
+  "layout_drc_test"
+  "layout_drc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_drc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

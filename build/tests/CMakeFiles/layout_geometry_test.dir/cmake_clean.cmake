@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_geometry_test.dir/layout_geometry_test.cc.o"
+  "CMakeFiles/layout_geometry_test.dir/layout_geometry_test.cc.o.d"
+  "layout_geometry_test"
+  "layout_geometry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

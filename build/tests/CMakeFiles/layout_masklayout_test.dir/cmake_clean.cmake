@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_masklayout_test.dir/layout_masklayout_test.cc.o"
+  "CMakeFiles/layout_masklayout_test.dir/layout_masklayout_test.cc.o.d"
+  "layout_masklayout_test"
+  "layout_masklayout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_masklayout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

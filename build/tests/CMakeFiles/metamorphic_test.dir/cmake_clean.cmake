@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metamorphic_test.dir/metamorphic_test.cc.o"
+  "CMakeFiles/metamorphic_test.dir/metamorphic_test.cc.o.d"
+  "metamorphic_test"
+  "metamorphic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metamorphic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_clock_test.dir/systolic_clock_test.cc.o"
+  "CMakeFiles/systolic_clock_test.dir/systolic_clock_test.cc.o.d"
+  "systolic_clock_test"
+  "systolic_clock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_engine_test.dir/systolic_engine_test.cc.o"
+  "CMakeFiles/systolic_engine_test.dir/systolic_engine_test.cc.o.d"
+  "systolic_engine_test"
+  "systolic_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

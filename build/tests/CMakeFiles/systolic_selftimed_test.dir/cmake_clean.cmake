@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_selftimed_test.dir/systolic_selftimed_test.cc.o"
+  "CMakeFiles/systolic_selftimed_test.dir/systolic_selftimed_test.cc.o.d"
+  "systolic_selftimed_test"
+  "systolic_selftimed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_selftimed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

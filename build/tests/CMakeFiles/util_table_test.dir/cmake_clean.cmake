@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_table_test.dir/util_table_test.cc.o"
+  "CMakeFiles/util_table_test.dir/util_table_test.cc.o.d"
+  "util_table_test"
+  "util_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
