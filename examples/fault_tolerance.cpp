@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fault-tolerance walkthrough: what the protected machine does when
+ * cells start lying.
+ *
+ * Four scenes on the 8-cell prototype workload:
+ *   1. a comparator output sticks -- the duplicated comparator flags
+ *      the divergence the beat it appears;
+ *   2. the same fault under TMR -- two healthy arrays outvote the
+ *      faulty one and the match completes anyway;
+ *   3. a transient bit flip -- detected, then cleared by one host
+ *      retry because the upset does not recur;
+ *   4. a cell dies outright -- retries exhaust, the wafer snake is
+ *      re-harvested around the corpse and the match re-runs on the
+ *      degraded N-1 cell array.
+ */
+
+#include <cstdio>
+
+#include "fault/campaign.hh"
+#include "fault/model.hh"
+
+int
+main()
+{
+    using namespace spm;
+    using namespace spm::fault;
+
+    CampaignConfig cfg;
+    cfg.cells = 8;
+    cfg.alphabetBits = 2;
+    cfg.textLen = 48;
+    cfg.patternLen = 4;
+    cfg.wildcardProb = 0.25;
+    cfg.seed = 1979;
+
+    std::printf("workload: %zu-character text, %zu-character pattern, "
+                "%zu-cell array, seed %llu\n",
+                cfg.textLen, cfg.patternLen, cfg.cells,
+                static_cast<unsigned long long>(cfg.seed));
+
+    // Scene 1: stuck comparator, caught by the duplicated comparator.
+    {
+        CampaignConfig c = cfg;
+        c.protection = Protection::none();
+        c.protection.selfCheck = true;
+        c.protection.referenceCheck = true;
+        FaultCampaign campaign(c);
+        Fault f;
+        f.kind = FaultKind::StuckAt1;
+        f.point = systolic::FaultPoint::CompareLatch;
+        f.cell = 2;
+        const TrialResult tr = campaign.runTrial(f);
+        std::printf("\n1. %s\n   self-checking cell flags the "
+                    "divergence: detectors=%s, outcome=%s\n",
+                    f.describe().c_str(), tr.detectors().c_str(),
+                    outcomeName(tr.outcome));
+    }
+
+    // Scene 2: same fault, but three arrays vote.
+    {
+        CampaignConfig c = cfg;
+        c.protection = Protection::none();
+        c.protection.tmr = true;
+        c.protection.referenceCheck = true;
+        FaultCampaign campaign(c);
+        Fault f;
+        f.kind = FaultKind::StuckAt1;
+        f.point = systolic::FaultPoint::ResultLatch;
+        f.cell = 0;
+        const TrialResult tr = campaign.runTrial(f);
+        std::printf("\n2. %s under TMR\n   the healthy lanes outvote "
+                    "it in place: detectors=%s, outcome=%s, "
+                    "attempts=%u\n",
+                    f.describe().c_str(), tr.detectors().c_str(),
+                    outcomeName(tr.outcome), tr.attempts);
+    }
+
+    // Scene 3: a transient upset, cleared by one retry.
+    {
+        CampaignConfig c = cfg;
+        c.protection = Protection::none();
+        c.protection.referenceCheck = true;
+        c.protection.retry = true;
+        FaultCampaign campaign(c);
+        // Most random single-beat upsets land in dead time and mask;
+        // sweep until one actually disturbs the protocol.
+        const auto transients = sweepTransientFaults(
+            c.cells, c.alphabetBits, campaign.protocolBeats(), 64, 123);
+        for (const Fault &f : transients) {
+            const TrialResult tr = campaign.runTrial(f);
+            if (tr.outcome == Outcome::Masked)
+                continue;
+            std::printf("\n3. %s\n   the upset does not recur on the "
+                        "re-run: outcome=%s, attempts=%u, "
+                        "backoff=%llu beats\n",
+                        f.describe().c_str(), outcomeName(tr.outcome),
+                        tr.attempts,
+                        static_cast<unsigned long long>(
+                            tr.backoffBeats));
+            break;
+        }
+    }
+
+    // Scene 4: a dead cell, bypassed through the wafer snake.
+    {
+        CampaignConfig c = cfg;
+        c.protection.tmr = false;
+        c.retryPolicy.maxRetries = 1;
+        FaultCampaign campaign(c);
+        Fault f;
+        f.kind = FaultKind::DeadCell;
+        f.cell = 1;
+        const TrialResult tr = campaign.runTrial(f);
+        std::printf("\n4. %s\n   retries exhaust, the snake "
+                    "re-harvests around the corpse:\n   detectors=%s, "
+                    "outcome=%s, array degraded to %zu cells "
+                    "(multipass absorbs the shortfall)\n",
+                    f.describe().c_str(), tr.detectors().c_str(),
+                    outcomeName(tr.outcome), tr.degradedCells);
+    }
+
+    std::printf("\nThe layers compose: parity watches the streams, "
+                "duplication watches the\ncomparators, the vote "
+                "corrects in place, the host retries what the vote\n"
+                "cannot fix, and the wafer routes around what "
+                "retries cannot cure.\n");
+    return 0;
+}

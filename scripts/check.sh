@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification matrix: build and run the full test suite plain,
+# then again under AddressSanitizer + UBSan (-fno-sanitize-recover=all,
+# so any finding is a hard failure).
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(($(nproc) + 1))}"
+
+run_matrix() {
+    local preset="$1"
+    echo "== ${preset}: configure =="
+    cmake --preset "${preset}"
+    echo "== ${preset}: build =="
+    cmake --build --preset "${preset}" -j "${jobs}"
+    echo "== ${preset}: test =="
+    ctest --preset "${preset}" -j "${jobs}"
+}
+
+run_matrix default
+run_matrix asan-ubsan
+
+echo "All checks passed (plain + asan-ubsan)."

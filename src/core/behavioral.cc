@@ -85,7 +85,8 @@ ChipFeedPlan::resultAt(Beat beat) const
 }
 
 BehavioralChip::BehavioralChip(std::size_t num_cells,
-                               Picoseconds beat_period_ps)
+                               Picoseconds beat_period_ps,
+                               CellVariant variant)
     : numCells(num_cells), eng(beat_period_ps)
 {
     spm_assert(num_cells > 0, "chip needs at least one cell");
@@ -93,8 +94,13 @@ BehavioralChip::BehavioralChip(std::size_t num_cells,
     comparators.reserve(numCells);
     accumulators.reserve(numCells);
     for (std::size_t c = 0; c < numCells; ++c) {
-        comparators.push_back(&eng.makeCell<CharComparatorCell>(
-            "cmp" + std::to_string(c), static_cast<unsigned>(c % 2)));
+        const auto par = static_cast<unsigned>(c % 2);
+        const std::string cell_name = "cmp" + std::to_string(c);
+        comparators.push_back(
+            variant == CellVariant::SelfChecking
+                ? &eng.makeCell<SelfCheckingComparatorCell>(cell_name,
+                                                            par)
+                : &eng.makeCell<CharComparatorCell>(cell_name, par));
     }
     for (std::size_t c = 0; c < numCells; ++c) {
         accumulators.push_back(&eng.makeCell<AccumulatorCell>(
@@ -116,6 +122,24 @@ BehavioralChip::BehavioralChip(std::size_t num_cells,
         accumulators[c]->connect(ctl_src, r_src,
                                  &comparators[c]->dOut());
     }
+}
+
+std::uint64_t
+BehavioralChip::selfCheckMismatches() const
+{
+    std::uint64_t total = 0;
+    for (const CharComparatorCell *c : comparators)
+        total += c->selfCheckMismatches();
+    return total;
+}
+
+std::size_t
+BehavioralChip::cellIndex(std::size_t c, bool comparator) const
+{
+    spm_assert(c < numCells, "cell index out of range");
+    // Comparators are inserted into the engine first, accumulators
+    // after them, one of each per character cell.
+    return comparator ? c : numCells + c;
 }
 
 PatToken

@@ -91,13 +91,23 @@ class ChipFeedPlan
 class BehavioralChip
 {
   public:
+    /** Comparator implementation to instantiate per cell. */
+    enum class CellVariant
+    {
+        Plain,        ///< single comparator (the paper's cell)
+        SelfChecking, ///< duplicated comparator with mismatch check
+    };
+
     /**
      * @param num_cells character cells on this chip; the chip matches
      *        patterns of length up to num_cells (Section 3.4)
      * @param beat_period_ps simulated beat period
+     * @param variant comparator variant; SelfChecking duplicates the
+     *        comparison per cell and counts divergences
      */
     explicit BehavioralChip(std::size_t num_cells,
-                            Picoseconds beat_period_ps = prototypeBeatPs);
+                            Picoseconds beat_period_ps = prototypeBeatPs,
+                            CellVariant variant = CellVariant::Plain);
 
     std::size_t cellCount() const { return numCells; }
 
@@ -121,6 +131,19 @@ class BehavioralChip
     /** The underlying engine (stats, clock, tracing). */
     systolic::Engine &engine() { return eng; }
     const systolic::Engine &engine() const { return eng; }
+
+    /**
+     * Divergences seen by self-checking comparators so far; always 0
+     * for the Plain variant.
+     */
+    std::uint64_t selfCheckMismatches() const;
+
+    /**
+     * Engine cell index of the comparator (@p comparator true) or
+     * accumulator of character cell @p c -- the addressing fault
+     * models use to reach a cell's latches.
+     */
+    std::size_t cellIndex(std::size_t c, bool comparator) const;
 
     /** Attach a Figure 3-2 style trace recorder. */
     void attachTrace(systolic::TraceRecorder *rec)

@@ -111,6 +111,8 @@ BitSerialMatcher::match(const std::vector<Symbol> &text,
     }
 
     BitSerialChip chip(m, bits);
+    if (chipPrep)
+        chipPrep(chip);
     const ChipFeedPlan plan(m, pattern, n);
     const Beat total = plan.totalBeats() + bits + 2;
 

@@ -77,6 +77,18 @@ class BitSerialChip
     systolic::Engine &engine() { return eng; }
     const systolic::Engine &engine() const { return eng; }
 
+    /** Engine cell index of comparator (row, col); fault addressing. */
+    std::size_t comparatorIndex(unsigned row, std::size_t col) const
+    {
+        return static_cast<std::size_t>(row) * numCells + col;
+    }
+
+    /** Engine cell index of accumulator @p col; fault addressing. */
+    std::size_t accumulatorIndex(std::size_t col) const
+    {
+        return static_cast<std::size_t>(numBits) * numCells + col;
+    }
+
     void attachTrace(systolic::TraceRecorder *rec)
     {
         eng.attachTrace(rec);
@@ -123,10 +135,21 @@ class BitSerialMatcher : public Matcher
 
     Beat lastBeats() const { return beatsUsed; }
 
+    /**
+     * Install a hook run on each freshly built chip before the match
+     * starts -- the seam fault campaigns use to attach an injector to
+     * the chip's engine.
+     */
+    void setChipPrep(std::function<void(BitSerialChip &)> prep)
+    {
+        chipPrep = std::move(prep);
+    }
+
   private:
     std::size_t cells;
     BitWidth bitsPerChar;
     Beat beatsUsed = 0;
+    std::function<void(BitSerialChip &)> chipPrep;
 };
 
 } // namespace spm::core

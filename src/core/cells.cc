@@ -20,6 +20,38 @@ symChar(Symbol s)
     return std::to_string(s);
 }
 
+using systolic::FaultOp;
+using systolic::FaultPoint;
+
+bool
+corruptBit(FaultOp op, bool cur)
+{
+    switch (op) {
+    case FaultOp::Stuck0:
+        return false;
+    case FaultOp::Stuck1:
+        return true;
+    case FaultOp::Flip:
+        return !cur;
+    }
+    return cur;
+}
+
+Symbol
+corruptSym(FaultOp op, Symbol sym, unsigned bit)
+{
+    const Symbol mask = static_cast<Symbol>(Symbol(1) << (bit % 16));
+    switch (op) {
+    case FaultOp::Stuck0:
+        return sym & static_cast<Symbol>(~mask);
+    case FaultOp::Stuck1:
+        return sym | mask;
+    case FaultOp::Flip:
+        return sym ^ mask;
+    }
+    return sym;
+}
+
 } // namespace
 
 CharComparatorCell::CharComparatorCell(std::string cell_name,
@@ -69,6 +101,78 @@ CharComparatorCell::stateString() const
        << "/"
        << (s.read().valid ? symChar(s.read().sym) : std::string("."));
     return os.str();
+}
+
+bool
+CharComparatorCell::applyFault(FaultPoint point, FaultOp op, unsigned bit)
+{
+    switch (point) {
+    case FaultPoint::PatternLatch: {
+        PatToken tok = p.read();
+        tok.sym = corruptSym(op, tok.sym, bit);
+        p.force(tok);
+        return true;
+    }
+    case FaultPoint::StringLatch: {
+        StrToken tok = s.read();
+        tok.sym = corruptSym(op, tok.sym, bit);
+        s.force(tok);
+        return true;
+    }
+    case FaultPoint::CompareLatch: {
+        DToken tok = d.read();
+        tok.value = corruptBit(op, tok.value);
+        d.force(tok);
+        return true;
+    }
+    default:
+        return false;
+    }
+}
+
+SelfCheckingComparatorCell::SelfCheckingComparatorCell(
+    std::string cell_name, unsigned parity)
+    : CharComparatorCell(std::move(cell_name), parity)
+{
+}
+
+void
+SelfCheckingComparatorCell::evaluate(Beat beat)
+{
+    // Check first: by now the committed primary d has been exposed to
+    // whatever fault fired after the previous commit, while the
+    // shadow copy (separate duplicated hardware) has not.
+    if (d.read() != dShadow.read())
+        ++mismatches;
+
+    CharComparatorCell::evaluate(beat);
+
+    // Second, independent computation of the comparison result.
+    const PatToken p_new = pSrc->read();
+    const StrToken s_new = sSrc->read();
+    DToken d_dup;
+    d_dup.valid = p_new.valid && s_new.valid;
+    d_dup.value = d_dup.valid && p_new.sym == s_new.sym;
+    dShadow.write(d_dup);
+}
+
+void
+SelfCheckingComparatorCell::commit()
+{
+    CharComparatorCell::commit();
+    dShadow.commit();
+}
+
+bool
+SelfCheckingComparatorCell::applyFault(FaultPoint point, FaultOp op,
+                                       unsigned bit)
+{
+    // The shadow comparator is physically separate hardware: a fault
+    // addressed at this cell lands on the primary copy only, which is
+    // exactly the asymmetry the duplicate comparison detects. Stream
+    // latch faults (pattern/string) corrupt the shared token both
+    // copies read, so those stay the parity check's job.
+    return CharComparatorCell::applyFault(point, op, bit);
 }
 
 BitComparatorCell::BitComparatorCell(std::string cell_name, unsigned parity)
@@ -121,6 +225,33 @@ BitComparatorCell::stateString() const
     os << (p.read().valid ? (p.read().bit ? "1" : "0") : ".") << "/"
        << (s.read().valid ? (s.read().bit ? "1" : "0") : ".");
     return os.str();
+}
+
+bool
+BitComparatorCell::applyFault(FaultPoint point, FaultOp op, unsigned)
+{
+    switch (point) {
+    case FaultPoint::PatternLatch: {
+        BitToken tok = p.read();
+        tok.bit = corruptBit(op, tok.bit);
+        p.force(tok);
+        return true;
+    }
+    case FaultPoint::StringLatch: {
+        BitToken tok = s.read();
+        tok.bit = corruptBit(op, tok.bit);
+        s.force(tok);
+        return true;
+    }
+    case FaultPoint::CompareLatch: {
+        DToken tok = d.read();
+        tok.value = corruptBit(op, tok.value);
+        d.force(tok);
+        return true;
+    }
+    default:
+        return false;
+    }
 }
 
 AccumulatorCell::AccumulatorCell(std::string cell_name, unsigned parity)
@@ -182,6 +313,31 @@ AccumulatorCell::commit()
     ctl.commit();
     r.commit();
     t.commit();
+}
+
+bool
+AccumulatorCell::applyFault(FaultPoint point, FaultOp op, unsigned bit)
+{
+    switch (point) {
+    case FaultPoint::ControlLatch: {
+        CtlToken tok = ctl.read();
+        // Bit 0 addresses lambda, bit 1 the wild-card flag.
+        if (bit % 2 == 0)
+            tok.lambda = corruptBit(op, tok.lambda);
+        else
+            tok.x = corruptBit(op, tok.x);
+        ctl.force(tok);
+        return true;
+    }
+    case FaultPoint::ResultLatch: {
+        ResToken tok = r.read();
+        tok.value = corruptBit(op, tok.value);
+        r.force(tok);
+        return true;
+    }
+    default:
+        return false;
+    }
 }
 
 std::string

@@ -18,6 +18,7 @@
 #ifndef SPM_CORE_CELLS_HH
 #define SPM_CORE_CELLS_HH
 
+#include <cstdint>
 #include <string>
 
 #include "systolic/cell.hh"
@@ -107,17 +108,52 @@ class CharComparatorCell : public systolic::CellBase
     void evaluate(Beat beat) override;
     void commit() override;
     std::string stateString() const override;
+    bool applyFault(systolic::FaultPoint point, systolic::FaultOp op,
+                    unsigned bit) override;
 
     const systolic::Latch<PatToken> &pOut() const { return p; }
     const systolic::Latch<StrToken> &sOut() const { return s; }
     const systolic::Latch<DToken> &dOut() const { return d; }
 
-  private:
+    /** Mismatches seen by a self-checking variant; 0 for this cell. */
+    virtual std::uint64_t selfCheckMismatches() const { return 0; }
+
+  protected:
     const systolic::Latch<PatToken> *pSrc = nullptr;
     const systolic::Latch<StrToken> *sSrc = nullptr;
     systolic::Latch<PatToken> p;
     systolic::Latch<StrToken> s;
     systolic::Latch<DToken> d;
+};
+
+/**
+ * Self-checking comparator variant (duplicated-comparator detection):
+ * the d computation is carried twice, on the primary latch the
+ * neighbors read and on an internal shadow latch, and the two copies
+ * are compared at the start of every beat -- after any fault has had
+ * the chance to corrupt the committed primary. A divergence means the
+ * comparator (or its output latch) is lying, and is counted rather
+ * than masked. Faults land only on the primary copy: the shadow
+ * models physically separate duplicated hardware.
+ */
+class SelfCheckingComparatorCell : public CharComparatorCell
+{
+  public:
+    SelfCheckingComparatorCell(std::string cell_name, unsigned parity);
+
+    void evaluate(Beat beat) override;
+    void commit() override;
+    bool applyFault(systolic::FaultPoint point, systolic::FaultOp op,
+                    unsigned bit) override;
+
+    std::uint64_t selfCheckMismatches() const override
+    {
+        return mismatches;
+    }
+
+  private:
+    systolic::Latch<DToken> dShadow;
+    std::uint64_t mismatches = 0;
 };
 
 /**
@@ -143,6 +179,8 @@ class BitComparatorCell : public systolic::CellBase
     void evaluate(Beat beat) override;
     void commit() override;
     std::string stateString() const override;
+    bool applyFault(systolic::FaultPoint point, systolic::FaultOp op,
+                    unsigned bit) override;
 
     const systolic::Latch<BitToken> &pOut() const { return p; }
     const systolic::Latch<BitToken> &sOut() const { return s; }
@@ -187,6 +225,8 @@ class AccumulatorCell : public systolic::CellBase
     void evaluate(Beat beat) override;
     void commit() override;
     std::string stateString() const override;
+    bool applyFault(systolic::FaultPoint point, systolic::FaultOp op,
+                    unsigned bit) override;
 
     const systolic::Latch<CtlToken> &ctlOut() const { return ctl; }
     const systolic::Latch<ResToken> &rOut() const { return r; }

@@ -200,6 +200,8 @@ GateLevelMatcher::match(const std::vector<Symbol> &text,
         bits = std::max(requiredBits(text), requiredBits(pattern));
 
     GateChip chip(m, bits);
+    if (chipPrep)
+        chipPrep(chip);
     transistors = chip.netlist().transistorCount();
     const ChipFeedPlan plan(m, pattern, n);
     const unsigned phi = plan.textPhase();

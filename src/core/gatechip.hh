@@ -14,6 +14,7 @@
 #ifndef SPM_CORE_GATECHIP_HH
 #define SPM_CORE_GATECHIP_HH
 
+#include <functional>
 #include <vector>
 
 #include "core/matcher.hh"
@@ -147,11 +148,22 @@ class GateLevelMatcher : public Matcher
     /** Transistor count of the last chip built. */
     unsigned lastTransistors() const { return transistors; }
 
+    /**
+     * Install a hook run on each freshly built chip before the match
+     * protocol starts -- the seam fault campaigns use to lower
+     * stuck-at faults onto the netlist (Netlist::forceStuckAt).
+     */
+    void setChipPrep(std::function<void(GateChip &)> prep)
+    {
+        chipPrep = std::move(prep);
+    }
+
   private:
     std::size_t cells;
     BitWidth bitsPerChar;
     Beat beatsUsed = 0;
     unsigned transistors = 0;
+    std::function<void(GateChip &)> chipPrep;
 };
 
 } // namespace spm::core

@@ -1,6 +1,8 @@
 #include "core/hostbus.hh"
 
 #include <algorithm>
+#include <bit>
+#include <stdexcept>
 
 #include "util/logging.hh"
 
@@ -28,11 +30,29 @@ hostIbm370158()
     return p;
 }
 
-HostBusModel::HostBusModel(Picoseconds beat_period_ps, BitWidth char_bits)
-    : periodPs(beat_period_ps), bits(char_bits)
+HostBusModel::HostBusModel(Picoseconds beat_period_ps, BitWidth char_bits,
+                           bool parity_enabled)
+    : periodPs(beat_period_ps), bits(char_bits), parity(parity_enabled)
 {
-    spm_assert(beat_period_ps > 0, "beat period must be positive");
-    spm_assert(char_bits >= 1 && char_bits <= 16, "bad character width");
+    // User-facing configuration errors, not internal invariants: a
+    // zero beat period would make every derived rate divide by zero
+    // downstream, so reject it loudly at construction.
+    if (beat_period_ps == 0)
+        throw std::invalid_argument(
+            "HostBusModel: beat period must be positive (got 0 ps)");
+    if (char_bits < 1 || char_bits > 16)
+        throw std::invalid_argument(
+            "HostBusModel: character width must be in [1, 16] bits, got " +
+            std::to_string(char_bits));
+}
+
+bool
+HostBusModel::parityBit(Symbol sym, BitWidth char_bits)
+{
+    const unsigned mask_bits = std::min(char_bits, BitWidth(16));
+    const auto payload = static_cast<unsigned>(
+        sym & ((1u << mask_bits) - 1u));
+    return std::popcount(payload) % 2 != 0;
 }
 
 double
@@ -45,7 +65,7 @@ double
 HostBusModel::chipDemandBytesPerSec() const
 {
     const double chars_per_sec = chipCharsPerSec();
-    const double bytes_per_char = (bits + 7) / 8;
+    const double bytes_per_char = (busBitsPerChar() + 7) / 8;
     // One character in per beat; one result bit out per two beats.
     return chars_per_sec * bytes_per_char +
            chars_per_sec / 2.0 / 8.0;

@@ -44,11 +44,19 @@ class HostBusModel
 {
   public:
     /**
-     * @param beat_period_ps chip beat period (250 ns prototype)
-     * @param char_bits bits per character on the bus
+     * @param beat_period_ps chip beat period (250 ns prototype);
+     *        must be positive
+     * @param char_bits bits per character on the bus, in [1, 16]
+     * @param parity_enabled when true, every bus character carries an
+     *        even-parity bit so single-bit corruption in transit is
+     *        detectable; the extra bit is priced into the demand
+     *
+     * @throws std::invalid_argument on a zero beat period or a
+     *         character width outside [1, 16]
      */
     explicit HostBusModel(Picoseconds beat_period_ps = prototypeBeatPs,
-                          BitWidth char_bits = 8);
+                          BitWidth char_bits = 8,
+                          bool parity_enabled = false);
 
     /** Characters per second the chip consumes (one per beat). */
     double chipCharsPerSec() const;
@@ -86,9 +94,23 @@ class HostBusModel
     Picoseconds beatPeriod() const { return periodPs; }
     BitWidth charBits() const { return bits; }
 
+    /** Whether bus characters carry a parity bit. */
+    bool parityEnabled() const { return parity; }
+
+    /** Bits actually moved per bus character (payload + parity). */
+    BitWidth busBitsPerChar() const { return bits + (parity ? 1 : 0); }
+
+    /**
+     * Even-parity bit for @p sym over @p char_bits payload bits: the
+     * bit that makes the total number of ones even. This is what the
+     * host computes on feed and the far edge recomputes on exit.
+     */
+    static bool parityBit(Symbol sym, BitWidth char_bits);
+
   private:
     Picoseconds periodPs;
     BitWidth bits;
+    bool parity;
 };
 
 } // namespace spm::core

@@ -1,0 +1,32 @@
+#include "fault/bypass.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace spm::fault
+{
+
+BypassController::BypassController(flow::Wafer wafer_map)
+    : map(std::move(wafer_map))
+{
+}
+
+std::size_t
+BypassController::availableCells() const
+{
+    return map.snakeHarvest().chainLength;
+}
+
+std::size_t
+BypassController::retireCell(std::size_t cell)
+{
+    const auto sites = map.snakeSites();
+    spm_assert(cell < sites.size(), "array cell ", cell,
+               " beyond the harvested chain of ", sites.size());
+    map.markBad(sites[cell].first, sites[cell].second);
+    ++retired;
+    return availableCells();
+}
+
+} // namespace spm::fault

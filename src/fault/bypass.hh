@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Spare-cell bypass (recovery layer 3).
+ *
+ * Section 5's wafer-scale argument -- a defective cell is "replaced
+ * by a functioning one on the same wafer" by rewiring the snake --
+ * applies unchanged at runtime: a cell that dies in service is
+ * indistinguishable from a fabrication defect to the routing. The
+ * BypassController keeps the wafer's defect map, translates a dead
+ * array position back to its wafer site through Wafer::snakeSites(),
+ * retires the site, and re-harvests: the machine degrades from N to
+ * N-k cells and keeps matching (the multipass driver absorbs any
+ * pattern that no longer fits).
+ */
+
+#ifndef SPM_FAULT_BYPASS_HH
+#define SPM_FAULT_BYPASS_HH
+
+#include <cstddef>
+
+#include "flow/wafer.hh"
+
+namespace spm::fault
+{
+
+/** Degrades a snake-harvested array around cells that die in service. */
+class BypassController
+{
+  public:
+    /** @param wafer_map the machine's wafer; copied and then owned. */
+    explicit BypassController(flow::Wafer wafer_map);
+
+    /** Cells the current harvest chains together. */
+    std::size_t availableCells() const;
+
+    /**
+     * Retire the array cell at chain position @p cell: mark its wafer
+     * site bad and re-harvest around it. Returns the degraded chain
+     * length.
+     */
+    std::size_t retireCell(std::size_t cell);
+
+    /** Cells retired at runtime so far. */
+    std::size_t retiredCount() const { return retired; }
+
+    const flow::Wafer &wafer() const { return map; }
+
+  private:
+    flow::Wafer map;
+    std::size_t retired = 0;
+};
+
+} // namespace spm::fault
+
+#endif // SPM_FAULT_BYPASS_HH

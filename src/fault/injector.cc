@@ -1,0 +1,185 @@
+#include "fault/injector.hh"
+
+#include <string>
+
+#include "core/behavioral.hh"
+#include "core/bitserial.hh"
+#include "core/gatechip.hh"
+#include "util/logging.hh"
+
+namespace spm::fault
+{
+
+using systolic::FaultOp;
+using systolic::FaultPoint;
+
+void
+FaultInjector::attach(systolic::Engine &eng, CellResolver resolver)
+{
+    eng.onAfterCommit(
+        [this, &eng, resolver = std::move(resolver)](Beat beat) {
+            for (const Fault &f : faults)
+                injectOne(eng, resolver, f, beat);
+        });
+}
+
+void
+FaultInjector::applyAt(systolic::Engine &eng, const CellResolver &resolver,
+                       const Fault &f, FaultOp op)
+{
+    const std::size_t idx = resolver(f);
+    spm_assert(idx < eng.cellCount(), "fault resolver returned cell ",
+               idx, " of ", eng.cellCount());
+    if (eng.cell(idx).applyFault(f.point, op, f.bit))
+        ++hits;
+}
+
+void
+FaultInjector::injectOne(systolic::Engine &eng,
+                         const CellResolver &resolver, const Fault &f,
+                         Beat beat)
+{
+    switch (f.kind) {
+    case FaultKind::StuckAt0:
+    case FaultKind::StuckAt1:
+        applyAt(eng, resolver, f, f.op());
+        break;
+    case FaultKind::TransientFlip:
+        if (beat == f.beat)
+            applyAt(eng, resolver, f, FaultOp::Flip);
+        break;
+    case FaultKind::DeadCell: {
+        // Every output of the cell reads 0 every beat: both symbol
+        // latches bit by bit, the comparison, and the accumulator's
+        // control pair and result slot.
+        Fault sub = f;
+        for (FaultPoint point :
+             {FaultPoint::PatternLatch, FaultPoint::StringLatch}) {
+            sub.point = point;
+            for (unsigned b = 0; b < symBits; ++b) {
+                sub.bit = b;
+                applyAt(eng, resolver, sub, FaultOp::Stuck0);
+            }
+        }
+        sub.point = FaultPoint::CompareLatch;
+        sub.bit = 0;
+        applyAt(eng, resolver, sub, FaultOp::Stuck0);
+        sub.point = FaultPoint::ControlLatch;
+        for (unsigned b = 0; b < 2; ++b) {
+            sub.bit = b;
+            applyAt(eng, resolver, sub, FaultOp::Stuck0);
+        }
+        sub.point = FaultPoint::ResultLatch;
+        sub.bit = 0;
+        applyAt(eng, resolver, sub, FaultOp::Stuck0);
+        break;
+    }
+    }
+}
+
+FaultInjector::CellResolver
+behavioralResolver(const core::BehavioralChip &chip)
+{
+    return [&chip](const Fault &f) {
+        const bool comparator = f.point == FaultPoint::PatternLatch ||
+                                f.point == FaultPoint::StringLatch ||
+                                f.point == FaultPoint::CompareLatch;
+        return chip.cellIndex(f.cell, comparator);
+    };
+}
+
+FaultInjector::CellResolver
+bitSerialResolver(const core::BitSerialChip &chip)
+{
+    return [&chip](const Fault &f) {
+        const unsigned rows = chip.bits();
+        switch (f.point) {
+        case FaultPoint::PatternLatch:
+        case FaultPoint::StringLatch:
+            return chip.comparatorIndex(rows - 1 - (f.bit % rows),
+                                        f.cell);
+        case FaultPoint::CompareLatch:
+            return chip.comparatorIndex(rows - 1, f.cell);
+        case FaultPoint::ControlLatch:
+        case FaultPoint::ResultLatch:
+            break;
+        }
+        return chip.accumulatorIndex(f.cell);
+    };
+}
+
+namespace
+{
+
+/** Force one named node if present; counts successful forces. */
+void
+forceNode(core::GateChip &chip, const std::string &name,
+          gate::LogicValue v, std::size_t &forced)
+{
+    const gate::NodeId id = chip.netlist().findNode(name);
+    if (id == gate::invalidNode)
+        return;
+    chip.netlist().forceStuckAt(id, v, chip.clock().now());
+    ++forced;
+}
+
+std::string
+wireName(const char *base, unsigned row, std::size_t col)
+{
+    return std::string(base) + std::to_string(row) + "_" +
+           std::to_string(col);
+}
+
+} // namespace
+
+std::size_t
+lowerStuckAtFaults(core::GateChip &chip, const std::vector<Fault> &faults)
+{
+    const unsigned rows = chip.bits();
+    std::size_t forced = 0;
+    for (const Fault &f : faults) {
+        if (!f.isPermanent())
+            continue;
+        const gate::LogicValue v = f.kind == FaultKind::StuckAt1
+            ? gate::LogicValue::H
+            : gate::LogicValue::L;
+        const std::string c = std::to_string(f.cell);
+        if (f.kind == FaultKind::DeadCell) {
+            for (unsigned row = 0; row < rows; ++row) {
+                forceNode(chip, wireName("p_o", row, f.cell), v, forced);
+                forceNode(chip, wireName("s_o", row, f.cell), v, forced);
+                forceNode(chip, wireName("d_o", row, f.cell), v, forced);
+            }
+            forceNode(chip, "l_o_" + c, v, forced);
+            forceNode(chip, "x_o_" + c, v, forced);
+            forceNode(chip, "r_o_" + c, v, forced);
+            continue;
+        }
+        switch (f.point) {
+        case FaultPoint::PatternLatch:
+            forceNode(chip,
+                      wireName("p_o", rows - 1 - (f.bit % rows), f.cell),
+                      v, forced);
+            break;
+        case FaultPoint::StringLatch:
+            forceNode(chip,
+                      wireName("s_o", rows - 1 - (f.bit % rows), f.cell),
+                      v, forced);
+            break;
+        case FaultPoint::CompareLatch:
+            forceNode(chip, wireName("d_o", rows - 1, f.cell), v, forced);
+            break;
+        case FaultPoint::ControlLatch:
+            forceNode(chip, (f.bit % 2 == 0 ? "l_o_" : "x_o_") + c, v,
+                      forced);
+            break;
+        case FaultPoint::ResultLatch:
+            forceNode(chip, "r_o_" + c, v, forced);
+            break;
+        }
+    }
+    chip.netlist().settle(chip.clock().now());
+    return forced;
+}
+
+} // namespace spm::fault

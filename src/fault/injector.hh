@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lowering faults onto the simulators.
+ *
+ * A Fault names a character cell and a latch point; each simulator
+ * fidelity has its own notion of where that latch physically lives.
+ * FaultInjector carries the abstract fault list and, attached to a
+ * systolic::Engine through a fidelity-specific CellResolver, corrupts
+ * the addressed latches in the injection window between commit and
+ * the next evaluate (Engine::onAfterCommit) -- exactly the visibility
+ * a hardware upset of a committed latch would have.
+ *
+ * For the gate-level simulator there is no Engine; permanent faults
+ * lower instead onto netlist nodes as classic stuck-at faults
+ * (Netlist::forceStuckAt) via lowerStuckAtFaults().
+ */
+
+#ifndef SPM_FAULT_INJECTOR_HH
+#define SPM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/model.hh"
+#include "systolic/engine.hh"
+#include "util/types.hh"
+
+namespace spm::core
+{
+class BehavioralChip;
+class BitSerialChip;
+class GateChip;
+} // namespace spm::core
+
+namespace spm::fault
+{
+
+/**
+ * Replays a fault list against a running engine. Permanent faults are
+ * re-applied after every commit (a stuck wire corrupts every beat);
+ * transients fire on their strike beat only; DeadCell expands to
+ * Stuck0 on every latch point of its cell, every beat -- the cell's
+ * compute logic is dead but its latches still clock, so the global
+ * choreography (token validity) is undisturbed.
+ *
+ * The injector must outlive any engine stepping after attach().
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * Maps a fault (character cell + latch point) to the engine cell
+     * index holding that latch at this fidelity.
+     */
+    using CellResolver = std::function<std::size_t(const Fault &)>;
+
+    /** @param sym_bits bits per symbol latch (DeadCell expansion). */
+    explicit FaultInjector(BitWidth sym_bits) : symBits(sym_bits) {}
+
+    void addFault(const Fault &f) { faults.push_back(f); }
+    void clear() { faults.clear(); }
+    const std::vector<Fault> &faultList() const { return faults; }
+
+    /**
+     * Register the injection hook on @p eng. May be called for
+     * several engines (e.g. re-runs build fresh chips); each engine
+     * sees the current fault list on every beat.
+     */
+    void attach(systolic::Engine &eng, CellResolver resolver);
+
+    /** Latch corruptions actually landed so far. */
+    std::uint64_t injections() const { return hits; }
+
+  private:
+    void injectOne(systolic::Engine &eng, const CellResolver &resolver,
+                   const Fault &f, Beat beat);
+    void applyAt(systolic::Engine &eng, const CellResolver &resolver,
+                 const Fault &f, systolic::FaultOp op);
+
+    BitWidth symBits;
+    std::vector<Fault> faults;
+    std::uint64_t hits = 0;
+};
+
+/** Resolver for the character-level behavioral chip. */
+FaultInjector::CellResolver behavioralResolver(
+    const core::BehavioralChip &chip);
+
+/**
+ * Resolver for the bit-serial grid: symbol-latch faults land on the
+ * comparator row carrying the addressed bit (bit b lives in row
+ * bits-1-b; the MSB enters row 0), compare-latch faults on the bottom
+ * row whose d output feeds the accumulators.
+ */
+FaultInjector::CellResolver bitSerialResolver(
+    const core::BitSerialChip &chip);
+
+/**
+ * Lower the permanent faults of @p faults onto @p chip's netlist as
+ * stuck-at nodes (transients are skipped: the gate simulator has no
+ * per-beat injection hook). The stuck level is the physical node
+ * level; with the checkerboard of polarity twins the logical polarity
+ * alternates per cell, which leaves the fault a genuine stuck-at
+ * either way. Returns the number of nodes forced.
+ */
+std::size_t lowerStuckAtFaults(core::GateChip &chip,
+                               const std::vector<Fault> &faults);
+
+} // namespace spm::fault
+
+#endif // SPM_FAULT_INJECTOR_HH

@@ -1,0 +1,153 @@
+#include "fault/model.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace spm::fault
+{
+
+using systolic::FaultOp;
+using systolic::FaultPoint;
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::StuckAt0:
+        return "stuck-at-0";
+    case FaultKind::StuckAt1:
+        return "stuck-at-1";
+    case FaultKind::TransientFlip:
+        return "transient";
+    case FaultKind::DeadCell:
+        return "dead-cell";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const char *
+pointName(FaultPoint point)
+{
+    switch (point) {
+    case FaultPoint::PatternLatch:
+        return "pattern";
+    case FaultPoint::StringLatch:
+        return "string";
+    case FaultPoint::CompareLatch:
+        return "compare";
+    case FaultPoint::ControlLatch:
+        return "control";
+    case FaultPoint::ResultLatch:
+        return "result";
+    }
+    return "?";
+}
+
+} // namespace
+
+FaultOp
+Fault::op() const
+{
+    switch (kind) {
+    case FaultKind::StuckAt1:
+        return FaultOp::Stuck1;
+    case FaultKind::TransientFlip:
+        return FaultOp::Flip;
+    case FaultKind::StuckAt0:
+    case FaultKind::DeadCell:
+        break;
+    }
+    return FaultOp::Stuck0;
+}
+
+std::string
+Fault::describe() const
+{
+    std::string s = faultKindName(kind);
+    s += " cell" + std::to_string(cell);
+    if (kind == FaultKind::DeadCell)
+        return s;
+    s += " ";
+    s += pointName(point);
+    s += " bit" + std::to_string(bit);
+    if (kind == FaultKind::TransientFlip)
+        s += " @beat" + std::to_string(beat);
+    return s;
+}
+
+std::vector<Fault>
+sweepStuckAtFaults(std::size_t cells, BitWidth sym_bits)
+{
+    spm_assert(cells > 0, "fault sweep over an empty array");
+    spm_assert(sym_bits >= 1 && sym_bits <= 16,
+               "symbol width must be in [1,16]");
+    std::vector<Fault> list;
+    const FaultKind kinds[] = {FaultKind::StuckAt0, FaultKind::StuckAt1};
+    for (std::size_t c = 0; c < cells; ++c) {
+        for (FaultKind k : kinds) {
+            for (unsigned b = 0; b < sym_bits; ++b) {
+                list.push_back({k, FaultPoint::PatternLatch, c, b, 0});
+                list.push_back({k, FaultPoint::StringLatch, c, b, 0});
+            }
+            list.push_back({k, FaultPoint::CompareLatch, c, 0, 0});
+            // Control bit 0 is lambda, bit 1 the wild-card bit x.
+            list.push_back({k, FaultPoint::ControlLatch, c, 0, 0});
+            list.push_back({k, FaultPoint::ControlLatch, c, 1, 0});
+            list.push_back({k, FaultPoint::ResultLatch, c, 0, 0});
+        }
+    }
+    return list;
+}
+
+std::vector<Fault>
+sweepDeadCellFaults(std::size_t cells)
+{
+    spm_assert(cells > 0, "fault sweep over an empty array");
+    std::vector<Fault> list;
+    for (std::size_t c = 0; c < cells; ++c)
+        list.push_back({FaultKind::DeadCell, FaultPoint::CompareLatch, c,
+                        0, 0});
+    return list;
+}
+
+std::vector<Fault>
+sweepTransientFaults(std::size_t cells, BitWidth sym_bits, Beat max_beat,
+                     std::size_t count, std::uint64_t seed)
+{
+    spm_assert(cells > 0, "fault sweep over an empty array");
+    spm_assert(max_beat > 0, "transient sweep needs a beat range");
+    Rng rng(seed);
+    const FaultPoint points[] = {
+        FaultPoint::PatternLatch, FaultPoint::StringLatch,
+        FaultPoint::CompareLatch, FaultPoint::ControlLatch,
+        FaultPoint::ResultLatch,
+    };
+    std::vector<Fault> list;
+    list.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Fault f;
+        f.kind = FaultKind::TransientFlip;
+        f.point = points[rng.nextBelow(std::size(points))];
+        f.cell = rng.nextBelow(cells);
+        switch (f.point) {
+        case FaultPoint::PatternLatch:
+        case FaultPoint::StringLatch:
+            f.bit = static_cast<unsigned>(rng.nextBelow(sym_bits));
+            break;
+        case FaultPoint::ControlLatch:
+            f.bit = static_cast<unsigned>(rng.nextBelow(2));
+            break;
+        default:
+            f.bit = 0;
+            break;
+        }
+        f.beat = 1 + rng.nextBelow(max_beat);
+        list.push_back(f);
+    }
+    return list;
+}
+
+} // namespace spm::fault

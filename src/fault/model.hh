@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fault models and deterministic fault-list generators.
+ *
+ * Section 5 treats fabrication defects: cells that never worked and
+ * are routed around at harvest time. A machine in service also
+ * suffers *runtime* faults -- a latch whose output wire shorts to
+ * power or ground (stuck-at), a comparator that dies outright (dead
+ * cell), or a particle strike flipping one latched bit for one beat
+ * (transient). Fault enumerates a single such injection; the sweep
+ * generators build the exhaustive (or, for transients, seeded-random)
+ * fault lists a campaign replays one at a time.
+ *
+ * A Fault addresses the *character cell* (array column), not an
+ * engine cell index: the same fault list is lowered onto the
+ * behavioral array, the bit-serial grid, or the gate-level netlist by
+ * fidelity-specific resolvers (injector.hh).
+ */
+
+#ifndef SPM_FAULT_MODEL_HH
+#define SPM_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "systolic/fault.hh"
+#include "util/types.hh"
+
+namespace spm::fault
+{
+
+/** The runtime failure modes the campaign injects. */
+enum class FaultKind : unsigned char
+{
+    StuckAt0,      ///< permanent: addressed latch bit reads 0
+    StuckAt1,      ///< permanent: addressed latch bit reads 1
+    TransientFlip, ///< one latched bit inverted on one beat
+    DeadCell,      ///< permanent: every output of the cell stuck at 0
+};
+
+/** Printable name of a fault kind. */
+const char *faultKindName(FaultKind kind);
+
+/**
+ * One fault to inject: what (kind), where (character cell, latch
+ * point, bit within the latched value) and -- for transients -- when.
+ */
+struct Fault
+{
+    FaultKind kind = FaultKind::StuckAt0;
+    systolic::FaultPoint point = systolic::FaultPoint::CompareLatch;
+    /** Character cell (array column) the fault lives in. */
+    std::size_t cell = 0;
+    /** Bit within the latched value (symbol bit, or 0/1 = lambda/x). */
+    unsigned bit = 0;
+    /** Strike beat; meaningful for TransientFlip only. */
+    Beat beat = 0;
+
+    /** True for faults that persist for the whole run. */
+    bool isPermanent() const { return kind != FaultKind::TransientFlip; }
+
+    /**
+     * The latch corruption this fault applies on a beat it is active
+     * (DeadCell expands to Stuck0 on every point; see FaultInjector).
+     */
+    systolic::FaultOp op() const;
+
+    /** Human-readable one-liner, e.g. "stuck-at-1 cmp3 pattern bit0". */
+    std::string describe() const;
+};
+
+/**
+ * Exhaustive single-stuck-at fault list over an array of @p cells
+ * character cells with @p sym_bits bits per symbol latch: both stuck
+ * polarities on every bit of the pattern and string latches, the
+ * comparison latch, both control bits and the result latch of every
+ * cell.
+ */
+std::vector<Fault> sweepStuckAtFaults(std::size_t cells,
+                                      BitWidth sym_bits);
+
+/** One DeadCell fault per character cell. */
+std::vector<Fault> sweepDeadCellFaults(std::size_t cells);
+
+/**
+ * @p count seeded-random single-beat transient flips across cells,
+ * latch points, bits and strike beats in [1, @p max_beat].
+ */
+std::vector<Fault> sweepTransientFaults(std::size_t cells,
+                                        BitWidth sym_bits, Beat max_beat,
+                                        std::size_t count,
+                                        std::uint64_t seed);
+
+} // namespace spm::fault
+
+#endif // SPM_FAULT_MODEL_HH

@@ -1,0 +1,34 @@
+#include "fault/parity.hh"
+
+#include "core/hostbus.hh"
+#include "util/logging.hh"
+
+namespace spm::fault
+{
+
+StreamParityChecker::StreamParityChecker(BitWidth char_bits)
+    : bits(char_bits)
+{
+    spm_assert(char_bits >= 1 && char_bits <= 16,
+               "character width must be in [1,16]");
+}
+
+void
+StreamParityChecker::onFeed(Symbol sym)
+{
+    inFlight.push_back(core::HostBusModel::parityBit(sym, bits));
+}
+
+void
+StreamParityChecker::onExit(Symbol sym)
+{
+    spm_assert(!inFlight.empty(),
+               "character left the array that was never fed");
+    const bool expected = inFlight.front();
+    inFlight.pop_front();
+    ++nChecked;
+    if (core::HostBusModel::parityBit(sym, bits) != expected)
+        ++nErrors;
+}
+
+} // namespace spm::fault

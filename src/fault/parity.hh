@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bus-character parity checking (detection layer 1).
+ *
+ * With HostBusModel parity enabled, the host appends an even-parity
+ * bit to every character it feeds; the character streams are pure
+ * shift registers, so each character re-emerges at the far edge of
+ * the array in feed order, parity bit riding along. The checker
+ * recomputes parity there: any odd number of corrupted payload bits
+ * picked up in transit -- a stuck or flipped symbol-latch bit --
+ * raises a parity error. The parity bit is priced into the bus demand
+ * by HostBusModel::busBitsPerChar().
+ */
+
+#ifndef SPM_FAULT_PARITY_HH
+#define SPM_FAULT_PARITY_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "util/types.hh"
+
+namespace spm::fault
+{
+
+/**
+ * End-to-end parity check over one character stream. onFeed() records
+ * the parity bit the host computed at the near edge; onExit() pops it
+ * when the character reappears at the far edge and compares against
+ * the parity of what actually arrived.
+ */
+class StreamParityChecker
+{
+  public:
+    /** @param char_bits payload bits per character, in [1, 16]. */
+    explicit StreamParityChecker(BitWidth char_bits);
+
+    /** A valid character entered the stream. */
+    void onFeed(Symbol sym);
+
+    /** A valid character left the stream at the far edge. */
+    void onExit(Symbol sym);
+
+    /** Characters checked at the far edge so far. */
+    std::uint64_t checked() const { return nChecked; }
+
+    /** Parity mismatches seen so far. */
+    std::uint64_t errors() const { return nErrors; }
+
+  private:
+    BitWidth bits;
+    /** Parity bits of characters still inside the array, feed order. */
+    std::deque<bool> inFlight;
+    std::uint64_t nChecked = 0;
+    std::uint64_t nErrors = 0;
+};
+
+} // namespace spm::fault
+
+#endif // SPM_FAULT_PARITY_HH

@@ -1,0 +1,29 @@
+#include "fault/retry.hh"
+
+#include <string>
+
+namespace spm::fault
+{
+
+std::vector<bool>
+HostRetryController::run(
+    const std::function<std::vector<bool>()> &attempt,
+    const std::function<bool(const std::vector<bool> &)> &verify)
+{
+    attempts = 0;
+    backoffBeats = 0;
+    for (unsigned a = 0; a <= policy.maxRetries; ++a) {
+        if (a > 0)
+            backoffBeats += policy.backoffBaseBeats << (a - 1);
+        ++attempts;
+        std::vector<bool> result = attempt();
+        if (verify(result))
+            return result;
+    }
+    throw RetryExhausted("match failed verification after " +
+                         std::to_string(attempts) + " attempts (" +
+                         std::to_string(backoffBeats) +
+                         " backoff beats)");
+}
+
+} // namespace spm::fault

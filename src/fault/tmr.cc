@@ -1,0 +1,61 @@
+#include "fault/tmr.hh"
+
+#include "util/logging.hh"
+
+namespace spm::fault
+{
+
+TmrMatcher::TmrMatcher(std::unique_ptr<core::Matcher> lane0,
+                       std::unique_ptr<core::Matcher> lane1,
+                       std::unique_ptr<core::Matcher> lane2)
+    : lanes{std::move(lane0), std::move(lane1), std::move(lane2)}
+{
+    for (const auto &lane : lanes)
+        spm_assert(lane != nullptr, "TMR needs three lanes");
+}
+
+std::vector<bool>
+TmrMatcher::match(const std::vector<Symbol> &text,
+                  const std::vector<Symbol> &pattern)
+{
+    std::vector<bool> r[3];
+    for (std::size_t i = 0; i < 3; ++i) {
+        r[i] = lanes[i]->match(text, pattern);
+        laneErrors[i] = 0;
+    }
+    disagreements = 0;
+    spm_assert(r[0].size() == r[1].size() && r[1].size() == r[2].size(),
+               "TMR lanes returned different result lengths");
+
+    std::vector<bool> voted(r[0].size());
+    for (std::size_t i = 0; i < voted.size(); ++i) {
+        const int ones = int(r[0][i]) + int(r[1][i]) + int(r[2][i]);
+        const bool v = ones >= 2;
+        voted[i] = v;
+        bool any = false;
+        for (std::size_t lane = 0; lane < 3; ++lane) {
+            if (r[lane][i] != v) {
+                ++laneErrors[lane];
+                any = true;
+            }
+        }
+        disagreements += any;
+    }
+    return voted;
+}
+
+std::string
+TmrMatcher::name() const
+{
+    return "tmr(" + lanes[0]->name() + "," + lanes[1]->name() + "," +
+           lanes[2]->name() + ")";
+}
+
+std::uint64_t
+TmrMatcher::lastLaneErrors(std::size_t i) const
+{
+    spm_assert(i < 3, "lane index out of range");
+    return laneErrors[i];
+}
+
+} // namespace spm::fault

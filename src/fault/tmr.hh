@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Triple modular redundancy over whole arrays (recovery layer 1).
+ *
+ * The linear array is cheap enough per cell ("a simple, regular
+ * design with few types of cells") that the classic von Neumann
+ * remedy applies at the system level: run three arrays on the same
+ * streams and let the host vote 2-of-3 on each result bit. A single
+ * faulty array is outvoted in place -- the match completes with no
+ * retry -- and any disagreement doubles as a detection signal
+ * localizing the faulty lane.
+ */
+
+#ifndef SPM_FAULT_TMR_HH
+#define SPM_FAULT_TMR_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/matcher.hh"
+
+namespace spm::fault
+{
+
+/**
+ * Matcher-level TMR: runs three matchers on every match() call and
+ * returns the bitwise majority. Matchers may be of different
+ * fidelities (e.g. two behavioral lanes voting against a gate-level
+ * one); a disagreement count per lane is kept for diagnosis.
+ */
+class TmrMatcher : public core::Matcher
+{
+  public:
+    TmrMatcher(std::unique_ptr<core::Matcher> lane0,
+               std::unique_ptr<core::Matcher> lane1,
+               std::unique_ptr<core::Matcher> lane2);
+
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override;
+
+    std::string name() const override;
+
+    /** Positions where any lane was outvoted on the last match(). */
+    std::uint64_t lastDisagreements() const { return disagreements; }
+
+    /** Positions where lane @p i was outvoted on the last match(). */
+    std::uint64_t lastLaneErrors(std::size_t i) const;
+
+  private:
+    std::unique_ptr<core::Matcher> lanes[3];
+    std::uint64_t laneErrors[3] = {0, 0, 0};
+    std::uint64_t disagreements = 0;
+};
+
+} // namespace spm::fault
+
+#endif // SPM_FAULT_TMR_HH

@@ -1,6 +1,8 @@
 #include "flow/wafer.hh"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/logging.hh"
 
@@ -11,9 +13,17 @@ Wafer::Wafer(unsigned rows, unsigned cols, double defect_prob,
              std::uint64_t seed)
     : numRows(rows), numCols(cols)
 {
-    spm_assert(rows > 0 && cols > 0, "empty wafer");
-    spm_assert(defect_prob >= 0.0 && defect_prob <= 1.0,
-               "defect probability out of range");
+    // Configuration errors, not simulator bugs: reject at the API
+    // boundary so no downstream model sees a zero-site wafer or a
+    // nonsensical Bernoulli parameter.
+    if (rows == 0 || cols == 0)
+        throw std::invalid_argument(
+            "Wafer: grid must be non-empty, got " +
+            std::to_string(rows) + "x" + std::to_string(cols));
+    if (!(defect_prob >= 0.0 && defect_prob <= 1.0))
+        throw std::invalid_argument(
+            "Wafer: defect probability must be in [0, 1], got " +
+            std::to_string(defect_prob));
     Rng rng(seed);
     good.resize(static_cast<std::size_t>(rows) * cols);
     for (std::size_t i = 0; i < good.size(); ++i)
@@ -25,6 +35,13 @@ Wafer::isGood(unsigned row, unsigned col) const
 {
     spm_assert(row < numRows && col < numCols, "site out of range");
     return good[static_cast<std::size_t>(row) * numCols + col];
+}
+
+void
+Wafer::markBad(unsigned row, unsigned col)
+{
+    spm_assert(row < numRows && col < numCols, "site out of range");
+    good[static_cast<std::size_t>(row) * numCols + col] = false;
 }
 
 std::size_t
@@ -69,6 +86,21 @@ Wafer::snakeHarvest() const
         : static_cast<double>(h.chainLength) /
               static_cast<double>(good.size());
     return h;
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+Wafer::snakeSites() const
+{
+    std::vector<std::pair<unsigned, unsigned>> sites;
+    sites.reserve(goodCells());
+    for (unsigned r = 0; r < numRows; ++r) {
+        for (unsigned i = 0; i < numCols; ++i) {
+            const unsigned c = r % 2 == 0 ? i : numCols - 1 - i;
+            if (isGood(r, c))
+                sites.emplace_back(r, c);
+        }
+    }
+    return sites;
 }
 
 std::size_t

@@ -21,6 +21,7 @@
 #define SPM_FLOW_WAFER_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hh"
@@ -33,9 +34,13 @@ class Wafer
 {
   public:
     /**
-     * @param rows,cols grid of cell sites
-     * @param defect_prob independent probability a site is bad
+     * @param rows,cols grid of cell sites; the grid must be non-empty
+     * @param defect_prob independent probability a site is bad,
+     *        in [0, 1]
      * @param seed deterministic defect map seed
+     *
+     * @throws std::invalid_argument when rows*cols == 0 or
+     *         defect_prob lies outside [0, 1]
      */
     Wafer(unsigned rows, unsigned cols, double defect_prob,
           std::uint64_t seed);
@@ -46,6 +51,14 @@ class Wafer
 
     /** Whether the site at (row, col) fabricated correctly. */
     bool isGood(unsigned row, unsigned col) const;
+
+    /**
+     * Retire the site at (row, col): a cell that died at runtime is
+     * indistinguishable from a fabrication defect to the routing, so
+     * the same snake reconfiguration degrades the machine from N to
+     * N-k cells by re-harvesting around it.
+     */
+    void markBad(unsigned row, unsigned col);
 
     /** Number of working sites on the wafer. */
     std::size_t goodCells() const;
@@ -73,6 +86,14 @@ class Wafer
      * sites together and bypassing bad ones.
      */
     Harvest snakeHarvest() const;
+
+    /**
+     * The (row, col) sites of the harvested chain in snake order:
+     * position i of the linear array lives at snakeSites()[i]. This
+     * is the map bypass recovery uses to translate a dead array cell
+     * back to the wafer site to retire.
+     */
+    std::vector<std::pair<unsigned, unsigned>> snakeSites() const;
 
     /**
      * The conventional alternative: dice the wafer into chips of

@@ -86,6 +86,46 @@ Netlist::markInput(NodeId node)
     nodes[node].isInput = true;
 }
 
+NodeId
+Netlist::findNode(const std::string &node_name) const
+{
+    for (NodeId id = 0; id < nodes.size(); ++id)
+        if (nodes[id].name == node_name)
+            return id;
+    return invalidNode;
+}
+
+void
+Netlist::forceStuckAt(NodeId node, LogicValue v, Picoseconds now)
+{
+    spm_assert(node < nodes.size(), "bad node id");
+    NodeState &n = nodes[node];
+    n.stuck = false; // let the forced write through
+    n.lastRefresh = now;
+    setNodeValue(node, v);
+    n.stuck = true;
+}
+
+void
+Netlist::clearStuckAt(NodeId node)
+{
+    spm_assert(node < nodes.size(), "bad node id");
+    nodes[node].stuck = false;
+    // The node re-evaluates from its driver on the next fanout pass.
+    if (nodes[node].driver >= 0)
+        worklist.push_back(
+            static_cast<std::uint32_t>(nodes[node].driver));
+}
+
+std::size_t
+Netlist::stuckCount() const
+{
+    std::size_t n = 0;
+    for (const NodeState &s : nodes)
+        n += s.stuck ? 1 : 0;
+    return n;
+}
+
 void
 Netlist::setInput(NodeId node, LogicValue v, Picoseconds now)
 {
@@ -93,7 +133,7 @@ Netlist::setInput(NodeId node, LogicValue v, Picoseconds now)
     spm_assert(nodes[node].isInput, "setInput on non-input node '",
                nodes[node].name, "'");
     nodes[node].lastRefresh = now;
-    if (nodes[node].value == v)
+    if (nodes[node].stuck || nodes[node].value == v)
         return;
     nodes[node].value = v;
     scheduleFanout(node);
@@ -111,7 +151,7 @@ Netlist::scheduleFanout(NodeId node)
 void
 Netlist::setNodeValue(NodeId node, LogicValue v)
 {
-    if (nodes[node].value == v)
+    if (nodes[node].stuck || nodes[node].value == v)
         return;
     nodes[node].value = v;
     scheduleFanout(node);
@@ -166,7 +206,7 @@ Netlist::decayCharge(Picoseconds now, Picoseconds retention_ps)
     std::size_t decayed = 0;
     for (NodeId id = 0; id < nodes.size(); ++id) {
         NodeState &n = nodes[id];
-        if (!n.dynamic || n.value == LogicValue::X)
+        if (!n.dynamic || n.stuck || n.value == LogicValue::X)
             continue;
         // A dynamic node is only storing (not driven) while its pass
         // transistor is off.

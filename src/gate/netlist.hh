@@ -62,6 +62,9 @@ class Netlist
     /** Mark @p node as an external (primary) input. */
     void markInput(NodeId node);
 
+    /** Look up a node by its addNode() name; invalidNode if absent. */
+    NodeId findNode(const std::string &node_name) const;
+
     // --- simulation -----------------------------------------------------
 
     /**
@@ -80,6 +83,21 @@ class Netlist
      */
     std::size_t decayCharge(Picoseconds now,
                             Picoseconds retention_ps = defaultRetentionPs);
+
+    /**
+     * Inject a permanent stuck-at device fault: @p node is forced to
+     * @p v and ignores every subsequent driver write, charge decay,
+     * and (for input nodes) setInput. This is how cell-level fault
+     * campaigns lower onto the gate-level simulator. The change is
+     * propagated through the fanout; call settle() afterwards.
+     */
+    void forceStuckAt(NodeId node, LogicValue v, Picoseconds now);
+
+    /** Remove a stuck-at fault; the node resumes normal operation. */
+    void clearStuckAt(NodeId node);
+
+    /** Number of nodes currently stuck. */
+    std::size_t stuckCount() const;
 
     // --- observation ----------------------------------------------------
 
@@ -119,6 +137,8 @@ class Netlist
         std::int32_t driver = -1;
         /** True when the driver is a pass transistor (dynamic node). */
         bool dynamic = false;
+        /** Stuck-at fault: the node ignores writes while set. */
+        bool stuck = false;
         /** Last time the node was actively driven/refreshed. */
         Picoseconds lastRefresh = 0;
     };

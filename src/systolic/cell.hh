@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "systolic/fault.hh"
 #include "util/types.hh"
 
 namespace spm::systolic
@@ -65,6 +66,24 @@ class CellBase
 
     /** Parity on which this cell is active. */
     unsigned activeParity() const { return parity; }
+
+    /**
+     * Corrupt a committed output latch of this cell: apply @p op to
+     * bit @p bit of the value stored at @p point. Called between
+     * commit and the next evaluate (see Engine::onAfterCommit), so
+     * neighbors read the corrupted value on the following beat.
+     *
+     * @return true when the cell has the addressed point (the fault
+     *         landed), false when the point does not exist here.
+     */
+    virtual bool
+    applyFault(FaultPoint point, FaultOp op, unsigned bit)
+    {
+        (void)point;
+        (void)op;
+        (void)bit;
+        return false;
+    }
 
     /** One-line description of cell contents for trace rendering. */
     virtual std::string stateString() const { return ""; }

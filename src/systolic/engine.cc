@@ -30,6 +30,12 @@ Engine::onBeatEnd(BeatHook hook)
 }
 
 void
+Engine::onAfterCommit(BeatHook hook)
+{
+    commitHooks.push_back(std::move(hook));
+}
+
+void
 Engine::step()
 {
     const Beat beat = beatClock.beat();
@@ -52,6 +58,12 @@ Engine::step()
     // Phase Phi2: all staged outputs become visible simultaneously.
     for (auto &c : cells)
         c->commit();
+
+    // Fault models corrupt freshly committed latches here, so the
+    // upset is visible to neighbors on the next beat exactly as a
+    // hardware glitch between clock edges would be.
+    for (auto &hook : commitHooks)
+        hook(beat);
 
     lastUtil = cells.empty()
         ? 0.0

@@ -59,6 +59,15 @@ class Engine
     /** Register a hook run at the end of each beat, after commit. */
     void onBeatEnd(BeatHook hook);
 
+    /**
+     * Register a hook run immediately after commit, before the
+     * end-of-beat hooks and before statistics sample the beat. This
+     * is the fault-injection point: latch state mutated here (via
+     * CellBase::applyFault) is exactly what neighboring cells read on
+     * the next beat, the same visibility a hardware upset would have.
+     */
+    void onAfterCommit(BeatHook hook);
+
     /** Advance one beat: hooks, evaluate all, commit all, hooks. */
     void step();
 
@@ -92,6 +101,7 @@ class Engine
     Clock beatClock;
     std::vector<std::unique_ptr<CellBase>> cells;
     std::vector<BeatHook> startHooks;
+    std::vector<BeatHook> commitHooks;
     std::vector<BeatHook> endHooks;
     TraceRecorder *trace = nullptr;
 

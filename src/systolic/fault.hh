@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Runtime fault primitives for systolic cells.
+ *
+ * Section 5 argues the linear array survives *fabrication* defects by
+ * rewiring around bad cells; this header supplies the vocabulary for
+ * *runtime* faults -- a stuck latch, a flaky comparator, a transient
+ * bit flip -- so the same campaign can be replayed against every
+ * simulator fidelity. The enums live at the systolic layer because
+ * CellBase itself exposes the injection surface: each concrete cell
+ * knows its own output latches and how to corrupt them.
+ */
+
+#ifndef SPM_SYSTOLIC_FAULT_HH
+#define SPM_SYSTOLIC_FAULT_HH
+
+namespace spm::systolic
+{
+
+/**
+ * Which output latch of a cell a fault attacks. Not every cell has
+ * every point; CellBase::applyFault() returns false for points the
+ * cell does not implement.
+ */
+enum class FaultPoint : unsigned char
+{
+    PatternLatch, ///< pattern stream output (symbol or bit)
+    StringLatch,  ///< string stream output (symbol or bit)
+    CompareLatch, ///< comparator result d flowing down
+    ControlLatch, ///< lambda/x control pair (accumulators)
+    ResultLatch,  ///< result stream output (accumulators)
+};
+
+/**
+ * The primitive corruption applied to a latched value. Stuck-at ops
+ * force the addressed bit every beat; Flip inverts it once. Only the
+ * *value* fields of a token are attackable: validity flags encode the
+ * global beat choreography (clocking), not per-cell logic, and a cell
+ * whose logic dies still latches on the common clock.
+ */
+enum class FaultOp : unsigned char
+{
+    Stuck0, ///< force the addressed bit to 0
+    Stuck1, ///< force the addressed bit to 1
+    Flip,   ///< invert the addressed bit (transient)
+};
+
+} // namespace spm::systolic
+
+#endif // SPM_SYSTOLIC_FAULT_HH

@@ -77,6 +77,38 @@ TEST(HostBus, ParameterValidation)
     EXPECT_THROW(HostBusModel(100, 17), std::logic_error);
 }
 
+TEST(HostBus, InvalidConfigurationThrowsInvalidArgument)
+{
+    EXPECT_THROW(HostBusModel(0, 8), std::invalid_argument);
+    EXPECT_THROW(HostBusModel(100, 0), std::invalid_argument);
+    EXPECT_THROW(HostBusModel(100, 17), std::invalid_argument);
+}
+
+TEST(HostBus, EvenParityBit)
+{
+    // The parity bit makes the total number of ones even.
+    EXPECT_FALSE(HostBusModel::parityBit(0b00, 2));
+    EXPECT_TRUE(HostBusModel::parityBit(0b01, 2));
+    EXPECT_TRUE(HostBusModel::parityBit(0b10, 2));
+    EXPECT_FALSE(HostBusModel::parityBit(0b11, 2));
+    // Only payload bits participate.
+    EXPECT_FALSE(HostBusModel::parityBit(0b100, 2));
+}
+
+TEST(HostBus, ParityBitIsPricedIntoDemand)
+{
+    HostBusModel plain(prototypeBeatPs, 8, false);
+    HostBusModel checked(prototypeBeatPs, 8, true);
+    EXPECT_FALSE(plain.parityEnabled());
+    EXPECT_TRUE(checked.parityEnabled());
+    EXPECT_EQ(plain.busBitsPerChar(), 8u);
+    EXPECT_EQ(checked.busBitsPerChar(), 9u);
+    EXPECT_GT(checked.chipDemandBytesPerSec(),
+              plain.chipDemandBytesPerSec());
+    // Same beat clock: the character rate itself is unchanged.
+    EXPECT_DOUBLE_EQ(checked.chipCharsPerSec(), plain.chipCharsPerSec());
+}
+
 TEST(HostBus, EraProfilesAreOrdered)
 {
     EXPECT_LT(hostPdp11().bandwidthBytesPerSec,

@@ -115,5 +115,72 @@ TEST(Wafer, ParameterValidation)
     EXPECT_THROW(w.dicedChips(0), std::logic_error);
 }
 
+TEST(Wafer, InvalidConfigurationThrowsInvalidArgument)
+{
+    // Configuration errors are invalid_argument specifically, so a
+    // caller can distinguish bad parameters from simulator bugs.
+    EXPECT_THROW(Wafer(0, 4, 0.1, 1), std::invalid_argument);
+    EXPECT_THROW(Wafer(4, 0, 0.1, 1), std::invalid_argument);
+    EXPECT_THROW(Wafer(4, 4, -0.1, 1), std::invalid_argument);
+    EXPECT_THROW(Wafer(4, 4, 1.0001, 1), std::invalid_argument);
+}
+
+TEST(Wafer, SingleRowSnakeIsLeftToRight)
+{
+    Wafer w(1, 6, 0.0, 1);
+    const auto h = w.snakeHarvest();
+    EXPECT_EQ(h.chainLength, 6u);
+    EXPECT_EQ(h.longestJump, 1u);
+    const auto sites = w.snakeSites();
+    ASSERT_EQ(sites.size(), 6u);
+    for (unsigned c = 0; c < 6; ++c) {
+        EXPECT_EQ(sites[c].first, 0u);
+        EXPECT_EQ(sites[c].second, c);
+    }
+}
+
+TEST(Wafer, SnakeSitesReverseOnOddRows)
+{
+    Wafer w(2, 3, 0.0, 1);
+    const auto sites = w.snakeSites();
+    ASSERT_EQ(sites.size(), 6u);
+    // Row 0 left to right, row 1 right to left.
+    EXPECT_EQ(sites[2], (std::pair<unsigned, unsigned>{0, 2}));
+    EXPECT_EQ(sites[3], (std::pair<unsigned, unsigned>{1, 2}));
+    EXPECT_EQ(sites[5], (std::pair<unsigned, unsigned>{1, 0}));
+}
+
+TEST(Wafer, SnakeSitesMatchHarvestChain)
+{
+    Wafer w(6, 9, 0.2, 17);
+    EXPECT_EQ(w.snakeSites().size(), w.snakeHarvest().chainLength);
+    for (const auto &[r, c] : w.snakeSites())
+        EXPECT_TRUE(w.isGood(r, c));
+}
+
+TEST(Wafer, ChipLargerThanWaferYieldsNothing)
+{
+    Wafer w(2, 4, 0.0, 1);
+    EXPECT_EQ(w.dicedChips(9), 0u);
+    EXPECT_EQ(w.dicedChips(8), 1u);
+}
+
+TEST(Wafer, MarkBadReharvestsAroundTheSite)
+{
+    // Runtime retirement: a cell that dies in service is routed
+    // around exactly like a fabrication defect.
+    Wafer w(2, 4, 0.0, 1);
+    const auto before = w.snakeSites();
+    ASSERT_EQ(before.size(), 8u);
+    w.markBad(before[5].first, before[5].second);
+    EXPECT_EQ(w.goodCells(), 7u);
+    const auto after = w.snakeSites();
+    ASSERT_EQ(after.size(), 7u);
+    for (const auto &site : after)
+        EXPECT_NE(site, before[5]);
+    // The bypass wire over the retired site shows in the jump bound.
+    EXPECT_EQ(w.snakeHarvest().longestJump, 2u);
+}
+
 } // namespace
 } // namespace spm::flow
