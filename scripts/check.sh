@@ -16,7 +16,9 @@ run_matrix() {
     echo "== ${preset}: build =="
     cmake --build --preset "${preset}" -j "${jobs}"
     echo "== ${preset}: test =="
-    ctest --preset "${preset}" -j "${jobs}"
+    # --timeout catches a wedged simulator instead of hanging CI; the
+    # service watchdog tests exercise deliberate wedges.
+    ctest --preset "${preset}" -j "${jobs}" --timeout 120
 }
 
 run_matrix default

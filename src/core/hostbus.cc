@@ -108,4 +108,31 @@ HostBusModel::secondsForBeats(Beat beats) const
            static_cast<double>(periodPs) * 1e-12;
 }
 
+bool
+HostBusModel::transferChar(Symbol sent, Symbol received)
+{
+    ++nChars;
+    if (!parity)
+        return true;
+    if (parityBit(sent, bits) == parityBit(received, bits))
+        return true;
+    ++nParityErrors;
+    return false;
+}
+
+void
+HostBusModel::resetTransferStats()
+{
+    nChars = 0;
+    nParityErrors = 0;
+}
+
+std::string
+HostBusModel::statsDump() const
+{
+    return "hostbus.charsTransferred = " + std::to_string(nChars) +
+           "\nhostbus.parityErrors = " + std::to_string(nParityErrors) +
+           "\nhostbus.parityEnabled = " + (parity ? "1" : "0") + "\n";
+}
+
 } // namespace spm::core

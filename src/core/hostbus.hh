@@ -107,10 +107,37 @@ class HostBusModel
      */
     static bool parityBit(Symbol sym, BitWidth char_bits);
 
+    /**
+     * One end-to-end character transfer: the host computes the parity
+     * bit on @p sent at the near edge; the far edge recomputes it on
+     * @p received, the character as it actually arrived. A mismatch
+     * (any odd number of payload bits corrupted in transit) counts a
+     * parity error. With parity disabled the transfer is counted but
+     * unchecked -- corruption rides through, which is exactly the
+     * exposure the parity bit is priced to remove.
+     *
+     * @return true when the transfer checked clean (or is unchecked)
+     */
+    bool transferChar(Symbol sent, Symbol received);
+
+    /** Characters moved through transferChar() so far. */
+    std::uint64_t charsTransferred() const { return nChars; }
+
+    /** Parity mismatches detected so far. */
+    std::uint64_t parityErrors() const { return nParityErrors; }
+
+    /** Reset the transfer counters (new measurement interval). */
+    void resetTransferStats();
+
+    /** "hostbus.x = n" stat lines for the transfer counters. */
+    std::string statsDump() const;
+
   private:
     Picoseconds periodPs;
     BitWidth bits;
     bool parity;
+    std::uint64_t nChars = 0;
+    std::uint64_t nParityErrors = 0;
 };
 
 } // namespace spm::core

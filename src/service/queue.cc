@@ -1,0 +1,79 @@
+#include "service/queue.hh"
+
+#include "util/logging.hh"
+
+namespace spm::service
+{
+
+const char *
+policyName(BackpressurePolicy policy)
+{
+    switch (policy) {
+    case BackpressurePolicy::Reject:
+        return "reject";
+    case BackpressurePolicy::ShedOldest:
+        return "shed-oldest";
+    case BackpressurePolicy::Block:
+        return "block";
+    }
+    return "?";
+}
+
+AdmissionQueue::AdmissionQueue(std::size_t queue_capacity,
+                               BackpressurePolicy policy)
+    : cap(queue_capacity), pol(policy)
+{
+    spm_assert(cap > 0, "admission queue needs capacity >= 1");
+}
+
+Admission
+AdmissionQueue::offer(MatchRequest req)
+{
+    ++nOffered;
+    Admission adm;
+    if (pending.size() < cap) {
+        pending.push_back(std::move(req));
+        ++nAdmitted;
+        adm.admitted = true;
+        return adm;
+    }
+
+    switch (pol) {
+    case BackpressurePolicy::Reject:
+        ++nRejected;
+        adm.error = ServiceError::make(
+            ErrorCode::QueueOverflow,
+            "queue at capacity " + std::to_string(cap));
+        adm.bounced = std::move(req);
+        return adm;
+    case BackpressurePolicy::ShedOldest:
+        adm.shed = std::move(pending.front());
+        pending.pop_front();
+        ++nShed;
+        pending.push_back(std::move(req));
+        ++nAdmitted;
+        adm.admitted = true;
+        return adm;
+    case BackpressurePolicy::Block:
+        // The queue cannot make room itself; the producer must drain
+        // one request and offer again. Counted so overload reports
+        // show how often producers stalled.
+        ++nBlocked;
+        adm.mustDrain = true;
+        adm.bounced = std::move(req);
+        return adm;
+    }
+    return adm;
+}
+
+std::optional<MatchRequest>
+AdmissionQueue::pop()
+{
+    if (pending.empty())
+        return std::nullopt;
+    MatchRequest req = std::move(pending.front());
+    pending.pop_front();
+    return req;
+}
+
+} // namespace spm::service

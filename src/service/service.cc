@@ -1,0 +1,472 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/gatechip.hh"
+#include "core/reference.hh"
+#include "util/logging.hh"
+
+namespace spm::service
+{
+
+namespace
+{
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string s;
+    for (const std::string &n : names) {
+        if (!s.empty())
+            s += ",";
+        s += n;
+    }
+    return s;
+}
+
+} // namespace
+
+// --- StreamSession ----------------------------------------------------
+
+StreamSession::StreamSession(MatchService &svc, MatchRequest req,
+                             std::optional<Checkpoint> resume_from)
+    : service(svc), request(std::move(req)),
+      rungFaults(svc.ladder.size(), 0)
+{
+    response.id = request.id;
+    if (resume_from) {
+        cp = std::move(*resume_from);
+        response.resumed = true;
+        response.beats = cp.beats;
+        ++service.counters.resumes;
+        service.log.record("req=" + std::to_string(request.id) +
+                           " resume offset=" + std::to_string(cp.offset) +
+                           " rung=" + std::to_string(cp.rung) +
+                           " ckpt=" + std::to_string(cp.digest()));
+    } else {
+        service.log.record("req=" + std::to_string(request.id) +
+                           " start n=" +
+                           std::to_string(request.text.size()) + " k=" +
+                           std::to_string(request.pattern.size()) +
+                           " ladder=" +
+                           joinNames(service.ladderNames()));
+    }
+}
+
+void
+StreamSession::fail(ErrorCode code, const std::string &detail)
+{
+    response.error = ServiceError::make(code, detail);
+    finished = true;
+    service.log.record("req=" + std::to_string(request.id) +
+                       " fail code=" + errorCodeName(code) + " " + detail);
+}
+
+Beat
+StreamSession::windowBudget(std::size_t window_len) const
+{
+    // The behavioral feed plan finishes a window of n characters in
+    // 2n + phi + cells + 4 beats; the bit-serial organization adds
+    // one beat per character bit of drain. The margin covers both
+    // and leaves the slack that separates "slow" from "wedged".
+    const ServiceConfig &cfg = service.cfg;
+    const double plan_beats = 2.0 * static_cast<double>(window_len) +
+                              static_cast<double>(cfg.cells) +
+                              static_cast<double>(request.pattern.size()) +
+                              static_cast<double>(cfg.alphabetBits) + 8.0;
+    return static_cast<Beat>(plan_beats * cfg.watchdogMargin);
+}
+
+bool
+StreamSession::step()
+{
+    if (finished)
+        return false;
+
+    const std::size_t n = request.text.size();
+    const std::size_t k = request.pattern.size();
+    if (cp.offset >= n) {
+        // Fully served: publish the accumulated stream.
+        response.result = cp.emitted;
+        response.backend = service.ladder.empty()
+            ? "none"
+            : service.ladder[cp.rung]->name();
+        finished = true;
+        service.log.record("req=" + std::to_string(request.id) +
+                           " done ok backend=" + response.backend +
+                           " beats=" + std::to_string(response.beats));
+        return false;
+    }
+
+    ServiceConfig &cfg = service.cfg;
+    const std::size_t chunk =
+        std::min(cfg.chunkChars, n - cp.offset);
+
+    // The window re-presents the k-1 checkpointed tail characters so
+    // the first result bit of this chunk sees its full substring.
+    std::vector<Symbol> window = cp.tail;
+    window.insert(window.end(),
+                  request.text.begin() +
+                      static_cast<std::ptrdiff_t>(cp.offset),
+                  request.text.begin() +
+                      static_cast<std::ptrdiff_t>(cp.offset + chunk));
+
+    bool last_fail_watchdog = false;
+    std::size_t rung = cp.rung;
+    while (rung < service.ladder.size()) {
+        ServiceBackend &backend = *service.ladder[rung];
+        if (!backend.supports(request.pattern)) {
+            service.log.record("req=" + std::to_string(request.id) +
+                               " skip rung=" + backend.name() +
+                               " reason=unsupported");
+            cp.rung = ++rung;
+            continue;
+        }
+
+        Beat budget = windowBudget(window.size());
+        if (request.deadlineBeats > 0) {
+            if (response.beats >= request.deadlineBeats) {
+                fail(ErrorCode::DeadlineExceeded,
+                     "request deadline of " +
+                         std::to_string(request.deadlineBeats) +
+                         " beats exhausted at offset " +
+                         std::to_string(cp.offset));
+                return false;
+            }
+            budget = std::min(budget,
+                              request.deadlineBeats - response.beats);
+        }
+
+        service.dog.arm(budget);
+        WindowResult wr =
+            backend.matchWindow(window, request.pattern, service.dog);
+        response.beats += wr.beats;
+
+        if (!wr.completed) {
+            last_fail_watchdog = service.dog.tripped();
+            if (last_fail_watchdog) {
+                ++response.watchdogTrips;
+                ++service.counters.watchdogTrips;
+            }
+            service.log.record(
+                "req=" + std::to_string(request.id) + " cancel rung=" +
+                backend.name() + " offset=" + std::to_string(cp.offset) +
+                " " + (wr.note.empty() ? "failed" : wr.note));
+            ++response.degradations;
+            ++service.counters.degradations;
+            cp.rung = ++rung;
+            continue;
+        }
+
+        if (cfg.crossCheck) {
+            const std::vector<bool> expect =
+                core::ReferenceMatcher().match(window, request.pattern);
+            if (wr.bits != expect) {
+                ++response.crossCheckFailures;
+                ++service.counters.crossCheckFailures;
+                const unsigned faults = ++rungFaults[rung];
+                service.log.record(
+                    "req=" + std::to_string(request.id) +
+                    " crosscheck-mismatch rung=" + backend.name() +
+                    " offset=" + std::to_string(cp.offset) +
+                    " faults=" + std::to_string(faults) + "/" +
+                    std::to_string(cfg.rungFaultBudget));
+                if (faults > cfg.rungFaultBudget) {
+                    last_fail_watchdog = false;
+                    ++response.degradations;
+                    ++service.counters.degradations;
+                    cp.rung = ++rung;
+                }
+                // Within budget: re-run the same rung (a transient
+                // clears on the re-run; a permanent fault burns the
+                // budget and forces the fall).
+                continue;
+            }
+        }
+
+        // Commit: pace the chunk over the bus (parity checked end to
+        // end), append the new result bits, cut a checkpoint.
+        for (std::size_t i = 0; i < chunk; ++i) {
+            const Symbol c = request.text[cp.offset + i];
+            service.cfg.bus.transferChar(c, c);
+        }
+        const std::size_t skip = window.size() - chunk;
+        for (std::size_t j = skip; j < window.size(); ++j)
+            cp.emitted.push_back(wr.bits[j]);
+
+        cp.offset += chunk;
+        const std::size_t tail_len =
+            std::min(k > 0 ? k - 1 : 0, cp.offset);
+        cp.tail.assign(request.text.begin() +
+                           static_cast<std::ptrdiff_t>(cp.offset -
+                                                       tail_len),
+                       request.text.begin() +
+                           static_cast<std::ptrdiff_t>(cp.offset));
+        cp.rung = rung;
+        cp.beats = response.beats;
+        ++response.chunks;
+        ++response.checkpoints;
+        ++service.counters.checkpoints;
+        service.log.record(
+            "req=" + std::to_string(request.id) + " chunk offset=" +
+            std::to_string(cp.offset) + "/" + std::to_string(n) +
+            " rung=" + backend.name() + " beats=" +
+            std::to_string(wr.beats) + " ckpt=" +
+            std::to_string(cp.digest()));
+        // Even when this was the last chunk, one more step() call
+        // publishes the response; callers loop on the return value.
+        return true;
+    }
+
+    // Every rung skipped, cancelled or out of fault budget.
+    if (last_fail_watchdog)
+        fail(ErrorCode::DeadlineExceeded,
+             "watchdog cancelled every remaining rung at offset " +
+                 std::to_string(cp.offset));
+    else
+        fail(ErrorCode::BackendFailed,
+             "degradation ladder exhausted at offset " +
+                 std::to_string(cp.offset));
+    return false;
+}
+
+MatchResponse
+StreamSession::finish()
+{
+    if (!finished) {
+        if (cp.offset >= request.text.size()) {
+            // All chunks done; step() once more to publish.
+            step();
+        } else {
+            cancel("finish() before completion");
+        }
+    }
+    ++service.counters.served;
+    if (response.ok())
+        ++service.counters.completed;
+    else
+        ++service.counters.failed;
+    return response;
+}
+
+void
+StreamSession::cancel(const std::string &reason)
+{
+    if (finished)
+        return;
+    fail(ErrorCode::Cancelled, reason);
+}
+
+// --- MatchService -----------------------------------------------------
+
+MatchService::MatchService(ServiceConfig config)
+    : MatchService(std::move(config), {})
+{
+}
+
+MatchService::MatchService(
+    ServiceConfig config,
+    std::vector<std::unique_ptr<ServiceBackend>> ladder_rungs)
+    : cfg(std::move(config)), ladder(std::move(ladder_rungs)),
+      queue(cfg.queueCapacity, cfg.policy), log(cfg.journalEnabled)
+{
+    spm_assert(cfg.cells > 0, "service needs at least one cell");
+    spm_assert(cfg.chunkChars > 0, "service needs a nonzero chunk size");
+    spm_assert(cfg.alphabetBits >= 1 && cfg.alphabetBits <= 16,
+               "alphabet width must be in [1, 16] bits");
+    if (ladder.empty())
+        ladder = makeDefaultLadder(cfg);
+    spm_assert(!ladder.empty(), "service needs at least one backend");
+}
+
+std::vector<std::string>
+MatchService::ladderNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(ladder.size());
+    for (const auto &b : ladder)
+        names.push_back(b->name());
+    return names;
+}
+
+std::optional<ServiceError>
+MatchService::validate(const MatchRequest &req) const
+{
+    if (req.pattern.empty())
+        return ServiceError::make(ErrorCode::InvalidPattern,
+                                  "empty pattern");
+    if (req.pattern.size() > cfg.maxPatternLen)
+        return ServiceError::make(
+            ErrorCode::OversizedRequest,
+            "pattern of " + std::to_string(req.pattern.size()) +
+                " exceeds limit " + std::to_string(cfg.maxPatternLen));
+    if (req.text.size() > cfg.maxTextLen)
+        return ServiceError::make(
+            ErrorCode::OversizedRequest,
+            "text of " + std::to_string(req.text.size()) +
+                " exceeds limit " + std::to_string(cfg.maxTextLen));
+
+    const Symbol sigma = static_cast<Symbol>(1u << cfg.alphabetBits);
+    for (std::size_t i = 0; i < req.text.size(); ++i)
+        if (req.text[i] >= sigma)
+            return ServiceError::make(
+                ErrorCode::AlphabetOverflow,
+                "text[" + std::to_string(i) + "]=" +
+                    std::to_string(req.text[i]) +
+                    " outside alphabet of " + std::to_string(sigma));
+    for (std::size_t i = 0; i < req.pattern.size(); ++i)
+        if (req.pattern[i] != wildcardSymbol && req.pattern[i] >= sigma)
+            return ServiceError::make(
+                ErrorCode::AlphabetOverflow,
+                "pattern[" + std::to_string(i) + "]=" +
+                    std::to_string(req.pattern[i]) +
+                    " outside alphabet of " + std::to_string(sigma));
+    return std::nullopt;
+}
+
+StreamSession
+MatchService::startSession(const MatchRequest &req)
+{
+    StreamSession session(*this, req, std::nullopt);
+    if (auto err = validate(req))
+        session.fail(err->code, err->detail);
+    return session;
+}
+
+MatchResponse
+MatchService::serve(const MatchRequest &req)
+{
+    StreamSession session = startSession(req);
+    while (session.step()) {
+    }
+    return session.finish();
+}
+
+MatchResponse
+MatchService::resume(const MatchRequest &req, const Checkpoint &from)
+{
+    StreamSession session(*this, req, from);
+    if (auto err = validate(req)) {
+        session.fail(err->code, err->detail);
+        return session.finish();
+    }
+    const std::size_t k = req.pattern.size();
+    const std::size_t want_tail = std::min(k > 0 ? k - 1 : 0, from.offset);
+    if (from.offset > req.text.size() ||
+        from.emitted.size() != from.offset ||
+        from.tail.size() != want_tail || from.rung >= ladder.size()) {
+        session.fail(ErrorCode::InvalidCheckpoint,
+                     "checkpoint inconsistent with request (offset " +
+                         std::to_string(from.offset) + ", " +
+                         std::to_string(from.emitted.size()) +
+                         " emitted, tail " +
+                         std::to_string(from.tail.size()) + ")");
+        return session.finish();
+    }
+    while (session.step()) {
+    }
+    return session.finish();
+}
+
+MatchService::SubmitResult
+MatchService::submit(MatchRequest req)
+{
+    SubmitResult out;
+    if (auto err = validate(req)) {
+        // Invalid requests never consume queue space; the rejection
+        // is typed just like an admission rejection.
+        out.error = *err;
+        log.record("req=" + std::to_string(req.id) +
+                   " rejected at validation: " + err->toString());
+        return out;
+    }
+
+    for (;;) {
+        Admission adm = queue.offer(std::move(req));
+        if (adm.shed) {
+            // The displaced request is answered, never dropped.
+            MatchResponse shed_resp;
+            shed_resp.id = adm.shed->id;
+            shed_resp.error = ServiceError::make(
+                ErrorCode::Shed, "evicted under shed-oldest policy");
+            log.record("req=" + std::to_string(shed_resp.id) + " shed");
+            ++counters.served;
+            ++counters.failed;
+            out.shedResponse = std::move(shed_resp);
+        }
+        if (adm.admitted) {
+            out.accepted = true;
+            return out;
+        }
+        if (adm.mustDrain) {
+            // Block policy: the producer stalls while the service
+            // drains the queue head, then the offer is retried with
+            // the bounced request.
+            spm_assert(adm.bounced.has_value(),
+                       "blocked offer must bounce the request");
+            if (auto head = queue.pop())
+                out.drained.push_back(serve(*head));
+            req = std::move(*adm.bounced);
+            continue;
+        }
+        out.error = adm.error;
+        return out;
+    }
+}
+
+std::vector<MatchResponse>
+MatchService::drain()
+{
+    std::vector<MatchResponse> out;
+    while (auto req = queue.pop())
+        out.push_back(serve(*req));
+    return out;
+}
+
+std::string
+MatchService::statsDump() const
+{
+    std::string s;
+    auto line = [&s](const char *k, std::uint64_t v) {
+        s += "service.";
+        s += k;
+        s += " = ";
+        s += std::to_string(v);
+        s += "\n";
+    };
+    line("served", counters.served);
+    line("completed", counters.completed);
+    line("failed", counters.failed);
+    line("degradations", counters.degradations);
+    line("watchdogTrips", counters.watchdogTrips);
+    line("crossCheckFailures", counters.crossCheckFailures);
+    line("checkpoints", counters.checkpoints);
+    line("resumes", counters.resumes);
+    line("queue.offered", queue.offered());
+    line("queue.admitted", queue.admitted());
+    line("queue.rejected", queue.rejected());
+    line("queue.shed", queue.shedCount());
+    line("queue.blockedOffers", queue.blockedOffers());
+    s += cfg.bus.statsDump();
+    return s;
+}
+
+std::vector<std::unique_ptr<ServiceBackend>>
+makeDefaultLadder(const ServiceConfig &config)
+{
+    std::vector<std::unique_ptr<ServiceBackend>> ladder;
+
+    auto gate = std::make_unique<core::GateLevelMatcher>(
+        config.cells, config.alphabetBits);
+    core::GateLevelMatcher *gate_raw = gate.get();
+    ladder.push_back(std::make_unique<MatcherBackend>(
+        std::move(gate), config.cells,
+        [gate_raw] { return gate_raw->lastBeats(); }));
+
+    ladder.push_back(std::make_unique<BehavioralBackend>(config.cells));
+    ladder.push_back(std::make_unique<SoftwareBackend>());
+    return ladder;
+}
+
+} // namespace spm::service

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The resilient streaming match service.
+ *
+ * MatchService fronts the pattern-matching machine with the serving
+ * discipline a host-attached peripheral needs (Section 3.1: the chip
+ * runs "at a steady rate ... with a constant time between data
+ * items"; the host, not the array, must absorb everything irregular):
+ *
+ *   admission    - a bounded queue with a configurable backpressure
+ *                  policy (reject / shed-oldest / block);
+ *   validation   - every request checked against a typed error
+ *                  taxonomy before it touches hardware;
+ *   streaming    - text fed in chunks over the HostBusModel pacing,
+ *                  each chunk a window overlapping the last by k-1
+ *                  characters;
+ *   watchdog     - a beat budget per window; a wedged backend is
+ *                  cancelled, not waited on;
+ *   checkpoints  - resumable state cut after every committed chunk,
+ *                  with a deterministic replay journal;
+ *   degradation  - a ladder of backends (gate level -> behavioral ->
+ *                  software baseline); a rung that trips the watchdog
+ *                  or exceeds its cross-check fault budget is
+ *                  abandoned for the rest of the request, and every
+ *                  committed chunk is verified against the reference
+ *                  matcher, so degraded results are never silently
+ *                  wrong.
+ */
+
+#ifndef SPM_SERVICE_SERVICE_HH
+#define SPM_SERVICE_SERVICE_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hostbus.hh"
+#include "service/backend.hh"
+#include "service/checkpoint.hh"
+#include "service/queue.hh"
+#include "service/request.hh"
+#include "service/watchdog.hh"
+#include "util/types.hh"
+
+namespace spm::service
+{
+
+/** Serving-side configuration. */
+struct ServiceConfig
+{
+    /** Character cells per hardware chip. */
+    std::size_t cells = 8;
+    /** Bits per alphabet character; symbols must be < 2^bits. */
+    BitWidth alphabetBits = 2;
+    /** Largest admissible text, in characters. */
+    std::size_t maxTextLen = 1 << 16;
+    /** Largest admissible pattern. */
+    std::size_t maxPatternLen = 64;
+    /** Text characters streamed per chunk. */
+    std::size_t chunkChars = 32;
+    /**
+     * Watchdog slack: the per-window beat budget is the feed-plan
+     * beat count scaled by this margin.
+     */
+    double watchdogMargin = 1.5;
+    /** Cross-check mismatches tolerated per rung before it falls. */
+    unsigned rungFaultBudget = 1;
+    /** Verify every committed chunk against the reference matcher. */
+    bool crossCheck = true;
+    /** Record the replay journal. */
+    bool journalEnabled = true;
+    /** Admission queue depth. */
+    std::size_t queueCapacity = 8;
+    BackpressurePolicy policy = BackpressurePolicy::Reject;
+    /** Bus pacing and parity; parity on by default for the service. */
+    core::HostBusModel bus{prototypeBeatPs, 8, true};
+};
+
+class MatchService;
+
+/**
+ * One streaming match in flight. step() processes one chunk and cuts
+ * a checkpoint; a caller that stops stepping (a crash, a cancel) can
+ * later resume a fresh session from the last checkpoint and the
+ * output is bit-identical to an uninterrupted run.
+ */
+class StreamSession
+{
+  public:
+    /** Process the next chunk. True while more chunks remain. */
+    bool step();
+
+    /** True once the request is fully served or has failed. */
+    bool done() const { return finished; }
+
+    /** The last durable checkpoint (resume token). */
+    const Checkpoint &checkpoint() const { return cp; }
+
+    /** Finish the session and take the response. */
+    MatchResponse finish();
+
+    /** Abandon the session; the response reports Cancelled. */
+    void cancel(const std::string &reason);
+
+  private:
+    friend class MatchService;
+    StreamSession(MatchService &svc, MatchRequest req,
+                  std::optional<Checkpoint> resume_from);
+
+    void fail(ErrorCode code, const std::string &detail);
+    Beat windowBudget(std::size_t window_len) const;
+
+    MatchService &service;
+    MatchRequest request;
+    Checkpoint cp;
+    MatchResponse response;
+    /** Cross-check failures charged against each rung this request. */
+    std::vector<unsigned> rungFaults;
+    bool finished = false;
+};
+
+/** The resilient streaming match service. */
+class MatchService
+{
+  public:
+    /** Build with the default ladder for @p config (see makeDefaultLadder). */
+    explicit MatchService(ServiceConfig config);
+
+    /** Build with a caller-supplied degradation ladder (rung 0 first). */
+    MatchService(ServiceConfig config,
+                 std::vector<std::unique_ptr<ServiceBackend>> ladder_rungs);
+
+    const ServiceConfig &config() const { return cfg; }
+
+    /** Rung names, in degradation order. */
+    std::vector<std::string> ladderNames() const;
+
+    /** Typed validation; nullopt when the request is admissible. */
+    std::optional<ServiceError> validate(const MatchRequest &req) const;
+
+    /** Serve one request end to end (validate + stream + respond). */
+    MatchResponse serve(const MatchRequest &req);
+
+    /** Open a streaming session (validated; check the first error). */
+    StreamSession startSession(const MatchRequest &req);
+
+    /** Resume a killed request from @p from; output is bit-identical. */
+    MatchResponse resume(const MatchRequest &req, const Checkpoint &from);
+
+    /** Result of submitting through the admission queue. */
+    struct SubmitResult
+    {
+        /** True when the request was queued (or served via Block). */
+        bool accepted = false;
+        /** The typed rejection when not accepted. */
+        ServiceError error;
+        /** Response for a request shed to make room, if any. */
+        std::optional<MatchResponse> shedResponse;
+        /** Responses drained inline by the Block policy. */
+        std::vector<MatchResponse> drained;
+    };
+
+    /** Offer a request to the admission queue under the policy. */
+    SubmitResult submit(MatchRequest req);
+
+    /** Serve everything queued, in order. */
+    std::vector<MatchResponse> drain();
+
+    std::size_t queuedRequests() const { return queue.size(); }
+    const AdmissionQueue &admission() const { return queue; }
+
+    const ReplayJournal &journal() const { return log; }
+    ReplayJournal &journal() { return log; }
+
+    /** Lifetime serving counters. */
+    struct Stats
+    {
+        std::uint64_t served = 0;      ///< responses produced
+        std::uint64_t completed = 0;   ///< ok responses
+        std::uint64_t failed = 0;      ///< error responses (incl. shed)
+        std::uint64_t degradations = 0;
+        std::uint64_t watchdogTrips = 0;
+        std::uint64_t crossCheckFailures = 0;
+        std::uint64_t checkpoints = 0;
+        std::uint64_t resumes = 0;
+    };
+    const Stats &stats() const { return counters; }
+
+    /** "service.x = n" lines: serving, queue and bus-parity counters. */
+    std::string statsDump() const;
+
+  private:
+    friend class StreamSession;
+
+    ServiceConfig cfg;
+    std::vector<std::unique_ptr<ServiceBackend>> ladder;
+    AdmissionQueue queue;
+    BeatWatchdog dog;
+    ReplayJournal log;
+    Stats counters;
+};
+
+/**
+ * The default degradation ladder for @p config: gate-level netlist,
+ * then the behavioral array, then the software baseline. The gate
+ * rung is the fabricated prototype's fidelity; the software rung can
+ * always answer.
+ */
+std::vector<std::unique_ptr<ServiceBackend>> makeDefaultLadder(
+    const ServiceConfig &config);
+
+} // namespace spm::service
+
+#endif // SPM_SERVICE_SERVICE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The beat-budget watchdog.
+ *
+ * A healthy array produces all results for a window within a beat
+ * count that is known in advance from the feed plan (Section 3.1:
+ * "a constant time between data items"). A backend that runs past
+ * that budget without finishing is wedged -- a fault corrupted the
+ * validity choreography, or the implementation is stuck -- and the
+ * service must cancel it rather than wait forever. The watchdog is
+ * cooperative and deterministic: backends charge simulated beats
+ * against an armed budget, and the trip condition is a pure function
+ * of the charge, so tests reproduce cancellations exactly.
+ */
+
+#ifndef SPM_SERVICE_WATCHDOG_HH
+#define SPM_SERVICE_WATCHDOG_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace spm::service
+{
+
+/**
+ * Counts beats charged by a backend against an armed budget. Once the
+ * charge exceeds the budget the watchdog is tripped and stays tripped
+ * until re-armed; lifetime trip statistics survive re-arming.
+ */
+class BeatWatchdog
+{
+  public:
+    /** @param beat_budget initial budget; 0 means "trip on any charge". */
+    explicit BeatWatchdog(Beat beat_budget = 0) : allowance(beat_budget) {}
+
+    /** Re-arm with a fresh budget for the next window. */
+    void arm(Beat beat_budget)
+    {
+        allowance = beat_budget;
+        charged = 0;
+        wedged = false;
+    }
+
+    /**
+     * Charge @p beats of backend work. Returns true while the total
+     * charge stays within the budget; false once tripped (and records
+     * the trip exactly once per armed window).
+     */
+    bool tick(Beat beats = 1)
+    {
+        charged += beats;
+        if (charged > allowance && !wedged) {
+            wedged = true;
+            ++nTrips;
+        }
+        return !wedged;
+    }
+
+    /** True once the armed budget has been exhausted. */
+    bool tripped() const { return wedged; }
+
+    Beat budget() const { return allowance; }
+    Beat used() const { return charged; }
+
+    /** Windows cancelled over the watchdog's lifetime. */
+    std::uint64_t trips() const { return nTrips; }
+
+  private:
+    Beat allowance;
+    Beat charged = 0;
+    bool wedged = false;
+    std::uint64_t nTrips = 0;
+};
+
+} // namespace spm::service
+
+#endif // SPM_SERVICE_WATCHDOG_HH

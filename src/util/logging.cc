@@ -7,6 +7,34 @@
 namespace spm
 {
 
+namespace
+{
+
+// Process-global; the simulators are single-threaded by design.
+LogLevel minLevel = LogLevel::Info;
+
+} // namespace
+
+void
+setLogMinLevel(LogLevel level)
+{
+    minLevel = level;
+}
+
+LogLevel
+logMinLevel()
+{
+    return minLevel;
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return level != LogLevel::Silent &&
+           static_cast<unsigned>(level) >=
+               static_cast<unsigned>(minLevel);
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
@@ -28,12 +56,16 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (!logEnabled(LogLevel::Warn))
+        return;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (!logEnabled(LogLevel::Info))
+        return;
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -17,6 +17,28 @@
 namespace spm
 {
 
+/**
+ * Severity of the non-terminating status messages. Long-running
+ * campaigns (fault storms inject thousands of warnings on purpose)
+ * raise the global minimum level so per-beat chatter does not drown
+ * the report; panic/fatal are never filtered.
+ */
+enum class LogLevel : unsigned char
+{
+    Info,   ///< inform() and up
+    Warn,   ///< warn() and up
+    Silent, ///< neither inform() nor warn()
+};
+
+/** Set the global minimum level printed by warn()/inform(). */
+void setLogMinLevel(LogLevel level);
+
+/** The current global minimum level (default: Info). */
+LogLevel logMinLevel();
+
+/** Whether a message at @p level would currently be printed. */
+bool logEnabled(LogLevel level);
+
 /** Terminate with a message; used for internal invariant violations. */
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);

@@ -1,0 +1,550 @@
+/**
+ * @file
+ * Tests for the resilient streaming match service: the typed error
+ * taxonomy and request validation, the bounded admission queue under
+ * all three backpressure policies, the beat-budget watchdog and
+ * cancellation semantics, checkpoint/resume determinism, the
+ * degradation ladder under injected faults, and journal determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/behavioral.hh"
+#include "core/reference.hh"
+#include "fault/injector.hh"
+#include "fault/model.hh"
+#include "service/backend.hh"
+#include "service/checkpoint.hh"
+#include "service/error.hh"
+#include "service/queue.hh"
+#include "service/service.hh"
+#include "service/watchdog.hh"
+#include "tests/helpers.hh"
+#include "util/rng.hh"
+
+namespace spm::service
+{
+namespace
+{
+
+/**
+ * A deliberately wedged backend: it eats its entire beat budget
+ * without ever producing a result, the way a fault that corrupts the
+ * validity choreography starves the result stream.
+ */
+class WedgedBackend : public ServiceBackend
+{
+  public:
+    std::string name() const override { return "wedged-fake"; }
+
+    WindowResult matchWindow(const std::vector<Symbol> &,
+                             const std::vector<Symbol> &,
+                             BeatWatchdog &dog) override
+    {
+        WindowResult wr;
+        while (dog.tick(1))
+            ++wr.beats;
+        wr.note = "wedged: consumed the whole budget";
+        return wr;
+    }
+};
+
+/** A backend that always answers all-true: silently wrong. */
+class LyingBackend : public ServiceBackend
+{
+  public:
+    std::string name() const override { return "lying-fake"; }
+
+    WindowResult matchWindow(const std::vector<Symbol> &window,
+                             const std::vector<Symbol> &,
+                             BeatWatchdog &dog) override
+    {
+        WindowResult wr;
+        wr.bits.assign(window.size(), true);
+        wr.beats = window.size();
+        dog.tick(wr.beats);
+        wr.completed = true;
+        return wr;
+    }
+};
+
+ServiceConfig
+smallConfig()
+{
+    ServiceConfig cfg;
+    cfg.cells = 8;
+    cfg.alphabetBits = 2;
+    cfg.chunkChars = 16;
+    cfg.queueCapacity = 2;
+    return cfg;
+}
+
+std::vector<std::unique_ptr<ServiceBackend>>
+behavioralLadder(std::size_t cells)
+{
+    std::vector<std::unique_ptr<ServiceBackend>> ladder;
+    ladder.push_back(std::make_unique<BehavioralBackend>(cells));
+    ladder.push_back(std::make_unique<SoftwareBackend>());
+    return ladder;
+}
+
+MatchRequest
+seededRequest(std::uint64_t id, std::uint64_t seed, BitWidth bits,
+              std::size_t text_len, std::size_t pattern_len,
+              double wildcard_prob = 0.25)
+{
+    WorkloadGen gen(seed, bits);
+    MatchRequest req;
+    req.id = id;
+    req.pattern = gen.randomPattern(pattern_len, wildcard_prob);
+    req.text = gen.textWithPlants(text_len, req.pattern,
+                                  pattern_len * 2 + 1);
+    return req;
+}
+
+TEST(ServiceError, CodesHaveStableNames)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "ok");
+    EXPECT_STREQ(errorCodeName(ErrorCode::InvalidPattern),
+                 "invalid_pattern");
+    EXPECT_STREQ(errorCodeName(ErrorCode::AlphabetOverflow),
+                 "alphabet_overflow");
+    EXPECT_STREQ(errorCodeName(ErrorCode::OversizedRequest),
+                 "oversized_request");
+    EXPECT_STREQ(errorCodeName(ErrorCode::QueueOverflow),
+                 "queue_overflow");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Shed), "shed");
+    EXPECT_STREQ(errorCodeName(ErrorCode::DeadlineExceeded),
+                 "deadline_exceeded");
+    EXPECT_STREQ(errorCodeName(ErrorCode::BackendFailed),
+                 "backend_failed");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Cancelled), "cancelled");
+    EXPECT_STREQ(errorCodeName(ErrorCode::InvalidCheckpoint),
+                 "invalid_checkpoint");
+
+    const ServiceError e =
+        ServiceError::make(ErrorCode::Shed, "queue full");
+    EXPECT_TRUE(bool(e));
+    EXPECT_EQ(e.toString(), "shed: queue full");
+    EXPECT_FALSE(bool(ServiceError::ok()));
+}
+
+TEST(ServiceValidation, TypedRejections)
+{
+    MatchService svc(smallConfig(), behavioralLadder(8));
+
+    MatchRequest req;
+    req.text = {0, 1, 2};
+    auto err = svc.validate(req); // empty pattern
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ErrorCode::InvalidPattern);
+
+    req.pattern = {0, 3}; // fine
+    EXPECT_FALSE(svc.validate(req).has_value());
+
+    req.text = {0, 1, 7}; // 7 outside 2-bit alphabet
+    err = svc.validate(req);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ErrorCode::AlphabetOverflow);
+
+    req.text = {0, 1, 2};
+    req.pattern = {0, 9}; // 9 outside alphabet, not the wild card
+    err = svc.validate(req);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ErrorCode::AlphabetOverflow);
+
+    req.pattern = {0, wildcardSymbol}; // wild card is always legal
+    EXPECT_FALSE(svc.validate(req).has_value());
+
+    ServiceConfig tiny = smallConfig();
+    tiny.maxTextLen = 4;
+    tiny.maxPatternLen = 2;
+    MatchService bounded(tiny, behavioralLadder(8));
+    req.text = {0, 1, 2, 3, 0};
+    req.pattern = {0, 1};
+    err = bounded.validate(req);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ErrorCode::OversizedRequest);
+
+    req.text = {0, 1};
+    req.pattern = {0, 1, 2};
+    err = bounded.validate(req);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ErrorCode::OversizedRequest);
+
+    // An invalid request is refused at submit() without queueing.
+    MatchRequest bad;
+    bad.id = 42;
+    auto sub = bounded.submit(bad);
+    EXPECT_FALSE(sub.accepted);
+    EXPECT_EQ(sub.error.code, ErrorCode::InvalidPattern);
+    EXPECT_EQ(bounded.queuedRequests(), 0u);
+}
+
+TEST(ServiceMatch, AgreesWithReferenceOnSeededWorkloads)
+{
+    core::ReferenceMatcher ref;
+    for (std::uint64_t i = 0; i < 12; ++i) {
+        const test::Workload w = test::makeWorkload(i);
+        ServiceConfig cfg = smallConfig();
+        cfg.alphabetBits = w.bits;
+        cfg.cells = 16; // makeWorkload patterns go up to 10
+        cfg.chunkChars = 8 + i % 13;
+        MatchService svc(cfg, behavioralLadder(cfg.cells));
+
+        MatchRequest req;
+        req.id = i;
+        req.text = w.text;
+        req.pattern = w.pattern;
+        const MatchResponse resp = svc.serve(req);
+        ASSERT_TRUE(resp.ok()) << resp.error.toString();
+        EXPECT_EQ(resp.result, ref.match(w.text, w.pattern))
+            << "workload " << i;
+        EXPECT_EQ(resp.degradations, 0u);
+        EXPECT_EQ(resp.backend, "systolic-behavioral");
+        EXPECT_GT(resp.checkpoints, 0u);
+    }
+}
+
+TEST(ServiceMatch, EmptyTextServesEmptyResult)
+{
+    MatchService svc(smallConfig(), behavioralLadder(8));
+    MatchRequest req;
+    req.pattern = {0, 1};
+    const MatchResponse resp = svc.serve(req);
+    EXPECT_TRUE(resp.ok());
+    EXPECT_TRUE(resp.result.empty());
+}
+
+TEST(ServiceMatch, DefaultLadderStartsAtGateLevel)
+{
+    ServiceConfig cfg = smallConfig();
+    cfg.chunkChars = 12;
+    MatchService svc(cfg); // default ladder: gate -> behavioral -> sw
+    const auto names = svc.ladderNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "systolic-gatelevel");
+    EXPECT_EQ(names[1], "systolic-behavioral");
+    EXPECT_EQ(names[2], "software-baseline");
+
+    const MatchRequest req = seededRequest(1, 7, 2, 24, 3);
+    const MatchResponse resp = svc.serve(req);
+    ASSERT_TRUE(resp.ok()) << resp.error.toString();
+    EXPECT_EQ(resp.backend, "systolic-gatelevel");
+    EXPECT_EQ(resp.result,
+              core::ReferenceMatcher().match(req.text, req.pattern));
+}
+
+TEST(Watchdog, TripsOnceArmedBudgetIsExhausted)
+{
+    BeatWatchdog dog(10);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(dog.tick(1));
+    EXPECT_FALSE(dog.tripped());
+    EXPECT_FALSE(dog.tick(1));
+    EXPECT_TRUE(dog.tripped());
+    EXPECT_EQ(dog.trips(), 1u);
+
+    dog.arm(5);
+    EXPECT_FALSE(dog.tripped());
+    EXPECT_FALSE(dog.tick(6));
+    EXPECT_EQ(dog.trips(), 2u);
+}
+
+TEST(Watchdog, WedgedBackendIsCancelledWithinBudget)
+{
+    // A ladder with only the wedged rung: the watchdog must cancel
+    // within the armed beat budget and return deadline_exceeded.
+    std::vector<std::unique_ptr<ServiceBackend>> ladder;
+    ladder.push_back(std::make_unique<WedgedBackend>());
+    ServiceConfig cfg = smallConfig();
+    cfg.watchdogMargin = 1.5;
+    MatchService svc(cfg, std::move(ladder));
+
+    const MatchRequest req = seededRequest(9, 11, 2, 40, 4);
+    const MatchResponse resp = svc.serve(req);
+    EXPECT_FALSE(resp.ok());
+    EXPECT_EQ(resp.error.code, ErrorCode::DeadlineExceeded);
+    EXPECT_GE(resp.watchdogTrips, 1u);
+
+    // The cancellation consumed no more than the armed budget: the
+    // per-window budget is margin * (2w + cells + k + bits + 8).
+    const Beat budget = static_cast<Beat>(
+        1.5 * (2.0 * (cfg.chunkChars + req.pattern.size() - 1) +
+               cfg.cells + req.pattern.size() + cfg.alphabetBits + 8));
+    EXPECT_LE(resp.beats, budget + 1);
+}
+
+TEST(Watchdog, ServiceServesNextRequestAfterCancellation)
+{
+    // Wedged primary, healthy floor: the first request degrades and
+    // completes; a ladder of only the wedge fails the request but the
+    // *service* stays up and serves the next one.
+    std::vector<std::unique_ptr<ServiceBackend>> ladder;
+    ladder.push_back(std::make_unique<WedgedBackend>());
+    ladder.push_back(std::make_unique<SoftwareBackend>());
+    MatchService svc(smallConfig(), std::move(ladder));
+
+    const MatchRequest req = seededRequest(1, 23, 2, 40, 4);
+    const MatchResponse first = svc.serve(req);
+    ASSERT_TRUE(first.ok()) << first.error.toString();
+    EXPECT_EQ(first.backend, "software-baseline");
+    EXPECT_GE(first.degradations, 1u);
+    EXPECT_EQ(first.result,
+              core::ReferenceMatcher().match(req.text, req.pattern));
+
+    const MatchRequest req2 = seededRequest(2, 29, 2, 32, 3);
+    const MatchResponse second = svc.serve(req2);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.result,
+              core::ReferenceMatcher().match(req2.text, req2.pattern));
+}
+
+TEST(Ladder, LyingBackendNeverCorruptsSilently)
+{
+    // The lying rung answers instantly but wrongly; the cross-check
+    // must catch every chunk and the request must degrade to the
+    // software floor with a correct final result.
+    std::vector<std::unique_ptr<ServiceBackend>> ladder;
+    ladder.push_back(std::make_unique<LyingBackend>());
+    ladder.push_back(std::make_unique<SoftwareBackend>());
+    ServiceConfig cfg = smallConfig();
+    cfg.rungFaultBudget = 1;
+    MatchService svc(cfg, std::move(ladder));
+
+    const MatchRequest req = seededRequest(5, 31, 2, 48, 4);
+    const MatchResponse resp = svc.serve(req);
+    ASSERT_TRUE(resp.ok()) << resp.error.toString();
+    EXPECT_EQ(resp.backend, "software-baseline");
+    EXPECT_GE(resp.crossCheckFailures, 2u); // budget + the last straw
+    EXPECT_GE(resp.degradations, 1u);
+    EXPECT_EQ(resp.result,
+              core::ReferenceMatcher().match(req.text, req.pattern));
+}
+
+TEST(Ladder, InjectedPermanentFaultDegradesToSoftware)
+{
+    // A stuck-at-1 compare latch makes the behavioral rung lie; the
+    // cross-check burns its fault budget and the service falls to the
+    // software floor, still answering correctly.
+    fault::FaultInjector inj(2);
+    fault::Fault f;
+    f.kind = fault::FaultKind::StuckAt1;
+    f.point = systolic::FaultPoint::CompareLatch;
+    f.cell = 1;
+    inj.addFault(f);
+
+    auto faulty = std::make_unique<BehavioralBackend>(8);
+    faulty->setChipPrep([&inj](core::BehavioralChip &chip) {
+        inj.attach(chip.engine(), fault::behavioralResolver(chip));
+    });
+    std::vector<std::unique_ptr<ServiceBackend>> ladder;
+    ladder.push_back(std::move(faulty));
+    ladder.push_back(std::make_unique<SoftwareBackend>());
+
+    ServiceConfig cfg = smallConfig();
+    cfg.rungFaultBudget = 1;
+    MatchService svc(cfg, std::move(ladder));
+
+    const MatchRequest req = seededRequest(6, 37, 2, 48, 4, 0.0);
+    const MatchResponse resp = svc.serve(req);
+    ASSERT_TRUE(resp.ok()) << resp.error.toString();
+    EXPECT_EQ(resp.result,
+              core::ReferenceMatcher().match(req.text, req.pattern));
+    EXPECT_GT(inj.injections(), 0u);
+    // The fault either corrupts results (cross-check catches it) or
+    // is masked by this workload; it must never corrupt silently.
+    if (resp.crossCheckFailures > 0) {
+        EXPECT_EQ(resp.backend, "software-baseline");
+    }
+}
+
+TEST(Deadline, WholeRequestBudgetIsEnforced)
+{
+    MatchService svc(smallConfig(), behavioralLadder(8));
+    MatchRequest req = seededRequest(8, 41, 2, 64, 4);
+    req.deadlineBeats = 10; // far below one window's protocol cost
+    const MatchResponse resp = svc.serve(req);
+    EXPECT_FALSE(resp.ok());
+    EXPECT_EQ(resp.error.code, ErrorCode::DeadlineExceeded);
+}
+
+TEST(Checkpoint, ResumeIsBitIdenticalAtEveryKillOffset)
+{
+    // Metamorphic: kill the stream after 1, 2 and 4 committed chunks
+    // and resume; every resumed run must be bit-identical to the
+    // uninterrupted one.
+    const MatchRequest req = seededRequest(77, 0xFEED, 2, 96, 5);
+    ServiceConfig cfg = smallConfig();
+    cfg.chunkChars = 16;
+
+    MatchService uninterrupted(cfg, behavioralLadder(8));
+    const MatchResponse golden = uninterrupted.serve(req);
+    ASSERT_TRUE(golden.ok());
+    EXPECT_EQ(golden.result,
+              core::ReferenceMatcher().match(req.text, req.pattern));
+
+    for (const std::size_t kill_after : {1u, 2u, 4u}) {
+        MatchService svc(cfg, behavioralLadder(8));
+        StreamSession session = svc.startSession(req);
+        for (std::size_t i = 0; i < kill_after; ++i)
+            ASSERT_TRUE(session.step());
+        const Checkpoint cp = session.checkpoint();
+        EXPECT_EQ(cp.offset, kill_after * cfg.chunkChars);
+        session.cancel("killed by test");
+        const MatchResponse killed = session.finish();
+        EXPECT_EQ(killed.error.code, ErrorCode::Cancelled);
+
+        // A fresh service (fresh chips, fresh journal) resumes from
+        // the checkpoint alone.
+        MatchService resumed_svc(cfg, behavioralLadder(8));
+        const MatchResponse resumed = resumed_svc.resume(req, cp);
+        ASSERT_TRUE(resumed.ok()) << resumed.error.toString();
+        EXPECT_TRUE(resumed.resumed);
+        EXPECT_EQ(resumed.result, golden.result)
+            << "kill after " << kill_after << " chunks";
+        // The resumed run must not have re-scanned the killed prefix.
+        EXPECT_EQ(resumed.chunks,
+                  golden.chunks - kill_after);
+    }
+}
+
+TEST(Checkpoint, InconsistentResumeTokenIsRejected)
+{
+    const MatchRequest req = seededRequest(3, 0xABC, 2, 40, 4);
+    MatchService svc(smallConfig(), behavioralLadder(8));
+    Checkpoint bogus;
+    bogus.offset = 17; // but no emitted bits / tail
+    const MatchResponse resp = svc.resume(req, bogus);
+    EXPECT_FALSE(resp.ok());
+    EXPECT_EQ(resp.error.code, ErrorCode::InvalidCheckpoint);
+}
+
+TEST(Checkpoint, DigestChangesWithContents)
+{
+    Checkpoint a;
+    a.offset = 8;
+    a.tail = {1, 2, 3};
+    a.emitted = {false, true, false, false, true, false, false, false};
+    Checkpoint b = a;
+    EXPECT_EQ(a.digest(), b.digest());
+    b.emitted[3] = true;
+    EXPECT_NE(a.digest(), b.digest());
+    b = a;
+    b.tail[0] = 2;
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(AdmissionQueue, RejectPolicyBouncesWithTypedError)
+{
+    AdmissionQueue q(2, BackpressurePolicy::Reject);
+    MatchRequest r;
+    r.pattern = {0};
+    r.id = 1;
+    EXPECT_TRUE(q.offer(r).admitted);
+    r.id = 2;
+    EXPECT_TRUE(q.offer(r).admitted);
+    r.id = 3;
+    const Admission adm = q.offer(r);
+    EXPECT_FALSE(adm.admitted);
+    EXPECT_EQ(adm.error.code, ErrorCode::QueueOverflow);
+    ASSERT_TRUE(adm.bounced.has_value());
+    EXPECT_EQ(adm.bounced->id, 3u);
+    EXPECT_EQ(q.rejected(), 1u);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(AdmissionQueue, ShedOldestEvictsTheHead)
+{
+    AdmissionQueue q(2, BackpressurePolicy::ShedOldest);
+    MatchRequest r;
+    r.pattern = {0};
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+        r.id = id;
+        q.offer(r);
+    }
+    EXPECT_EQ(q.shedCount(), 1u);
+    EXPECT_EQ(q.size(), 2u);
+    // Head is now request 2; request 1 was shed.
+    const auto head = q.pop();
+    ASSERT_TRUE(head.has_value());
+    EXPECT_EQ(head->id, 2u);
+}
+
+TEST(Service, ShedOldestSurfacesTypedShedResponse)
+{
+    ServiceConfig cfg = smallConfig();
+    cfg.policy = BackpressurePolicy::ShedOldest;
+    cfg.queueCapacity = 2;
+    MatchService svc(cfg, behavioralLadder(8));
+
+    for (std::uint64_t id = 1; id <= 2; ++id)
+        EXPECT_TRUE(svc.submit(seededRequest(id, id, 2, 24, 3)).accepted);
+    const auto third = svc.submit(seededRequest(3, 3, 2, 24, 3));
+    EXPECT_TRUE(third.accepted);
+    ASSERT_TRUE(third.shedResponse.has_value());
+    EXPECT_EQ(third.shedResponse->id, 1u);
+    EXPECT_EQ(third.shedResponse->error.code, ErrorCode::Shed);
+
+    const auto responses = svc.drain();
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[0].id, 2u);
+    EXPECT_EQ(responses[1].id, 3u);
+    for (const auto &resp : responses)
+        EXPECT_TRUE(resp.ok());
+}
+
+TEST(Service, BlockPolicyDrainsInline)
+{
+    ServiceConfig cfg = smallConfig();
+    cfg.policy = BackpressurePolicy::Block;
+    cfg.queueCapacity = 2;
+    MatchService svc(cfg, behavioralLadder(8));
+
+    for (std::uint64_t id = 1; id <= 2; ++id)
+        EXPECT_TRUE(svc.submit(seededRequest(id, id, 2, 24, 3)).accepted);
+    const auto third = svc.submit(seededRequest(3, 3, 2, 24, 3));
+    EXPECT_TRUE(third.accepted);
+    ASSERT_EQ(third.drained.size(), 1u); // producer waited for one drain
+    EXPECT_EQ(third.drained[0].id, 1u);
+    EXPECT_TRUE(third.drained[0].ok());
+    EXPECT_EQ(svc.admission().blockedOffers(), 1u);
+
+    const auto rest = svc.drain();
+    EXPECT_EQ(rest.size(), 2u);
+}
+
+TEST(Service, JournalIsDeterministic)
+{
+    auto run = [] {
+        ServiceConfig cfg = smallConfig();
+        MatchService svc(cfg, behavioralLadder(8));
+        svc.serve(seededRequest(1, 0x5EED, 2, 40, 4));
+        svc.serve(seededRequest(2, 0x5EEE, 2, 32, 3));
+        return svc.journal().dump();
+    };
+    const std::string a = run();
+    const std::string b = run();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Service, StatsDumpCountsServing)
+{
+    MatchService svc(smallConfig(), behavioralLadder(8));
+    svc.serve(seededRequest(1, 1, 2, 24, 3));
+    const auto &s = svc.stats();
+    EXPECT_EQ(s.served, 1u);
+    EXPECT_EQ(s.completed, 1u);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_GT(s.checkpoints, 0u);
+    const std::string dump = svc.statsDump();
+    EXPECT_NE(dump.find("service.completed = 1"), std::string::npos);
+    EXPECT_NE(dump.find("hostbus.charsTransferred"), std::string::npos);
+}
+
+} // namespace
+} // namespace spm::service

@@ -1,0 +1,57 @@
+/** @file Tests for the global log-level filter. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace spm
+{
+namespace
+{
+
+/** Restores the global level so tests cannot leak a Silent filter. */
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setLogMinLevel(LogLevel::Info); }
+};
+
+TEST_F(LoggingTest, DefaultLevelPrintsEverything)
+{
+    EXPECT_EQ(logMinLevel(), LogLevel::Info);
+    EXPECT_TRUE(logEnabled(LogLevel::Info));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+}
+
+TEST_F(LoggingTest, WarnLevelFiltersInform)
+{
+    setLogMinLevel(LogLevel::Warn);
+    EXPECT_EQ(logMinLevel(), LogLevel::Warn);
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+}
+
+TEST_F(LoggingTest, SilentFiltersEverything)
+{
+    setLogMinLevel(LogLevel::Silent);
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Warn));
+    // Silent is never itself a printable message level.
+    EXPECT_FALSE(logEnabled(LogLevel::Silent));
+    // The macros are safe to call while filtered.
+    spm_warn("filtered warning (should not print)");
+    spm_inform("filtered inform (should not print)");
+}
+
+TEST_F(LoggingTest, PanicAndFatalIgnoreTheFilter)
+{
+    setLogMinLevel(LogLevel::Silent);
+    EXPECT_THROW(spm_panic("invariant"), std::logic_error);
+    EXPECT_THROW(spm_fatal("user error"), std::runtime_error);
+    EXPECT_THROW(spm_assert(1 == 2, "arithmetic"), std::logic_error);
+}
+
+} // namespace
+} // namespace spm
