@@ -1,0 +1,323 @@
+/**
+ * @file
+ * E13 -- throughput fast paths: how fast can the simulator stack
+ * answer the Section 3.1 problem when raw chars/sec is the goal?
+ *
+ * Three fast paths are measured against the engines they shadow:
+ *
+ *   word-parallel  the bit-sliced kernel (64 text positions per
+ *                  machine word) vs the scalar behavioral array and
+ *                  the reference definition;
+ *   sharded        the multi-threaded service front end vs the
+ *                  single-stream service, in wall-clock chars/sec and
+ *                  in critical-path beats (the slowest shard -- the
+ *                  repo's figure of merit, immune to the host's core
+ *                  count);
+ *   levelized      the compiled gate-sim pass vs the event-driven
+ *                  worklist, in device evaluations and wall time.
+ *
+ * The report writes every headline number to BENCH_E13.json
+ * (override with --json <path>; --smoke shrinks the sweep for CI).
+ */
+
+#include "bench/bench_common.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "core/behavioral.hh"
+#include "core/gatechip.hh"
+#include "core/reference.hh"
+#include "core/wordpar.hh"
+#include "service/sharded.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace spm;
+using namespace spm::core;
+using spm::bench::jsonReport;
+using spm::bench::makeMatchWorkload;
+using spm::bench::smokeMode;
+
+double
+secondsOf(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Wall-clock chars/sec of one match call, best of @p reps. */
+template <typename MatcherT>
+double
+charsPerSec(MatcherT &m, const spm::bench::MatchWorkload &w,
+            int reps = 3)
+{
+    double best = 1e300;
+    for (int i = 0; i < reps; ++i) {
+        std::vector<bool> r;
+        const double s = secondsOf(
+            [&] { r = m.match(w.text, w.pattern); });
+        benchmark::DoNotOptimize(r);
+        best = std::min(best, s);
+    }
+    return static_cast<double>(w.text.size()) / best;
+}
+
+service::ShardedConfig
+shardedConfig(unsigned threads, std::size_t text_len)
+{
+    service::ShardedConfig cfg;
+    cfg.base.alphabetBits = 2;
+    cfg.base.maxTextLen = std::max<std::size_t>(text_len, 1) * 2;
+    cfg.base.chunkChars = 512;
+    cfg.base.crossCheck = false; // measure serving, not auditing
+    cfg.base.journalEnabled = false;
+    cfg.threads = threads;
+    cfg.minShardChars = 1024;
+    return cfg;
+}
+
+void
+wordParallelReport()
+{
+    const std::size_t big = smokeMode() ? 16384 : 1048576;
+    const std::vector<std::size_t> sizes =
+        smokeMode() ? std::vector<std::size_t>{4096, big}
+                    : std::vector<std::size_t>{65536, 262144, big};
+    const std::size_t k = 8;
+
+    Table table("Word-parallel kernel vs scalar engines "
+                "(2-bit alphabet, k = 8, 12% wild cards)");
+    table.setHeader({"text chars", "behavioral Mchars/s",
+                     "reference Mchars/s", "word-par Mchars/s",
+                     "speedup vs behavioral", "agrees"});
+    double big_speedup = 0;
+    for (const std::size_t n : sizes) {
+        const auto w = makeMatchWorkload(n, k, 2, 0.12);
+        BehavioralMatcher behav(k);
+        ReferenceMatcher ref;
+        WordParallelMatcher wp;
+
+        const double cs_b = charsPerSec(behav, w);
+        const double cs_r = charsPerSec(ref, w);
+        const double cs_w = charsPerSec(wp, w);
+        const bool agrees = wp.match(w.text, w.pattern) ==
+                            ref.match(w.text, w.pattern);
+        const double speedup = cs_w / cs_b;
+        if (n == big)
+            big_speedup = speedup;
+        table.addRowOf(n, Table::fixed(cs_b / 1e6, 2),
+                       Table::fixed(cs_r / 1e6, 2),
+                       Table::fixed(cs_w / 1e6, 2),
+                       Table::fixed(speedup, 1), agrees ? "yes" : "NO");
+        const std::string p = "wordpar.n" + std::to_string(n) + ".";
+        jsonReport().set(p + "behavioral_chars_per_sec", cs_b);
+        jsonReport().set(p + "reference_chars_per_sec", cs_r);
+        jsonReport().set(p + "wordpar_chars_per_sec", cs_w);
+        jsonReport().set(p + "speedup_vs_behavioral", speedup);
+        jsonReport().set(p + "agrees", agrees ? "yes" : "no");
+    }
+    table.print();
+    jsonReport().set("wordpar.big_text_chars", static_cast<double>(big));
+    jsonReport().set("wordpar.big_speedup_vs_behavioral", big_speedup);
+    std::printf("\nShape check: the word-parallel kernel is %.0fx the\n"
+                "scalar behavioral array on the %zu-char text\n"
+                "(acceptance floor: 10x on 1 MB in a Release build).\n",
+                big_speedup, big);
+}
+
+void
+shardedReport()
+{
+    const std::size_t n = smokeMode() ? 8192 : 262144;
+    const std::size_t k = 8;
+    const auto w = makeMatchWorkload(n, k, 2, 0.12);
+    service::MatchRequest req;
+    req.id = 13;
+    req.text = w.text;
+    req.pattern = w.pattern;
+
+    Table table("Sharded service scaling (software rung, text n = " +
+                std::to_string(n) + ")");
+    table.setHeader({"threads", "shards", "wall Mchars/s",
+                     "critical beats", "total beats",
+                     "critical-path speedup"});
+    Beat base_critical = 0;
+    double scaling = 0;
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        service::ShardedMatchService svc(shardedConfig(threads, n));
+        service::MatchResponse resp;
+        double best = 1e300;
+        for (int rep = 0; rep < 3; ++rep)
+            best = std::min(best,
+                            secondsOf([&] { resp = svc.serve(req); }));
+        if (!resp.ok()) {
+            std::printf("sharded serve failed: %s\n",
+                        resp.error.detail.c_str());
+            return;
+        }
+        if (threads == 1)
+            base_critical = svc.lastCriticalBeats();
+        const double speedup =
+            static_cast<double>(base_critical) /
+            static_cast<double>(svc.lastCriticalBeats());
+        if (threads == 4)
+            scaling = speedup;
+        const double cs = static_cast<double>(n) / best;
+        table.addRowOf(threads, svc.lastShards(),
+                       Table::fixed(cs / 1e6, 2),
+                       svc.lastCriticalBeats(), svc.lastTotalBeats(),
+                       Table::fixed(speedup, 2));
+        const std::string p =
+            "sharded.threads" + std::to_string(threads) + ".";
+        jsonReport().set(p + "shards",
+                         static_cast<double>(svc.lastShards()));
+        jsonReport().set(p + "wall_chars_per_sec", cs);
+        jsonReport().set(p + "critical_beats",
+                         static_cast<double>(svc.lastCriticalBeats()));
+        jsonReport().set(p + "total_beats",
+                         static_cast<double>(svc.lastTotalBeats()));
+    }
+    table.print();
+    jsonReport().set("sharded.critical_path_speedup_1_to_4", scaling);
+    std::printf(
+        "\nShape check: critical-path beats (the slowest shard; what a\n"
+        "host with one chip per shard waits for) improve %.2fx from 1\n"
+        "to 4 threads (acceptance floor: 3x). Wall-clock chars/sec\n"
+        "only tracks that figure when the host has 4 idle cores; this\n"
+        "machine has %u.\n",
+        scaling, std::thread::hardware_concurrency());
+}
+
+void
+levelizedReport()
+{
+    const std::size_t n = smokeMode() ? 24 : 48;
+    const std::size_t k = 4;
+    const auto w = makeMatchWorkload(n, k, 2, 0.0);
+
+    GateLevelMatcher event(k, 2);
+    GateLevelMatcher lev(k, 2);
+    lev.setUseLevelized(true);
+    ReferenceMatcher ref;
+
+    std::vector<bool> r_event, r_lev;
+    const double s_event =
+        secondsOf([&] { r_event = event.match(w.text, w.pattern); });
+    const double s_lev =
+        secondsOf([&] { r_lev = lev.match(w.text, w.pattern); });
+    const bool agrees = r_event == r_lev &&
+                        r_lev == ref.match(w.text, w.pattern);
+
+    Table table("Gate-level settle: event-driven vs levelized "
+                "(text n = " + std::to_string(n) + ", k = 4, 2 bits)");
+    table.setHeader({"engine", "device evals", "wall ms", "agrees"});
+    table.addRowOf("event-driven", event.lastEvals(),
+                   Table::fixed(s_event * 1e3, 1), "yes");
+    table.addRowOf("levelized", lev.lastEvals(),
+                   Table::fixed(s_lev * 1e3, 1), agrees ? "yes" : "NO");
+    table.print();
+
+    const double eval_ratio = static_cast<double>(event.lastEvals()) /
+                              static_cast<double>(lev.lastEvals());
+    jsonReport().set("levelized.event_evals",
+                     static_cast<double>(event.lastEvals()));
+    jsonReport().set("levelized.levelized_evals",
+                     static_cast<double>(lev.lastEvals()));
+    jsonReport().set("levelized.eval_ratio", eval_ratio);
+    jsonReport().set("levelized.agrees", agrees ? "yes" : "no");
+    std::printf("\nShape check: the compiled pass settles the same "
+                "netlist with %.2fx\nfewer (or equal) device "
+                "evaluations, bit-identically.\n", eval_ratio);
+}
+
+void
+printReport()
+{
+    spm::bench::jsonDefaultPath("BENCH_E13.json");
+    spm::bench::banner(
+        "E13: throughput fast paths (word-parallel, sharded, levelized)",
+        "Bit-identical fast paths for the three layers: a bit-sliced "
+        "kernel evaluating 64 text positions per word, a sharded "
+        "multi-threaded service, and a compiled gate-sim pass.");
+    wordParallelReport();
+    shardedReport();
+    levelizedReport();
+}
+
+void
+wordparThroughput(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto w = makeMatchWorkload(n, 8, 2, 0.12);
+    WordParallelMatcher wp;
+    for (auto _ : state) {
+        auto r = wp.match(w.text, w.pattern);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+behavioralThroughput(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto w = makeMatchWorkload(n, 8, 2, 0.12);
+    BehavioralMatcher chip(8);
+    for (auto _ : state) {
+        auto r = chip.match(w.text, w.pattern);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+shardedThroughput(benchmark::State &state)
+{
+    const auto threads = static_cast<unsigned>(state.range(0));
+    const std::size_t n = 65536;
+    const auto w = makeMatchWorkload(n, 8, 2, 0.12);
+    service::ShardedMatchService svc(shardedConfig(threads, n));
+    service::MatchRequest req;
+    req.text = w.text;
+    req.pattern = w.pattern;
+    for (auto _ : state) {
+        auto resp = svc.serve(req);
+        benchmark::DoNotOptimize(resp);
+    }
+    state.counters["critical_beats"] =
+        static_cast<double>(svc.lastCriticalBeats());
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+gateSettle(benchmark::State &state)
+{
+    const bool levelized = state.range(0) != 0;
+    const auto w = makeMatchWorkload(32, 4, 2, 0.0);
+    GateLevelMatcher m(4, 2);
+    m.setUseLevelized(levelized);
+    for (auto _ : state) {
+        auto r = m.match(w.text, w.pattern);
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["device_evals"] = static_cast<double>(m.lastEvals());
+}
+
+BENCHMARK(wordparThroughput)->Arg(65536)->Arg(1048576);
+BENCHMARK(behavioralThroughput)->Arg(65536);
+BENCHMARK(shardedThroughput)->Arg(1)->Arg(4);
+BENCHMARK(gateSettle)->Arg(0)->Arg(1);
+
+} // namespace
+
+SPM_BENCH_MAIN(printReport)

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification matrix: build and run the full test suite plain,
 # then again under AddressSanitizer + UBSan (-fno-sanitize-recover=all,
-# so any finding is a hard failure).
+# so any finding is a hard failure), run the multi-threaded service
+# tests under ThreadSanitizer, and smoke the benchmark binaries.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -24,4 +25,29 @@ run_matrix() {
 run_matrix default
 run_matrix asan-ubsan
 
-echo "All checks passed (plain + asan-ubsan)."
+# The thread-pool and shard-stitching paths under ThreadSanitizer:
+# only the concurrency-relevant tests, so the TSan leg stays fast.
+echo "== tsan: configure =="
+cmake --preset tsan
+echo "== tsan: build =="
+cmake --build --preset tsan -j "${jobs}" \
+    --target service_sharded_test service_test
+echo "== tsan: test =="
+ctest --test-dir build-tsan --timeout 240 --output-on-failure \
+    -R 'service_sharded_test|service_test'
+
+# Smoke-run every benchmark binary: each prints its report with a
+# scaled-down sweep and one-iteration timings, so a crash or a shape
+# regression in a bench fails CI without costing a full run. E13 also
+# exercises the machine-readable JSON side channel.
+echo "== bench: smoke =="
+cmake --build --preset default -j "${jobs}"
+for bench in build/bench/bench_*; do
+    echo "-- ${bench} --smoke"
+    "${bench}" --smoke > /dev/null
+done
+build/bench/bench_e13_throughput --smoke --json build/BENCH_E13.smoke.json \
+    > /dev/null
+test -s build/BENCH_E13.smoke.json
+
+echo "All checks passed (plain + asan-ubsan + tsan + bench smoke)."

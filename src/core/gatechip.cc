@@ -126,6 +126,15 @@ GateChip::GateChip(std::size_t num_cells, BitWidth bits_per_char,
 }
 
 void
+GateChip::enableLevelized()
+{
+    if (accel)
+        return;
+    accel = std::make_unique<gate::LevelizedNetlist>(net);
+    accel->attach();
+}
+
+void
 GateChip::drive(NodeId node, bool value, bool positive_cell)
 {
     const bool level = positive_cell ? value : !value;
@@ -202,7 +211,10 @@ GateLevelMatcher::match(const std::vector<Symbol> &text,
     GateChip chip(m, bits);
     if (chipPrep)
         chipPrep(chip);
+    if (useLevelized)
+        chip.enableLevelized();
     transistors = chip.netlist().transistorCount();
+    const std::uint64_t evals_before = chip.netlist().evalCount();
     const ChipFeedPlan plan(m, pattern, n);
     const unsigned phi = plan.textPhase();
 
@@ -261,6 +273,7 @@ GateLevelMatcher::match(const std::vector<Symbol> &text,
     spm_assert(collected == n, "collected ", collected, " of ", n,
                " results");
     beatsUsed = chip.beat();
+    evalsUsed = chip.netlist().evalCount() - evals_before;
     return result;
 }
 

@@ -15,9 +15,11 @@
 #define SPM_CORE_GATECHIP_HH
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/matcher.hh"
+#include "gate/levelized.hh"
 #include "gate/netlist.hh"
 #include "gate/stdcells.hh"
 #include "gate/twophase.hh"
@@ -90,6 +92,16 @@ class GateChip
     const gate::Netlist &netlist() const { return net; }
     gate::Netlist &netlist() { return net; }
 
+    /**
+     * Compile and attach the levelized fast path (gate/levelized.hh);
+     * all subsequent settling runs through the flat activity-gated
+     * pass. Safe at any point after construction; idempotent.
+     */
+    void enableLevelized();
+
+    /** The attached fast path, or nullptr (for effort statistics). */
+    const gate::LevelizedNetlist *levelized() const { return accel.get(); }
+
     /** The clock driver. */
     const gate::TwoPhaseClock &clock() const { return clk; }
 
@@ -112,6 +124,7 @@ class GateChip
     BitWidth numBits;
     gate::Netlist net;
     gate::TwoPhaseClock clk;
+    std::unique_ptr<gate::LevelizedNetlist> accel;
 
     std::vector<gate::NodeId> pInNodes;  ///< per comparator row
     std::vector<gate::NodeId> sInNodes;  ///< per comparator row
@@ -141,9 +154,23 @@ class GateLevelMatcher : public Matcher
     std::vector<bool> match(const std::vector<Symbol> &text,
                             const std::vector<Symbol> &pattern) override;
 
-    std::string name() const override { return "systolic-gatelevel"; }
+    std::string name() const override
+    {
+        return useLevelized ? "systolic-gatelevel-lev"
+                            : "systolic-gatelevel";
+    }
 
     Beat lastBeats() const { return beatsUsed; }
+
+    /**
+     * Settle each per-match chip through the levelized fast path
+     * instead of the event-driven worklist. Results are bit-identical
+     * (verified by the property tests); only the effort differs.
+     */
+    void setUseLevelized(bool enable) { useLevelized = enable; }
+
+    /** Device evaluations spent by the last match() call. */
+    std::uint64_t lastEvals() const { return evalsUsed; }
 
     /** Transistor count of the last chip built. */
     unsigned lastTransistors() const { return transistors; }
@@ -163,6 +190,8 @@ class GateLevelMatcher : public Matcher
     BitWidth bitsPerChar;
     Beat beatsUsed = 0;
     unsigned transistors = 0;
+    bool useLevelized = false;
+    std::uint64_t evalsUsed = 0;
     std::function<void(GateChip &)> chipPrep;
 };
 

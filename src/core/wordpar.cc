@@ -1,0 +1,143 @@
+#include "core/wordpar.hh"
+
+#include <cstddef>
+
+namespace spm::core
+{
+
+namespace
+{
+
+constexpr std::size_t bitsPerWord = 64;
+
+std::size_t
+wordCount(std::size_t n)
+{
+    return (n + bitsPerWord - 1) / bitsPerWord;
+}
+
+/** Smallest bit width that represents @p v (at least 1). */
+unsigned
+widthOf(Symbol v)
+{
+    unsigned b = 1;
+    while ((static_cast<unsigned>(v) >> b) != 0)
+        ++b;
+    return b;
+}
+
+} // namespace
+
+std::vector<std::uint64_t>
+WordParallelMatcher::matchPacked(const std::vector<Symbol> &text,
+                                 const std::vector<Symbol> &pattern)
+{
+    const std::size_t n = text.size();
+    const std::size_t k = pattern.size();
+    const std::size_t nw = wordCount(n);
+    wordOps = 0;
+    planesBuilt = 0;
+
+    std::vector<std::uint64_t> r(nw, 0);
+    if (k == 0 || n == 0 || k > n)
+        return r;
+
+    // The planes must cover every bit that can distinguish a text
+    // character from a pattern character.
+    Symbol seen = 0;
+    for (Symbol c : text)
+        seen = static_cast<Symbol>(seen | c);
+    for (Symbol c : pattern)
+        if (c != wildcardSymbol)
+            seen = static_cast<Symbol>(seen | c);
+    const unsigned planes = widthOf(seen);
+    planesBuilt = planes;
+
+    // Transpose the text into bit planes: plane[b] bit i = bit b of
+    // s_i. This is the only per-character loop in the kernel; all
+    // later work is 64 positions per operation.
+    std::vector<std::vector<std::uint64_t>> plane(
+        planes, std::vector<std::uint64_t>(nw, 0));
+    for (std::size_t i = 0; i < n; ++i) {
+        const Symbol c = text[i];
+        const std::size_t w = i / bitsPerWord;
+        const std::uint64_t bit = std::uint64_t(1) << (i % bitsPerWord);
+        for (unsigned b = 0; b < planes; ++b)
+            if ((c >> b) & 1u)
+                plane[b][w] |= bit;
+    }
+
+    // Equality masks are computed once per distinct pattern symbol
+    // and cached; patterns over small alphabets (the prototype's
+    // 2-bit characters) touch the text O(|Sigma|) times, not O(k).
+    std::vector<std::pair<Symbol, std::vector<std::uint64_t>>> eqCache;
+    auto eqFor = [&](Symbol c) -> const std::vector<std::uint64_t> & {
+        for (const auto &entry : eqCache)
+            if (entry.first == c)
+                return entry.second;
+        std::vector<std::uint64_t> m(nw, ~std::uint64_t(0));
+        for (unsigned b = 0; b < planes; ++b) {
+            const std::vector<std::uint64_t> &p = plane[b];
+            if ((c >> b) & 1u) {
+                for (std::size_t w = 0; w < nw; ++w)
+                    m[w] &= p[w];
+            } else {
+                for (std::size_t w = 0; w < nw; ++w)
+                    m[w] &= ~p[w];
+            }
+        }
+        wordOps += static_cast<std::uint64_t>(planes) * nw;
+        eqCache.emplace_back(c, std::move(m));
+        return eqCache.back().second;
+    };
+
+    // r = AND_j shiftUp(eq(p_j), k-1-j): one shifted AND per
+    // non-wild pattern position, each covering 64 text positions per
+    // word. Wild cards contribute an all-ones factor and are skipped.
+    for (std::uint64_t &w : r)
+        w = ~std::uint64_t(0);
+    for (std::size_t j = 0; j < k; ++j) {
+        const Symbol c = pattern[j];
+        if (c == wildcardSymbol)
+            continue;
+        const std::vector<std::uint64_t> &m = eqFor(c);
+        const std::size_t s = (k - 1) - j;
+        const std::size_t ws = s / bitsPerWord;
+        const unsigned bs = static_cast<unsigned>(s % bitsPerWord);
+        for (std::size_t w = 0; w < nw; ++w) {
+            std::uint64_t v = 0;
+            if (w >= ws) {
+                v = m[w - ws] << bs;
+                if (bs != 0 && w > ws)
+                    v |= m[w - ws - 1] >> (bitsPerWord - bs);
+            }
+            r[w] &= v;
+        }
+        wordOps += nw;
+    }
+
+    // Positions with incomplete substrings (i < k-1) are 0 by
+    // definition, as is the slack past the text in the last word.
+    const std::size_t lead = k - 1;
+    for (std::size_t w = 0; w < lead / bitsPerWord && w < nw; ++w)
+        r[w] = 0;
+    if (lead / bitsPerWord < nw && lead % bitsPerWord != 0)
+        r[lead / bitsPerWord] &=
+            ~std::uint64_t(0) << (lead % bitsPerWord);
+    if (n % bitsPerWord != 0)
+        r[nw - 1] &= ~std::uint64_t(0) >> (bitsPerWord - n % bitsPerWord);
+    return r;
+}
+
+std::vector<bool>
+WordParallelMatcher::match(const std::vector<Symbol> &text,
+                           const std::vector<Symbol> &pattern)
+{
+    const std::vector<std::uint64_t> packed = matchPacked(text, pattern);
+    std::vector<bool> out(text.size(), false);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = (packed[i / bitsPerWord] >> (i % bitsPerWord)) & 1u;
+    return out;
+}
+
+} // namespace spm::core

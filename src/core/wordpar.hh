@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The bit-sliced word-parallel matcher kernel.
+ *
+ * The chip's whole argument is one result bit per text character per
+ * beat (Section 3.1); this kernel is the software counterpart that
+ * sustains that rate on a modern word machine. The text is first
+ * transposed into bit planes -- plane b holds bit b of 64 consecutive
+ * characters per machine word, exactly the bit-serial organization of
+ * Section 3.3.2 turned sideways -- and every pattern position is then
+ * applied with Shift-And-style word recurrences:
+ *
+ *     eq(c)[i] = AND_b (plane_b[i] == bit b of c)      (XNOR + AND)
+ *     r[i]     = AND_j eq(p_j)[i - (k-1) + j]          (shift + AND)
+ *
+ * so one 64-bit AND evaluates 64 text positions at once. Wild cards
+ * cost nothing: their factor is all-ones and is skipped. The kernel
+ * handles any pattern length (shifts cross word boundaries) and is
+ * verified bit-identical against core::ReferenceMatcher by the
+ * property tests.
+ */
+
+#ifndef SPM_CORE_WORDPAR_HH
+#define SPM_CORE_WORDPAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matcher.hh"
+
+namespace spm::core
+{
+
+/**
+ * Word-parallel evaluation of the Section 3.1 problem.
+ *
+ * match() allocates per call and is stateless between calls, so one
+ * matcher instance may be shared across requests of any shape (but
+ * not across threads concurrently; the sharded service gives each
+ * shard its own instance).
+ */
+class WordParallelMatcher : public Matcher
+{
+  public:
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override;
+
+    std::string name() const override { return "word-parallel"; }
+
+    /**
+     * The kernel proper: the packed result stream, 64 text positions
+     * per word, word w bit i corresponding to text position 64 w + i.
+     * Bits for incomplete substrings (i < k-1) are 0, as are the
+     * unused bits past the text length in the last word.
+     */
+    std::vector<std::uint64_t> matchPacked(
+        const std::vector<Symbol> &text,
+        const std::vector<Symbol> &pattern);
+
+    /** 64-bit word operations performed by the last matchPacked(). */
+    std::uint64_t lastWordOps() const { return wordOps; }
+
+    /** Bit planes built by the last matchPacked(). */
+    unsigned lastPlanes() const { return planesBuilt; }
+
+  private:
+    std::uint64_t wordOps = 0;
+    unsigned planesBuilt = 0;
+};
+
+} // namespace spm::core
+
+#endif // SPM_CORE_WORDPAR_HH

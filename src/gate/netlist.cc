@@ -1,5 +1,6 @@
 #include "gate/netlist.hh"
 
+#include "gate/levelized.hh"
 #include "util/logging.hh"
 
 namespace spm::gate
@@ -185,6 +186,10 @@ Netlist::evaluateDevice(std::size_t dev_idx, Picoseconds now)
 void
 Netlist::settle(Picoseconds now)
 {
+    if (fastPath) {
+        fastPath->settle(now);
+        return;
+    }
     // Bound the number of evaluations to detect oscillating feedback
     // (which the paper's purely feed-forward cells never produce).
     const std::uint64_t limit =

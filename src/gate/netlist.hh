@@ -26,6 +26,8 @@
 namespace spm::gate
 {
 
+class LevelizedNetlist;
+
 /** Default dynamic-node retention: about 1 ms (Section 3.3.3). */
 inline constexpr Picoseconds defaultRetentionPs = 1'000'000'000;
 
@@ -73,8 +75,24 @@ class Netlist
      */
     void setInput(NodeId node, LogicValue v, Picoseconds now);
 
-    /** Propagate all pending changes until the circuit settles. */
+    /**
+     * Propagate all pending changes until the circuit settles. With a
+     * levelized accelerator attached (gate/levelized.hh) the flat
+     * compiled pass runs instead of the event-driven worklist; the
+     * settled node values are identical either way.
+     */
     void settle(Picoseconds now);
+
+    /**
+     * Attach (or, with nullptr, detach) a levelized fast path that
+     * takes over settle(). The accelerator must outlive the
+     * attachment and must have been built from this netlist's final
+     * device list.
+     */
+    void attachAccelerator(LevelizedNetlist *accel) { fastPath = accel; }
+
+    /** The attached levelized fast path, or nullptr. */
+    LevelizedNetlist *accelerator() const { return fastPath; }
 
     /**
      * Decay dynamic charge: any node stored through an off pass
@@ -128,6 +146,8 @@ class Netlist
     const std::string &name() const { return netName; }
 
   private:
+    friend class LevelizedNetlist;
+
     struct NodeState
     {
         std::string name;
@@ -154,6 +174,7 @@ class Netlist
     std::vector<std::vector<std::uint32_t>> fanout;
     std::vector<std::uint32_t> worklist;
     std::uint64_t evals = 0;
+    LevelizedNetlist *fastPath = nullptr;
 };
 
 } // namespace spm::gate

@@ -1,0 +1,196 @@
+#include "service/sharded.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spm::service
+{
+
+ShardedMatchService::ShardedMatchService(ShardedConfig config)
+    : ShardedMatchService(std::move(config), [](const ServiceConfig &c) {
+          return makeDefaultLadder(c);
+      })
+{
+}
+
+ShardedMatchService::ShardedMatchService(ShardedConfig config,
+                                         const LadderFactory &factory)
+    : cfg(std::move(config))
+{
+    spm_assert(cfg.threads > 0, "sharded service needs at least one thread");
+    spm_assert(cfg.minShardChars > 0, "minShardChars must be positive");
+    shards.reserve(cfg.threads);
+    for (unsigned i = 0; i < cfg.threads; ++i)
+        shards.push_back(
+            std::make_unique<MatchService>(cfg.base, factory(cfg.base)));
+    startWorkers();
+}
+
+ShardedMatchService::~ShardedMatchService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    taskReady.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ShardedMatchService::startWorkers()
+{
+    workers.reserve(cfg.threads);
+    for (unsigned i = 0; i < cfg.threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+void
+ShardedMatchService::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            taskReady.wait(lock,
+                           [this] { return stopping || !taskQueue.empty(); });
+            if (taskQueue.empty())
+                return; // stopping and drained
+            task = std::move(taskQueue.front());
+            taskQueue.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            --inFlight;
+        }
+        batchDone.notify_all();
+    }
+}
+
+void
+ShardedMatchService::runAll(std::vector<std::function<void()>> &tasks)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        inFlight += tasks.size();
+        for (std::function<void()> &t : tasks)
+            taskQueue.push_back(std::move(t));
+    }
+    taskReady.notify_all();
+    std::unique_lock<std::mutex> lock(mu);
+    batchDone.wait(lock, [this] { return inFlight == 0; });
+}
+
+std::size_t
+ShardedMatchService::shardCountFor(std::size_t text_len,
+                                   std::size_t pattern_len) const
+{
+    const std::size_t floor_chars =
+        std::max(cfg.minShardChars, std::max<std::size_t>(pattern_len, 1));
+    const std::size_t by_size = text_len / floor_chars;
+    return std::clamp<std::size_t>(by_size, 1, cfg.threads);
+}
+
+std::optional<ServiceError>
+ShardedMatchService::validate(const MatchRequest &req) const
+{
+    return shards.front()->validate(req);
+}
+
+MatchResponse
+ShardedMatchService::serve(const MatchRequest &req)
+{
+    const std::size_t n = req.text.size();
+    const std::size_t k = req.pattern.size();
+    const std::size_t nshards = shardCountFor(n, k);
+    nLastShards = nshards;
+
+    if (nshards <= 1) {
+        MatchResponse r = shards.front()->serve(req);
+        lastCritical = r.beats;
+        lastTotal = r.beats;
+        return r;
+    }
+
+    // Shard s answers result positions [starts[s], starts[s+1]); its
+    // window reaches k-1 characters left of that so boundary matches
+    // see their full history.
+    std::vector<std::size_t> starts(nshards + 1);
+    for (std::size_t s = 0; s <= nshards; ++s)
+        starts[s] = n * s / nshards;
+
+    std::vector<MatchResponse> sub(nshards);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(nshards);
+    for (std::size_t s = 0; s < nshards; ++s) {
+        tasks.push_back([this, &req, &starts, &sub, s, k] {
+            const std::size_t start = starts[s];
+            const std::size_t ws = start >= k - 1 ? start - (k - 1) : 0;
+            MatchRequest piece;
+            piece.id = req.id;
+            piece.pattern = req.pattern;
+            piece.deadlineBeats = req.deadlineBeats;
+            piece.text.assign(req.text.begin() + ws,
+                              req.text.begin() + starts[s + 1]);
+            sub[s] = shards[s]->serve(piece);
+            if (sub[s].ok()) {
+                // Drop the overlap: those bits belong to shard s-1.
+                sub[s].result.erase(sub[s].result.begin(),
+                                    sub[s].result.begin() + (start - ws));
+            }
+        });
+    }
+    runAll(tasks);
+
+    MatchResponse out;
+    out.id = req.id;
+    out.backend = sub[0].backend;
+    lastCritical = 0;
+    lastTotal = 0;
+    for (std::size_t s = 0; s < nshards; ++s) {
+        const MatchResponse &r = sub[s];
+        if (!r.ok() && out.ok()) {
+            out.error = r.error;
+            out.error.detail =
+                "shard " + std::to_string(s) + ": " + r.error.detail;
+        }
+        if (r.backend != out.backend)
+            out.backend += "+" + r.backend;
+        out.degradations += r.degradations;
+        out.chunks += r.chunks;
+        out.checkpoints += r.checkpoints;
+        out.watchdogTrips += r.watchdogTrips;
+        out.crossCheckFailures += r.crossCheckFailures;
+        lastTotal += r.beats;
+        lastCritical = std::max(lastCritical, r.beats);
+        out.busSeconds = std::max(out.busSeconds, r.busSeconds);
+        if (out.ok())
+            out.result.insert(out.result.end(), r.result.begin(),
+                              r.result.end());
+    }
+    // The host waits for the slowest shard, not the sum.
+    out.beats = lastCritical;
+    if (!out.ok())
+        out.result.clear();
+    return out;
+}
+
+std::string
+ShardedMatchService::statsDump() const
+{
+    std::string s;
+    s += "sharded.threads = " + std::to_string(threadCount()) + "\n";
+    s += "sharded.last_shards = " + std::to_string(nLastShards) + "\n";
+    s += "sharded.last_critical_beats = " + std::to_string(lastCritical) +
+         "\n";
+    s += "sharded.last_total_beats = " + std::to_string(lastTotal) + "\n";
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        s += "sharded.shard" + std::to_string(i) + ".served = " +
+             std::to_string(shards[i]->stats().served) + "\n";
+    }
+    return s;
+}
+
+} // namespace spm::service

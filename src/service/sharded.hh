@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The sharded multi-threaded front end of the match service.
+ *
+ * One MatchService streams a request through one chip; when the host
+ * has several chips (or several simulator cores) the text can be cut
+ * into shards and matched concurrently, because r_i depends only on
+ * the k-1 characters before position i. ShardedMatchService owns a
+ * fixed pool of worker threads and one complete MatchService per
+ * shard slot -- each with its own degradation ladder, watchdog,
+ * checkpoints and replay journal, so the resilience semantics of the
+ * single-stream service hold per shard with nothing shared between
+ * workers. serve() splits the text into at most threadCount() slices,
+ * gives each shard a window that overlaps its left neighbor by k-1
+ * characters, drops the overlap bits when stitching, and returns a
+ * response bit-identical to the unsharded service.
+ *
+ * Time is reported both ways: beats is the critical path (the slowest
+ * shard, what a host with one chip per shard would wait), and
+ * lastTotalBeats() the summed effort across shards.
+ */
+
+#ifndef SPM_SERVICE_SHARDED_HH
+#define SPM_SERVICE_SHARDED_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/backend.hh"
+#include "service/service.hh"
+
+namespace spm::service
+{
+
+/** Configuration of the sharded front end. */
+struct ShardedConfig
+{
+    /** Per-shard serving configuration (ladder, limits, watchdog). */
+    ServiceConfig base;
+    /** Worker threads; also the maximum shard count. */
+    unsigned threads = 4;
+    /**
+     * Smallest text slice worth a shard of its own: requests shorter
+     * than 2 * minShardChars stay on one shard, and the shard count
+     * never exceeds text/minShardChars. Keeps the k-1 overlap recompute
+     * and per-shard chip warm-up amortized.
+     */
+    std::size_t minShardChars = 256;
+};
+
+/**
+ * Data-parallel match service: a thread pool over per-shard
+ * MatchService instances with overlap stitching.
+ */
+class ShardedMatchService
+{
+  public:
+    /** Factory producing a fresh degradation ladder for one shard. */
+    using LadderFactory =
+        std::function<std::vector<std::unique_ptr<ServiceBackend>>(
+            const ServiceConfig &)>;
+
+    /** Build with the default ladder in every shard slot. */
+    explicit ShardedMatchService(ShardedConfig config);
+
+    /**
+     * Build with @p factory making each shard's ladder (called once
+     * per shard slot at construction) -- how the benches pin a shard
+     * to one particular engine.
+     */
+    ShardedMatchService(ShardedConfig config, const LadderFactory &factory);
+
+    ~ShardedMatchService();
+
+    ShardedMatchService(const ShardedMatchService &) = delete;
+    ShardedMatchService &operator=(const ShardedMatchService &) = delete;
+
+    const ShardedConfig &config() const { return cfg; }
+    unsigned threadCount() const { return static_cast<unsigned>(workers.size()); }
+
+    /** Shards serve() would use for a request of this shape. */
+    std::size_t shardCountFor(std::size_t text_len,
+                              std::size_t pattern_len) const;
+
+    /** Typed validation, identical to the unsharded service. */
+    std::optional<ServiceError> validate(const MatchRequest &req) const;
+
+    /**
+     * Serve one request across the shards. The result bits, and every
+     * per-shard journal, are deterministic for a given request and
+     * shard count; only wall-clock interleaving varies between runs.
+     */
+    MatchResponse serve(const MatchRequest &req);
+
+    /** @{ Breakdown of the last serve() call. */
+    std::size_t lastShards() const { return nLastShards; }
+    /** Slowest shard's beats: the parallel makespan. */
+    Beat lastCriticalBeats() const { return lastCritical; }
+    /** Summed beats across shards: the total effort. */
+    Beat lastTotalBeats() const { return lastTotal; }
+    /** @} */
+
+    /** The per-shard service in slot @p i (journals, stats). */
+    const MatchService &shard(std::size_t i) const { return *shards.at(i); }
+
+    /** "sharded.x = n" lines plus every shard's statsDump(). */
+    std::string statsDump() const;
+
+  private:
+    void startWorkers();
+    void workerLoop();
+    /** Run all tasks on the pool and block until every one finished. */
+    void runAll(std::vector<std::function<void()>> &tasks);
+
+    ShardedConfig cfg;
+    std::vector<std::unique_ptr<MatchService>> shards;
+
+    std::vector<std::thread> workers;
+    std::mutex mu;
+    std::condition_variable taskReady;
+    std::condition_variable batchDone;
+    std::deque<std::function<void()>> taskQueue;
+    std::size_t inFlight = 0;
+    bool stopping = false;
+
+    std::size_t nLastShards = 0;
+    Beat lastCritical = 0;
+    Beat lastTotal = 0;
+};
+
+} // namespace spm::service
+
+#endif // SPM_SERVICE_SHARDED_HH

@@ -11,7 +11,8 @@ Engine::Engine(Picoseconds beat_period_ps)
       statGroup("engine"),
       beatsCtr(statGroup.addCounter("beats")),
       evalsCtr(statGroup.addCounter("evaluations")),
-      activeCtr(statGroup.addCounter("active_cell_beats"))
+      activeCtr(statGroup.addCounter("active_cell_beats")),
+      idleCtr(statGroup.addCounter("idle_cell_beats"))
 {
 }
 
@@ -53,6 +54,7 @@ Engine::step()
     }
     evalsCtr.increment(cells.size());
     activeCtr.increment(active);
+    idleCtr.increment(cells.size() - active);
     beatClock.advancePhase();
 
     // Phase Phi2: all staged outputs become visible simultaneously.

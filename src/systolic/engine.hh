@@ -94,8 +94,16 @@ class Engine
     /** Utilization sampled across all beats so far. */
     const RunningStat &utilization() const { return utilStat; }
 
-    /** Simulation statistics: beats, evaluations, activations. */
+    /**
+     * Simulation statistics: beats, evaluations, active_cell_beats
+     * (cells with a valid meeting), idle_cell_beats (activations the
+     * checkerboard gated away). E3 reads its duty cycle from these
+     * counters rather than inferring it from the schedule.
+     */
     const StatGroup &stats() const { return statGroup; }
+
+    /** The counters as "engine.x = n" lines. */
+    std::string statsDump() const { return statGroup.dump(); }
 
   private:
     Clock beatClock;
@@ -109,6 +117,7 @@ class Engine
     Counter &beatsCtr;
     Counter &evalsCtr;
     Counter &activeCtr;
+    Counter &idleCtr;
     RunningStat utilStat;
     double lastUtil = 0.0;
 };

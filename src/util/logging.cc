@@ -1,5 +1,6 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -10,21 +11,22 @@ namespace spm
 namespace
 {
 
-// Process-global; the simulators are single-threaded by design.
-LogLevel minLevel = LogLevel::Info;
+// Process-global; atomic because the sharded service's worker
+// threads consult the level from their serving loops.
+std::atomic<LogLevel> minLevel{LogLevel::Info};
 
 } // namespace
 
 void
 setLogMinLevel(LogLevel level)
 {
-    minLevel = level;
+    minLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logMinLevel()
 {
-    return minLevel;
+    return minLevel.load(std::memory_order_relaxed);
 }
 
 bool
@@ -32,7 +34,7 @@ logEnabled(LogLevel level)
 {
     return level != LogLevel::Silent &&
            static_cast<unsigned>(level) >=
-               static_cast<unsigned>(minLevel);
+               static_cast<unsigned>(logMinLevel());
 }
 
 void

@@ -69,8 +69,21 @@ formatMsg(Args &&...args)
     ::spm::panicImpl(__FILE__, __LINE__, ::spm::formatMsg(__VA_ARGS__))
 #define spm_fatal(...) \
     ::spm::fatalImpl(__FILE__, __LINE__, ::spm::formatMsg(__VA_ARGS__))
-#define spm_warn(...) ::spm::warnImpl(::spm::formatMsg(__VA_ARGS__))
-#define spm_inform(...) ::spm::informImpl(::spm::formatMsg(__VA_ARGS__))
+/*
+ * The level check is hoisted ahead of formatMsg so a filtered message
+ * costs one atomic load, not the stream formatting of its arguments
+ * -- fault storms emit thousands of these in inner loops.
+ */
+#define spm_warn(...)                                                 \
+    do {                                                              \
+        if (::spm::logEnabled(::spm::LogLevel::Warn))                 \
+            ::spm::warnImpl(::spm::formatMsg(__VA_ARGS__));           \
+    } while (0)
+#define spm_inform(...)                                               \
+    do {                                                              \
+        if (::spm::logEnabled(::spm::LogLevel::Info))                 \
+            ::spm::informImpl(::spm::formatMsg(__VA_ARGS__));         \
+    } while (0)
 
 /** Assert an internal invariant; active in all build types. */
 #define spm_assert(cond, ...)                                         \

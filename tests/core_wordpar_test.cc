@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Property tests for the bit-sliced word-parallel matcher: bit
+ * identical to the reference definition on randomized workloads
+ * across pattern lengths 1..64 and beyond, alphabet sizes 2/4/256,
+ * and wild-card densities, plus the packed-word invariants the
+ * sharded service relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reference.hh"
+#include "core/wordpar.hh"
+#include "tests/helpers.hh"
+#include "util/rng.hh"
+
+namespace spm::core
+{
+namespace
+{
+
+std::vector<bool>
+unpack(const std::vector<std::uint64_t> &words, std::size_t n)
+{
+    std::vector<bool> out(n, false);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = (words[i / 64] >> (i % 64)) & 1u;
+    return out;
+}
+
+TEST(WordParallel, PaperExample)
+{
+    WordParallelMatcher wp;
+    ReferenceMatcher ref;
+    const auto text = test::paperText();
+    const auto pattern = test::paperPattern();
+    EXPECT_EQ(wp.match(text, pattern), ref.match(text, pattern));
+}
+
+TEST(WordParallel, DegenerateShapes)
+{
+    WordParallelMatcher wp;
+    const std::vector<Symbol> text{1, 2, 3};
+    EXPECT_EQ(wp.match(text, {}), std::vector<bool>(3, false));
+    EXPECT_EQ(wp.match({}, {1}), std::vector<bool>());
+    // Pattern longer than the text never matches.
+    EXPECT_EQ(wp.match(text, {1, 2, 3, 1}), std::vector<bool>(3, false));
+}
+
+TEST(WordParallel, AllWildcardPatternMatchesEveryFullWindow)
+{
+    WordParallelMatcher wp;
+    ReferenceMatcher ref;
+    WorkloadGen gen(0xA11, 2);
+    const auto text = gen.randomText(150);
+    for (std::size_t k : {std::size_t(1), std::size_t(5),
+                          std::size_t(70)}) {
+        const std::vector<Symbol> pattern(k, wildcardSymbol);
+        EXPECT_EQ(wp.match(text, pattern), ref.match(text, pattern))
+            << "k=" << k;
+    }
+}
+
+TEST(WordParallel, MatchesReferenceOnRandomWorkloads)
+{
+    WordParallelMatcher wp;
+    ReferenceMatcher ref;
+    // Alphabet sizes 2, 4 and 256; every pattern length 1..64; mixed
+    // wild-card densities; text lengths straddling word boundaries.
+    for (BitWidth bits : {1u, 2u, 8u}) {
+        for (std::size_t k = 1; k <= 64; ++k) {
+            WorkloadGen gen(0xBE7 * k + bits, bits);
+            const double density = (k % 3 == 0) ? 0.3 : (k % 3) * 0.1;
+            const auto pattern = gen.randomPattern(k, density);
+            const std::size_t n =
+                k + gen.rng().nextBelow(200) + (k % 2 ? 64 : 1);
+            const auto text =
+                gen.textWithPlants(n, pattern, k + 3);
+            EXPECT_EQ(wp.match(text, pattern), ref.match(text, pattern))
+                << "bits=" << bits << " k=" << k << " n=" << n;
+        }
+    }
+}
+
+TEST(WordParallel, HandlesPatternsLongerThanOneWord)
+{
+    WordParallelMatcher wp;
+    ReferenceMatcher ref;
+    for (std::size_t k : {std::size_t(65), std::size_t(100),
+                          std::size_t(130), std::size_t(257)}) {
+        WorkloadGen gen(0x10AD + k, 2);
+        const auto pattern = gen.randomPattern(k, 0.25);
+        const auto text = gen.textWithPlants(k * 3 + 17, pattern, k + 5);
+        EXPECT_EQ(wp.match(text, pattern), ref.match(text, pattern))
+            << "k=" << k;
+    }
+}
+
+TEST(WordParallel, PackedFormAgreesAndKeepsSlackBitsClear)
+{
+    WordParallelMatcher wp;
+    for (std::size_t n : {std::size_t(63), std::size_t(64),
+                          std::size_t(65), std::size_t(190)}) {
+        WorkloadGen gen(0x9AC + n, 2);
+        const auto pattern = gen.randomPattern(4, 0.2);
+        const auto text = gen.textWithPlants(n, pattern, 9);
+        const auto packed = wp.matchPacked(text, pattern);
+        ASSERT_EQ(packed.size(), (n + 63) / 64);
+        EXPECT_EQ(unpack(packed, n), wp.match(text, pattern));
+        if (n % 64 != 0) {
+            const std::uint64_t slack =
+                packed.back() >> (n % 64);
+            EXPECT_EQ(slack, 0u) << "n=" << n;
+        }
+    }
+}
+
+TEST(WordParallel, ReportsKernelEffort)
+{
+    WordParallelMatcher wp;
+    WorkloadGen gen(0xEFF, 8);
+    const auto pattern = gen.randomPattern(16, 0.0);
+    const auto text = gen.randomText(10'000);
+    wp.matchPacked(text, pattern);
+    EXPECT_GT(wp.lastWordOps(), 0u);
+    EXPECT_GE(wp.lastPlanes(), 1u);
+    EXPECT_LE(wp.lastPlanes(), 8u);
+    // Word ops must be far below the n*k bit operations the scalar
+    // reference performs -- that is the whole point of the kernel.
+    EXPECT_LT(wp.lastWordOps(), 10'000u * 16u / 4u);
+}
+
+} // namespace
+} // namespace spm::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "util/logging.hh"
 
@@ -43,6 +44,26 @@ TEST_F(LoggingTest, SilentFiltersEverything)
     // The macros are safe to call while filtered.
     spm_warn("filtered warning (should not print)");
     spm_inform("filtered inform (should not print)");
+}
+
+TEST_F(LoggingTest, FilteredMessagesSkipArgumentFormatting)
+{
+    // The level check is hoisted into the macros: a filtered call
+    // must not evaluate (or format) its arguments at all.
+    setLogMinLevel(LogLevel::Silent);
+    int evaluations = 0;
+    auto expensive = [&evaluations] {
+        ++evaluations;
+        return std::string("costly");
+    };
+    spm_warn("warn: ", expensive());
+    spm_inform("inform: ", expensive());
+    EXPECT_EQ(evaluations, 0);
+
+    setLogMinLevel(LogLevel::Warn);
+    spm_warn("warn passes: ", expensive());
+    spm_inform("inform filtered: ", expensive());
+    EXPECT_EQ(evaluations, 1);
 }
 
 TEST_F(LoggingTest, PanicAndFatalIgnoreTheFilter)
