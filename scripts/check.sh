@@ -2,7 +2,9 @@
 # Tier-1 verification matrix: build and run the full test suite plain,
 # then again under AddressSanitizer + UBSan (-fno-sanitize-recover=all,
 # so any finding is a hard failure), run the multi-threaded service
-# tests under ThreadSanitizer, and smoke the benchmark binaries.
+# tests plus the quick conformance corpus under ThreadSanitizer, run a
+# time-boxed differential fuzz sweep and the mutation self-check with
+# the conformance_fuzz tool, and smoke the benchmark binaries.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -26,15 +28,29 @@ run_matrix default
 run_matrix asan-ubsan
 
 # The thread-pool and shard-stitching paths under ThreadSanitizer:
-# only the concurrency-relevant tests, so the TSan leg stays fast.
+# the concurrency-relevant tests plus the conformance corpus (which
+# drives the sharded service at 1/2/4 workers), so the TSan leg stays
+# fast while still replaying every committed corpus case across all
+# oracle configurations.
 echo "== tsan: configure =="
 cmake --preset tsan
 echo "== tsan: build =="
 cmake --build --preset tsan -j "${jobs}" \
-    --target service_sharded_test service_test
+    --target service_sharded_test service_test conformance_corpus_test
 echo "== tsan: test =="
 ctest --test-dir build-tsan --timeout 240 --output-on-failure \
-    -R 'service_sharded_test|service_test'
+    -R 'service_sharded_test|service_test|conformance_corpus_test'
+
+# Conformance legs on the plain build: a time-boxed differential fuzz
+# sweep across the full oracle registry, and the mutation self-check --
+# the harness must catch every seeded bug (off-by-one overlap
+# stitching, dropped wild-card plane, wrong latch phase, ...), or the
+# script fails: a fuzzer that cannot catch planted bugs proves nothing
+# about the absence of real ones.
+echo "== conformance: time-boxed fuzz =="
+build/tools/conformance_fuzz --cases 1000000 --seconds 10
+echo "== conformance: mutation self-check =="
+build/tools/conformance_fuzz --mutants
 
 # Smoke-run every benchmark binary: each prints its report with a
 # scaled-down sweep and one-iteration timings, so a crash or a shape

@@ -1,0 +1,103 @@
+#include "conformance/casegen.hh"
+
+#include "util/rng.hh"
+
+namespace spm::conformance
+{
+
+namespace
+{
+
+/**
+ * Pattern lengths where length-boundary bugs live: the trivial cell
+ * (1), the prototype's array (8), and each side of the 64-bit word
+ * the packed kernel and the service's default pattern limit share.
+ */
+constexpr std::size_t hardLens[] = {1, 2, 3, 7, 8, 9,
+                                    31, 32, 33, 63, 64, 65};
+
+/** Wild-card densities in percent: none, sparse, heavy, all-wild. */
+constexpr unsigned densities[] = {0, 10, 25, 60, 100};
+
+} // namespace
+
+CaseSpec
+CaseGen::specAt(std::uint64_t index) const
+{
+    // One private stream per index: knob draws never bleed between
+    // cases, so inserting a new knob keeps every other case stable.
+    Rng rng(master ^ (0x9E3779B97F4A7C15ULL + index * 0xBF58476D1CE4E5B9ULL));
+
+    CaseSpec spec;
+    spec.seed = rng.next();
+
+    // Alphabet: the fabricated prototype's 2-bit characters most of
+    // the time, the degenerate 1-bit alphabet (maximal accidental
+    // matches) and full bytes regularly, odd widths occasionally.
+    switch (rng.nextBelow(8)) {
+    case 0:
+    case 1:
+        spec.bits = 1;
+        break;
+    case 2:
+        spec.bits = 8;
+        break;
+    case 3:
+        spec.bits = static_cast<BitWidth>(3 + rng.nextBelow(3));
+        break;
+    default:
+        spec.bits = 2;
+        break;
+    }
+
+    // Pattern length: hard boundary lengths half the time.
+    if (rng.nextBool(0.5)) {
+        spec.patternLen =
+            hardLens[rng.nextBelow(std::size(hardLens))];
+    } else {
+        spec.patternLen = 1 + rng.nextBelow(20);
+    }
+
+    spec.wildcardPct = densities[rng.nextBelow(std::size(densities))];
+    if (spec.patternLen >= 63 && spec.wildcardPct == 100)
+        spec.wildcardPct = 60; // keep at least one literal to anchor
+
+    // Text length classes, in rough order: tight fits around the
+    // pattern (including k > n), word-boundary straddlers, shard-scale
+    // texts that split 2 and 4 ways, and free mid-size texts.
+    const std::size_t k = spec.patternLen;
+    switch (rng.nextBelow(8)) {
+    case 0:
+        // Tight: n in [k-2, k+2]; exercises the k > n degenerate.
+        spec.textLen = (k > 2 ? k - 2 : 0) + rng.nextBelow(5);
+        break;
+    case 1:
+    case 2: {
+        // Straddle a packed-word boundary: n near 64 or 128.
+        const std::size_t word = (1 + rng.nextBelow(2)) * 64;
+        spec.textLen = word - 2 + rng.nextBelow(5);
+        break;
+    }
+    case 3:
+    case 4: {
+        // Shard-scale: several times the sharded service's minimum
+        // slice so serve() actually splits 2 or 4 ways.
+        spec.textLen = 96 + rng.nextBelow(160);
+        spec.flags |= FlagShardStraddle;
+        break;
+    }
+    default:
+        spec.textLen = k + rng.nextBelow(120);
+        break;
+    }
+
+    if (rng.nextBool(0.3))
+        spec.flags |= FlagSelfOverlap;
+    if (rng.nextBool(0.35))
+        spec.flags |= FlagLeadingMatch;
+    if (rng.nextBool(0.35))
+        spec.flags |= FlagTrailingMatch;
+    return spec;
+}
+
+} // namespace spm::conformance

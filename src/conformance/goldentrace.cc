@@ -1,0 +1,278 @@
+#include "conformance/goldentrace.hh"
+
+#include <algorithm>
+
+#include "core/behavioral.hh"
+#include "core/bitserial.hh"
+#include "core/cascade.hh"
+#include "util/strings.hh"
+
+namespace spm::conformance
+{
+
+namespace
+{
+
+PortSample
+makeSample(Beat beat, const core::PatToken &p, const core::CtlToken &ctl,
+           const core::StrToken &s, const core::ResToken &r)
+{
+    PortSample out;
+    out.beat = beat;
+    out.patValid = p.valid;
+    out.patSym = p.sym;
+    out.ctlValid = ctl.valid;
+    out.lambda = ctl.lambda;
+    out.x = ctl.x;
+    out.strValid = s.valid;
+    out.strSym = s.sym;
+    out.resValid = r.valid;
+    out.resValue = r.value;
+    return out;
+}
+
+std::string
+renderSample(const PortSample &s)
+{
+    auto field = [](bool valid, const std::string &v) {
+        return valid ? v : std::string("-");
+    };
+    return "p=" + field(s.patValid, std::to_string(s.patSym)) +
+           " ctl=" +
+           field(s.ctlValid, std::string(s.lambda ? "L" : ".") +
+                                 (s.x ? "x" : ".")) +
+           " s=" + field(s.strValid, std::to_string(s.strSym)) +
+           " r=" + field(s.resValid, s.resValue ? "1" : "0");
+}
+
+/** Number of valid result samples in a port stream. */
+std::size_t
+validResults(const std::vector<PortSample> &ports)
+{
+    std::size_t n = 0;
+    for (const PortSample &s : ports)
+        n += s.resValid ? 1 : 0;
+    return n;
+}
+
+} // namespace
+
+GoldenTrace
+traceBehavioral(const Case &c, std::size_t cells)
+{
+    GoldenTrace t;
+    t.fidelity = "behavioral";
+    const std::size_t n = c.text.size();
+    const std::size_t k = c.pattern.size();
+    if (k == 0 || n == 0 || k > n || k > cells)
+        return t;
+
+    core::BehavioralChip chip(cells);
+    const core::ChipFeedPlan plan(cells, c.pattern, n);
+    for (Beat beat = 0;
+         beat < plan.totalBeats() && validResults(t.ports) < n; ++beat) {
+        chip.feedPattern(plan.patternAt(beat));
+        chip.feedControl(plan.controlAt(beat));
+        chip.feedString(plan.stringAt(beat, c.text));
+        chip.feedResult(plan.resultAt(beat));
+        chip.step();
+        t.ports.push_back(makeSample(beat, chip.patternOut(),
+                                     chip.controlOut(), chip.stringOut(),
+                                     chip.resultOut()));
+        std::vector<std::string> states;
+        states.reserve(chip.engine().cellCount());
+        for (std::size_t i = 0; i < chip.engine().cellCount(); ++i)
+            states.push_back(chip.engine().cell(i).stateString());
+        t.states.appendRow(beat, std::move(states));
+    }
+    return t;
+}
+
+GoldenTrace
+traceCascade(const Case &c, std::size_t chips, std::size_t cells_per_chip)
+{
+    GoldenTrace t;
+    t.fidelity = "cascade";
+    const std::size_t n = c.text.size();
+    const std::size_t k = c.pattern.size();
+    const std::size_t total = chips * cells_per_chip;
+    if (k == 0 || n == 0 || k > n || k > total)
+        return t;
+
+    core::ChipCascade cascade(chips, cells_per_chip);
+    const core::ChipFeedPlan plan(total, c.pattern, n);
+    const std::size_t m = cells_per_chip;
+    for (Beat beat = 0;
+         beat < plan.totalBeats() && validResults(t.ports) < n; ++beat) {
+        cascade.feedPattern(plan.patternAt(beat));
+        cascade.feedControl(plan.controlAt(beat));
+        cascade.feedString(plan.stringAt(beat, c.text));
+        cascade.feedResult(plan.resultAt(beat));
+        cascade.step();
+        t.ports.push_back(makeSample(
+            beat, cascade.chip(chips - 1).patternOut(),
+            cascade.chip(chips - 1).controlOut(),
+            cascade.chip(0).stringOut(), cascade.resultOut()));
+        // Re-map per-chip cells into the single-chip column order:
+        // all comparators left to right, then all accumulators. Each
+        // chip's engine holds its m comparators first, then its m
+        // accumulators.
+        std::vector<std::string> states;
+        states.reserve(2 * total);
+        for (std::size_t j = 0; j < total; ++j)
+            states.push_back(
+                cascade.chip(j / m).engine().cell(j % m).stateString());
+        for (std::size_t j = 0; j < total; ++j)
+            states.push_back(cascade.chip(j / m)
+                                 .engine()
+                                 .cell(m + j % m)
+                                 .stateString());
+        t.states.appendRow(beat, std::move(states));
+    }
+    return t;
+}
+
+GoldenTrace
+traceBitSerial(const Case &c)
+{
+    GoldenTrace t;
+    t.fidelity = "bit-serial";
+    const std::size_t n = c.text.size();
+    const std::size_t k = c.pattern.size();
+    if (k == 0 || n == 0 || k > n)
+        return t;
+
+    const BitWidth bits = std::max(
+        {c.bits, requiredBits(c.text), requiredBits(c.pattern)});
+    core::BitSerialChip chip(k, bits);
+    const core::ChipFeedPlan plan(k, c.pattern, n);
+    const Beat total = plan.totalBeats() + bits + 2;
+    const Beat shift = bits - 1;
+
+    auto feed_bit = [&](Beat beat, unsigned row, bool pattern_side) {
+        if (beat < row)
+            return core::BitToken{};
+        const unsigned bit_idx = bits - 1 - row;
+        if (pattern_side) {
+            const core::PatToken tok = plan.patternAt(beat - row);
+            if (!tok.valid)
+                return core::BitToken{};
+            return core::BitToken{((tok.sym >> bit_idx) & 1) != 0, true};
+        }
+        const core::StrToken tok = plan.stringAt(beat - row, c.text);
+        if (!tok.valid)
+            return core::BitToken{};
+        return core::BitToken{((tok.sym >> bit_idx) & 1) != 0, true};
+    };
+
+    for (Beat beat = 0; beat < total && validResults(t.ports) < n;
+         ++beat) {
+        for (unsigned row = 0; row < bits; ++row) {
+            chip.feedPatternBit(row, feed_bit(beat, row, true));
+            chip.feedStringBit(row, feed_bit(beat, row, false));
+        }
+        chip.feedControl(beat >= shift ? plan.controlAt(beat - shift)
+                                       : core::CtlToken{});
+        chip.feedResult(beat >= shift ? plan.resultAt(beat - shift)
+                                      : core::ResToken{});
+        chip.step();
+        // Only the result port is meaningful across fidelities here;
+        // the bit-level pattern/string pins have a different shape.
+        t.ports.push_back(makeSample(beat, core::PatToken{},
+                                     core::CtlToken{}, core::StrToken{},
+                                     chip.resultOut()));
+    }
+    return t;
+}
+
+TraceDiff
+diffExact(const GoldenTrace &a, const GoldenTrace &b)
+{
+    TraceDiff d;
+    const std::size_t common = std::min(a.ports.size(), b.ports.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (a.ports[i] == b.ports[i])
+            continue;
+        d.identical = false;
+        d.detail = "ports diverge at beat " +
+                   std::to_string(a.ports[i].beat) + ": " + a.fidelity +
+                   " [" + renderSample(a.ports[i]) + "] vs " +
+                   b.fidelity + " [" + renderSample(b.ports[i]) + "]";
+        return d;
+    }
+    if (a.ports.size() != b.ports.size()) {
+        d.identical = false;
+        d.detail = "port stream lengths differ: " + a.fidelity + " " +
+                   std::to_string(a.ports.size()) + " beats vs " +
+                   b.fidelity + " " + std::to_string(b.ports.size());
+        return d;
+    }
+    if (const auto diff = a.states.firstDifference(b.states)) {
+        d.identical = false;
+        d.detail = "cell states diverge at trace row " +
+                   std::to_string(diff->first) + ", column " +
+                   std::to_string(diff->second) + ": '" +
+                   (diff->first < a.states.beatCount() &&
+                            diff->second < a.states.cellCount()
+                        ? a.states.at(diff->first, diff->second)
+                        : std::string("<absent>")) +
+                   "' vs '" +
+                   (diff->first < b.states.beatCount() &&
+                            diff->second < b.states.cellCount()
+                        ? b.states.at(diff->first, diff->second)
+                        : std::string("<absent>")) +
+                   "'";
+    }
+    return d;
+}
+
+TraceDiff
+diffResultStream(const GoldenTrace &a, const GoldenTrace &b)
+{
+    TraceDiff d;
+    std::vector<std::pair<Beat, bool>> ra, rb;
+    for (const PortSample &s : a.ports)
+        if (s.resValid)
+            ra.emplace_back(s.beat, s.resValue);
+    for (const PortSample &s : b.ports)
+        if (s.resValid)
+            rb.emplace_back(s.beat, s.resValue);
+
+    if (ra.size() != rb.size()) {
+        d.identical = false;
+        d.detail = "valid result counts differ: " + a.fidelity + " " +
+                   std::to_string(ra.size()) + " vs " + b.fidelity +
+                   " " + std::to_string(rb.size());
+        return d;
+    }
+    if (ra.empty())
+        return d;
+    const std::int64_t offset = static_cast<std::int64_t>(rb[0].first) -
+                                static_cast<std::int64_t>(ra[0].first);
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        const std::int64_t gap =
+            static_cast<std::int64_t>(rb[i].first) -
+            static_cast<std::int64_t>(ra[i].first);
+        if (ra[i].second != rb[i].second) {
+            d.identical = false;
+            d.detail = "result sample " + std::to_string(i) +
+                       " differs: " + a.fidelity + " beat " +
+                       std::to_string(ra[i].first) + " = " +
+                       (ra[i].second ? "1" : "0") + ", " + b.fidelity +
+                       " beat " + std::to_string(rb[i].first) + " = " +
+                       (rb[i].second ? "1" : "0");
+            return d;
+        }
+        if (gap != offset) {
+            d.identical = false;
+            d.detail = "pipeline offset drifts at result sample " +
+                       std::to_string(i) + ": expected constant " +
+                       std::to_string(offset) + " beats, got " +
+                       std::to_string(gap);
+            return d;
+        }
+    }
+    return d;
+}
+
+} // namespace spm::conformance

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Golden traces: per-beat port and cell-state capture across
+ * fidelities.
+ *
+ * Final result bits can agree by accident -- two bugs cancelling, a
+ * dead cell that a later cell happens to mask. The golden trace
+ * diffs the machine *during* the computation: every beat of the
+ * Figure 3-1 protocol, the four chip output ports (pattern, control,
+ * string, result) and every cell's committed state are recorded, and
+ * the streams are compared across fidelities:
+ *
+ *   behavioral vs cascade   exact, beat for beat, port for port and
+ *                           cell for cell (the cascade's board wiring
+ *                           must be transparent);
+ *   behavioral vs bit-serial  the valid result samples must carry
+ *                           identical values in order, offset by a
+ *                           constant pipeline latency (bits-1 beats).
+ */
+
+#ifndef SPM_CONFORMANCE_GOLDENTRACE_HH
+#define SPM_CONFORMANCE_GOLDENTRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conformance/case.hh"
+#include "systolic/trace.hh"
+
+namespace spm::conformance
+{
+
+/** The four output-port values committed after one beat. */
+struct PortSample
+{
+    Beat beat = 0;
+    bool patValid = false;
+    Symbol patSym = 0;
+    bool ctlValid = false;
+    bool lambda = false;
+    bool x = false;
+    bool strValid = false;
+    Symbol strSym = 0;
+    bool resValid = false;
+    bool resValue = false;
+
+    bool operator==(const PortSample &) const = default;
+};
+
+/** A full protocol run's port stream plus the cell-state trace. */
+struct GoldenTrace
+{
+    std::string fidelity;
+    std::vector<PortSample> ports;
+    /** One row per beat, canonical column order (cmp0..N, acc0..N). */
+    systolic::TraceRecorder states;
+};
+
+/** The behavioral chip run on @p c with @p cells total cells. */
+GoldenTrace traceBehavioral(const Case &c, std::size_t cells);
+
+/**
+ * A cascade of @p chips x @p cells_per_chip run on @p c, with cell
+ * states re-mapped into the single-chip column order so the recorder
+ * diffs directly against traceBehavioral(c, chips * cells_per_chip).
+ */
+GoldenTrace traceCascade(const Case &c, std::size_t chips,
+                         std::size_t cells_per_chip);
+
+/** The bit-serial chip's result-port stream (states not mapped). */
+GoldenTrace traceBitSerial(const Case &c);
+
+/** A trace comparison verdict. */
+struct TraceDiff
+{
+    bool identical = true;
+    std::string detail; ///< first divergence, when not identical
+};
+
+/** Exact beat-for-beat comparison of ports and cell states. */
+TraceDiff diffExact(const GoldenTrace &a, const GoldenTrace &b);
+
+/**
+ * Compare only the valid result-port samples of the two traces: the
+ * value sequences must match and the beat offset between paired
+ * samples must be one constant (the pipeline latency).
+ */
+TraceDiff diffResultStream(const GoldenTrace &a, const GoldenTrace &b);
+
+} // namespace spm::conformance
+
+#endif // SPM_CONFORMANCE_GOLDENTRACE_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The conformance harness: the fuzz loop and its reporting.
+ *
+ * One sweep index drives everything: the structured generator maps it
+ * to a case, the differ runs the case across every eligible oracle,
+ * and on disagreement the shrinker minimizes before anything is
+ * reported -- so a failure always carries two IDs, the generated g1
+ * ID that found it and the literal l1 ID of the minimized
+ * reproduction. Side legs ride the same loop on deterministic
+ * strides: the extension cross-checks (counting totals, numeric
+ * convolution) and the golden-trace diffs (behavioral vs cascade vs
+ * bit-serial, beat by beat).
+ *
+ * The mutation self-check turns the harness on itself: each seeded
+ * bug from mutants.hh is run as the device under test, and the check
+ * fails unless the generator+differ pipeline catches every one.
+ */
+
+#ifndef SPM_CONFORMANCE_HARNESS_HH
+#define SPM_CONFORMANCE_HARNESS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conformance/case.hh"
+#include "conformance/differ.hh"
+
+namespace spm::conformance
+{
+
+/** Fuzz-run knobs. */
+struct HarnessConfig
+{
+    std::uint64_t seed = 0xC0FFEE;
+    std::uint64_t cases = 1000;
+    /** Wall-clock budget in seconds; 0 means no budget. */
+    double timeBudgetSec = 0;
+    /** Include the gate-level oracles (slow; strided anyway). */
+    bool withGate = true;
+    /** Run the extension cross-checks on a stride of cases. */
+    bool withExtensions = true;
+    /** Run the golden-trace diffs on a stride of cases. */
+    bool withGoldenTraces = true;
+    /** Shrink budget per failure (predicate evaluations). */
+    std::size_t maxShrinkEvals = 800;
+    /** Run extension checks on every Nth case. */
+    std::uint64_t extensionStride = 13;
+    /** Run golden-trace diffs on every Nth case. */
+    std::uint64_t goldenStride = 97;
+};
+
+/** One reported (already shrunk) failure. */
+struct Failure
+{
+    /** Oracle or check leg that disagreed. */
+    std::string oracle;
+    /** ID of the case as found (g1 for generated, l1 for replayed). */
+    std::string foundId;
+    /** Literal ID of the shrunk reproduction. */
+    std::string shrunkId;
+    /** Disagreement summary at the found case. */
+    std::string detail;
+
+    std::string report() const;
+};
+
+/** The outcome of a fuzz, replay, or corpus run. */
+struct RunReport
+{
+    std::uint64_t casesRun = 0;
+    /** Oracle executions beyond the reference. */
+    std::uint64_t comparisons = 0;
+    /** Oracle executions skipped by eligibility or stride. */
+    std::uint64_t skipped = 0;
+    std::uint64_t extensionChecks = 0;
+    std::uint64_t goldenTraceRuns = 0;
+    std::vector<Failure> failures;
+    double seconds = 0;
+    /** True when the time budget ended the run early. */
+    bool timedOut = false;
+
+    bool ok() const { return failures.empty(); }
+    double casesPerSec() const
+    {
+        return seconds > 0 ? static_cast<double>(casesRun) / seconds
+                           : 0.0;
+    }
+};
+
+/** Run the differential fuzz loop. */
+RunReport runFuzz(const HarnessConfig &cfg);
+
+/**
+ * Replay one case ID across the full registry plus the extension and
+ * golden-trace legs (strides ignored: everything eligible runs).
+ */
+RunReport replayCase(const std::string &id, const HarnessConfig &cfg);
+
+/**
+ * Replay every case ID in @p path: a corpus file (one ID per line,
+ * '#' comments) or a directory of such files, recursed one level.
+ */
+RunReport runCorpus(const std::string &path, const HarnessConfig &cfg);
+
+/** One mutant's fate under the self-check. */
+struct MutantOutcome
+{
+    std::string name;
+    std::string seededBug;
+    bool caught = false;
+    std::uint64_t casesTried = 0;
+    /** ID of the first catching case (when caught). */
+    std::string catchingId;
+    /** Literal ID of the shrunk catching case (when caught). */
+    std::string shrunkId;
+};
+
+/** The mutation self-check outcome. */
+struct MutationReport
+{
+    std::vector<MutantOutcome> outcomes;
+    double seconds = 0;
+
+    bool allCaught() const;
+    std::size_t survivors() const;
+};
+
+/**
+ * Run every seeded-bug mutant as the device under test against the
+ * reference, with the same generator the fuzz loop uses; a mutant
+ * survives when no disagreement is found within @p cases_per_mutant
+ * generated cases.
+ */
+MutationReport runMutationSelfCheck(std::uint64_t seed,
+                                    std::uint64_t cases_per_mutant);
+
+} // namespace spm::conformance
+
+#endif // SPM_CONFORMANCE_HARNESS_HH

@@ -1,0 +1,224 @@
+#include "conformance/mutants.hh"
+
+#include <algorithm>
+
+#include "core/behavioral.hh"
+#include "core/reference.hh"
+#include "core/wordpar.hh"
+
+namespace spm::conformance
+{
+
+namespace
+{
+
+/**
+ * Seeded bug: the sharded stitcher reserves an overlap of k-2 text
+ * characters before each shard boundary instead of k-1, so a match
+ * whose window begins exactly k-1 characters before a boundary -- one
+ * that ends on the first character of the next shard -- is lost.
+ */
+class MutShardOverlap : public core::Matcher
+{
+  public:
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override
+    {
+        const std::size_t n = text.size();
+        const std::size_t k = pattern.size();
+        std::vector<bool> result(n, false);
+        if (k == 0 || n == 0 || k > n)
+            return result;
+
+        const std::size_t nshards = 2;
+        const std::size_t overlap = k >= 2 ? k - 2 : 0; // BUG: k-1
+        core::WordParallelMatcher inner;
+        for (std::size_t s = 0; s < nshards; ++s) {
+            const std::size_t start = n * s / nshards;
+            const std::size_t end = n * (s + 1) / nshards;
+            if (start >= end)
+                continue;
+            const std::size_t ws = std::min(start, overlap);
+            const std::vector<Symbol> sub(
+                text.begin() +
+                    static_cast<std::ptrdiff_t>(start - ws),
+                text.begin() + static_cast<std::ptrdiff_t>(end));
+            if (sub.size() < k)
+                continue;
+            const std::vector<bool> bits = inner.match(sub, pattern);
+            for (std::size_t i = ws; i < bits.size(); ++i)
+                if (bits[i])
+                    result[start - ws + i] = true;
+        }
+        return result;
+    }
+
+    std::string name() const override { return "mut-shard-overlap"; }
+};
+
+/**
+ * Seeded bug: the word-parallel matcher's wildcard plane is dropped;
+ * wildcardSymbol is compared like an ordinary stored character, so a
+ * wildcard position never matches anything.
+ */
+class MutWordparWildPlane : public core::Matcher
+{
+  public:
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override
+    {
+        const std::size_t n = text.size();
+        const std::size_t k = pattern.size();
+        std::vector<bool> result(n, false);
+        if (k == 0 || n == 0 || k > n)
+            return result;
+        for (std::size_t i = k - 1; i < n; ++i) {
+            bool all = true;
+            for (std::size_t j = 0; j < k && all; ++j)
+                all = text[i - k + 1 + j] == pattern[j]; // BUG: no
+                                                         // wildcard test
+            result[i] = all;
+        }
+        return result;
+    }
+
+    std::string name() const override { return "mut-wordpar-wildplane"; }
+};
+
+/**
+ * Seeded bug: the lead mask that suppresses incomplete windows clears
+ * positions i < k instead of i < k-1, killing the earliest legal
+ * match (the one flush against the start of the text).
+ */
+class MutWordparLeadMask : public core::Matcher
+{
+  public:
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override
+    {
+        core::WordParallelMatcher inner;
+        std::vector<bool> result = inner.match(text, pattern);
+        const std::size_t k = pattern.size();
+        if (k >= 1 && k - 1 < result.size())
+            result[k - 1] = false; // BUG: mask extends one position
+                                   // too far
+        return result;
+    }
+
+    std::string name() const override { return "mut-wordpar-leadmask"; }
+
+    bool supportsWildcards() const override { return true; }
+};
+
+/**
+ * Seeded bug: the host computes the control stream for the wrong
+ * latch phase -- each lambda/x pair rides one pattern position ahead
+ * of the comparator result it belongs to, so the end-of-pattern
+ * marker (and any wildcard bit) latches against the neighboring
+ * cell's comparison.
+ */
+class MutLatchPhase : public core::Matcher
+{
+  public:
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override
+    {
+        const std::size_t n = text.size();
+        const std::size_t k = pattern.size();
+        std::vector<bool> result(n, false);
+        if (k == 0 || n == 0 || k > n)
+            return result;
+
+        core::BehavioralChip chip(k);
+        const core::ChipFeedPlan plan(k, pattern, n);
+        std::size_t collected = 0;
+        for (Beat beat = 0;
+             beat < plan.totalBeats() && collected < n; ++beat) {
+            chip.feedPattern(plan.patternAt(beat));
+            chip.feedControl(plan.controlAt(beat + 2)); // BUG: control
+                                                        // content one
+                                                        // position ahead
+            chip.feedString(plan.stringAt(beat, text));
+            chip.feedResult(plan.resultAt(beat));
+            chip.step();
+            const core::ResToken out = chip.resultOut();
+            if (out.valid) {
+                result[collected] = collected >= k - 1 && out.value;
+                ++collected;
+            }
+        }
+        return result;
+    }
+
+    std::string name() const override { return "mut-latch-phase"; }
+
+    bool supportsWildcards() const override { return true; }
+};
+
+/**
+ * Seeded bug: the counting cell's integer slot saturates at 7 (a
+ * 3-bit counter), so a full match of a pattern with k >= 8 reports
+ * count 7 and the match bit derived from count == k goes false.
+ */
+class MutCountSaturate : public core::Matcher
+{
+  public:
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override
+    {
+        const std::size_t n = text.size();
+        const std::size_t k = pattern.size();
+        std::vector<bool> result(n, false);
+        if (k == 0 || n == 0 || k > n)
+            return result;
+        const std::vector<unsigned> counts =
+            core::referenceMatchCounts(text, pattern);
+        for (std::size_t i = 0; i < n; ++i) {
+            const unsigned saturated =
+                std::min(counts[i], 7u); // BUG: 3-bit counter
+            result[i] = saturated == k;
+        }
+        return result;
+    }
+
+    std::string name() const override { return "mut-count-saturate"; }
+
+    bool supportsWildcards() const override { return true; }
+};
+
+} // namespace
+
+const std::vector<Mutant> &
+allMutants()
+{
+    static const std::vector<Mutant> mutants = {
+        {"mut-shard-overlap",
+         "overlap stitching off by one: shards reserve k-2 overlap "
+         "characters instead of k-1",
+         "a match window straddling a shard boundary",
+         [] { return std::make_unique<MutShardOverlap>(); }},
+        {"mut-wordpar-wildplane",
+         "dropped wildcard plane: wildcardSymbol compared as a "
+         "literal character",
+         "a wildcard position inside a matching window",
+         [] { return std::make_unique<MutWordparWildPlane>(); }},
+        {"mut-wordpar-leadmask",
+         "lead mask off by one: positions i < k cleared instead of "
+         "i < k-1",
+         "a match flush against the start of the text",
+         [] { return std::make_unique<MutWordparLeadMask>(); }},
+        {"mut-latch-phase",
+         "wrong comparator latch phase: control stream fed in phase "
+         "with the pattern instead of trailing one beat",
+         "any pattern with a wildcard or with k >= 2",
+         [] { return std::make_unique<MutLatchPhase>(); }},
+        {"mut-count-saturate",
+         "counting cell saturates at 7, losing full-match counts for "
+         "k >= 8",
+         "a full match of a pattern with k >= 8",
+         [] { return std::make_unique<MutCountSaturate>(); }},
+    };
+    return mutants;
+}
+
+} // namespace spm::conformance

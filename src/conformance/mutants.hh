@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Seeded-bug matchers for the mutation self-check.
+ *
+ * A fuzzer that never fails is indistinguishable from a fuzzer that
+ * cannot fail. Each mutant here re-introduces a realistic bug class
+ * from this codebase's history -- overlap stitching off by one,
+ * a dropped wildcard plane, a mis-phased control stream -- as a
+ * Matcher. The self-check (harness.hh) runs the ordinary differential
+ * loop with the mutant as the device under test and asserts that a
+ * disagreement is found within a bounded number of generated cases.
+ * A surviving mutant fails the build: it means the generator's bias
+ * no longer reaches that bug class.
+ */
+
+#ifndef SPM_CONFORMANCE_MUTANTS_HH
+#define SPM_CONFORMANCE_MUTANTS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/matcher.hh"
+
+namespace spm::conformance
+{
+
+/** One seeded bug: a factory for the buggy matcher plus provenance. */
+struct Mutant
+{
+    std::string name;
+    /** The bug seeded into this mutant, for reports. */
+    std::string seededBug;
+    /** The region of the generator expected to excite the bug. */
+    std::string expectedTrigger;
+    std::function<std::unique_ptr<core::Matcher>()> make;
+};
+
+/** The full mutant battery, stable order. */
+const std::vector<Mutant> &allMutants();
+
+} // namespace spm::conformance
+
+#endif // SPM_CONFORMANCE_MUTANTS_HH

@@ -1,0 +1,204 @@
+#include "conformance/oracles.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/behavioral.hh"
+#include "core/bitserial.hh"
+#include "core/cascade.hh"
+#include "core/gatechip.hh"
+#include "core/multipass.hh"
+#include "core/reference.hh"
+#include "core/wordpar.hh"
+#include "service/sharded.hh"
+#include "util/strings.hh"
+
+namespace spm::conformance
+{
+
+namespace
+{
+
+/**
+ * The sharded service as a Matcher. One service per alphabet width is
+ * built lazily and reused, so worker threads are spawned once per
+ * width rather than once per case. Service-level failures (which the
+ * Matcher interface cannot express) become exceptions the differ
+ * reports as oracle errors.
+ */
+class ShardedOracleMatcher : public core::Matcher
+{
+  public:
+    explicit ShardedOracleMatcher(unsigned thread_count)
+        : threads(thread_count)
+    {
+    }
+
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override
+    {
+        if (pattern.empty() || text.empty() ||
+            pattern.size() > text.size())
+            return std::vector<bool>(text.size(), false);
+
+        BitWidth bits = std::max(requiredBits(text),
+                                 requiredBits(pattern));
+        bits = std::clamp<BitWidth>(bits, 1, 16);
+        service::ShardedMatchService &svc = serviceFor(bits);
+        service::MatchRequest req;
+        req.text = text;
+        req.pattern = pattern;
+        const service::MatchResponse resp = svc.serve(req);
+        if (!resp.ok())
+            throw std::runtime_error(name() + ": " + resp.error.detail);
+        return resp.result;
+    }
+
+    std::string name() const override
+    {
+        return "service-sharded-" + std::to_string(threads) + "t";
+    }
+
+  private:
+    service::ShardedMatchService &serviceFor(BitWidth bits)
+    {
+        for (auto &entry : services)
+            if (entry.first == bits)
+                return *entry.second;
+        service::ShardedConfig cfg;
+        cfg.base.alphabetBits = bits;
+        cfg.base.maxTextLen = 1 << 20;
+        cfg.base.maxPatternLen = 512;
+        cfg.base.chunkChars = 48;
+        // The differ already reference-checks the stitched output;
+        // skip the per-chunk cross-check and journal for speed.
+        cfg.base.crossCheck = false;
+        cfg.base.journalEnabled = false;
+        cfg.threads = threads;
+        cfg.minShardChars = 24; // modest texts still split all ways
+        auto svc = std::make_unique<service::ShardedMatchService>(
+            cfg, [](const service::ServiceConfig &) {
+                std::vector<std::unique_ptr<service::ServiceBackend>>
+                    ladder;
+                ladder.push_back(
+                    std::make_unique<service::MatcherBackend>(
+                        std::make_unique<core::WordParallelMatcher>()));
+                return ladder;
+            });
+        services.emplace_back(bits, std::move(svc));
+        return *services.back().second;
+    }
+
+    unsigned threads;
+    std::vector<std::pair<
+        BitWidth, std::unique_ptr<service::ShardedMatchService>>>
+        services;
+};
+
+/** A two-chip cascade resized to each case's pattern. */
+class CascadeOracleMatcher : public core::Matcher
+{
+  public:
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override
+    {
+        const std::size_t per_chip =
+            std::max<std::size_t>(1, (pattern.size() + 1) / 2);
+        core::CascadeMatcher cascade(2, per_chip);
+        return cascade.match(text, pattern);
+    }
+
+    std::string name() const override { return "systolic-cascade-2chip"; }
+};
+
+/** The gate-level chip with the levelized fast path enabled. */
+class LevelizedGateMatcher : public core::Matcher
+{
+  public:
+    LevelizedGateMatcher() { impl.setUseLevelized(true); }
+
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override
+    {
+        return impl.match(text, pattern);
+    }
+
+    std::string name() const override { return impl.name(); }
+
+  private:
+    core::GateLevelMatcher impl;
+};
+
+Oracle
+entry(std::unique_ptr<core::Matcher> m, std::size_t max_text,
+      std::size_t max_pattern, BitWidth max_bits, std::uint64_t stride)
+{
+    Oracle o;
+    o.matcher = std::move(m);
+    o.maxText = max_text;
+    o.maxPattern = max_pattern;
+    o.maxBits = max_bits;
+    o.stride = stride;
+    return o;
+}
+
+} // namespace
+
+std::unique_ptr<core::Matcher>
+makeShardedOracle(unsigned threads)
+{
+    return std::make_unique<ShardedOracleMatcher>(threads);
+}
+
+std::unique_ptr<core::Matcher>
+makeCascadeOracle()
+{
+    return std::make_unique<CascadeOracleMatcher>();
+}
+
+std::vector<Oracle>
+makeAllOracles(bool with_gate)
+{
+    std::vector<Oracle> oracles;
+    // Entry 0: the executable specification everything is diffed
+    // against. Unlimited; every case has a trusted answer.
+    oracles.push_back(entry(std::make_unique<core::ReferenceMatcher>(),
+                            1 << 20, 1 << 12, 16, 1));
+    oracles.push_back(entry(std::make_unique<core::WordParallelMatcher>(),
+                            1 << 20, 1 << 12, 16, 1));
+    // Engine-simulated fidelities: ~2n beats of cell evaluations per
+    // case; cap the text so a 100k-case sweep stays minutes, not hours.
+    oracles.push_back(entry(std::make_unique<core::BehavioralMatcher>(),
+                            192, 64, 16, 1));
+    oracles.push_back(entry(std::make_unique<core::BitSerialMatcher>(),
+                            160, 48, 8, 1));
+    oracles.push_back(entry(std::make_unique<core::MultipassMatcher>(4),
+                            160, 96, 16, 2));
+    oracles.push_back(entry(makeCascadeOracle(), 160, 64, 16, 2));
+    // The gate-level chip runs thousands of device evaluations per
+    // beat; small cases with a stride keep it present in every sweep
+    // without dominating the budget.
+    if (with_gate) {
+        oracles.push_back(
+            entry(std::make_unique<core::GateLevelMatcher>(), 48, 6, 3,
+                  8));
+        oracles.push_back(
+            entry(std::make_unique<LevelizedGateMatcher>(), 48, 6, 3, 8));
+    }
+    for (const unsigned threads : {1u, 2u, 4u})
+        oracles.push_back(
+            entry(makeShardedOracle(threads), 1 << 16, 256, 16, 1));
+    return oracles;
+}
+
+std::vector<std::string>
+allOracleNames(bool with_gate)
+{
+    std::vector<std::string> names;
+    for (const Oracle &o : makeAllOracles(with_gate))
+        names.push_back(o.name());
+    return names;
+}
+
+} // namespace spm::conformance

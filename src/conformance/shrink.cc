@@ -1,0 +1,141 @@
+#include "conformance/shrink.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spm::conformance
+{
+
+namespace
+{
+
+class Shrinker
+{
+  public:
+    Shrinker(Case start, std::function<bool(const Case &)> pred,
+             std::size_t budget)
+        : current(std::move(start)), stillFails(std::move(pred)),
+          maxEvals(budget)
+    {
+    }
+
+    ShrinkResult run()
+    {
+        // Outer fixpoint: every pass can unlock further passes (a
+        // shorter text makes a shorter pattern reachable and vice
+        // versa), so iterate until nothing improves.
+        bool improved = true;
+        while (improved && evals < maxEvals) {
+            improved = false;
+            improved |= shrinkTextChunks();
+            improved |= shrinkPatternEnds();
+            improved |= canonicalizeSymbols();
+        }
+        return ShrinkResult{current, steps, evals};
+    }
+
+  private:
+    /** Try a candidate; adopt it when it still fails. */
+    bool accept(const Case &candidate)
+    {
+        if (evals >= maxEvals)
+            return false;
+        ++evals;
+        if (!stillFails(candidate))
+            return false;
+        current = candidate;
+        ++steps;
+        return true;
+    }
+
+    /** Remove text chunks, halving the chunk size down to 1. */
+    bool shrinkTextChunks()
+    {
+        bool any = false;
+        std::size_t chunk = std::max<std::size_t>(1, current.text.size() / 2);
+        while (chunk >= 1 && evals < maxEvals) {
+            bool removed = false;
+            for (std::size_t at = 0; at < current.text.size();) {
+                Case candidate = current;
+                const std::size_t len =
+                    std::min(chunk, candidate.text.size() - at);
+                candidate.text.erase(
+                    candidate.text.begin() + static_cast<std::ptrdiff_t>(at),
+                    candidate.text.begin() +
+                        static_cast<std::ptrdiff_t>(at + len));
+                if (accept(candidate)) {
+                    removed = any = true;
+                    // Same offset now holds the next chunk.
+                } else {
+                    at += chunk;
+                }
+                if (evals >= maxEvals)
+                    break;
+            }
+            if (!removed)
+                chunk /= 2;
+        }
+        return any;
+    }
+
+    /** Drop pattern characters from the tail, then the head. */
+    bool shrinkPatternEnds()
+    {
+        bool any = false;
+        for (const bool from_tail : {true, false}) {
+            while (!current.pattern.empty() && evals < maxEvals) {
+                Case candidate = current;
+                if (from_tail)
+                    candidate.pattern.pop_back();
+                else
+                    candidate.pattern.erase(candidate.pattern.begin());
+                if (!accept(candidate))
+                    break;
+                any = true;
+            }
+        }
+        return any;
+    }
+
+    /** Rewrite surviving symbols toward 0 (and wild cards to 0). */
+    bool canonicalizeSymbols()
+    {
+        bool any = false;
+        for (const bool in_text : {true, false}) {
+            std::vector<Symbol> &stream =
+                in_text ? current.text : current.pattern;
+            for (std::size_t i = 0; i < stream.size(); ++i) {
+                if (stream[i] == 0 || evals >= maxEvals)
+                    continue;
+                Case candidate = current;
+                (in_text ? candidate.text : candidate.pattern)[i] = 0;
+                any |= accept(candidate);
+            }
+        }
+        return any;
+    }
+
+    Case current;
+    std::function<bool(const Case &)> stillFails;
+    std::size_t maxEvals;
+    std::size_t evals = 0;
+    std::size_t steps = 0;
+};
+
+} // namespace
+
+ShrinkResult
+shrinkCase(const Case &failing,
+           const std::function<bool(const Case &)> &still_fails,
+           std::size_t max_evaluations)
+{
+    spm_assert(still_fails(failing),
+               "shrinkCase needs a case that currently fails");
+    const std::size_t budget =
+        max_evaluations == 0 ? 800 : max_evaluations;
+    Shrinker s(failing, still_fails, budget);
+    return s.run();
+}
+
+} // namespace spm::conformance

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Automatic shrinking of failing conformance cases.
+ *
+ * A structured fuzzer finds its bugs on awkwardly sized cases; the
+ * report should not make a human read a 190-character text. The
+ * shrinker greedily minimizes a failing case under a caller-supplied
+ * predicate ("this oracle still disagrees with the reference"),
+ * delta-debugging style: remove text chunks from large to small,
+ * shorten the pattern from both ends, then canonicalize surviving
+ * symbols toward 0. Every candidate is re-checked through the real
+ * differ, so the minimized case provably still fails, and its literal
+ * case ID replays it from one string.
+ */
+
+#ifndef SPM_CONFORMANCE_SHRINK_HH
+#define SPM_CONFORMANCE_SHRINK_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "conformance/case.hh"
+
+namespace spm::conformance
+{
+
+/** The shrinking outcome. */
+struct ShrinkResult
+{
+    Case minimized;
+    /** Accepted shrink steps (how much smaller the case got). */
+    std::size_t steps = 0;
+    /** Predicate evaluations spent. */
+    std::size_t evaluations = 0;
+};
+
+/**
+ * Minimize @p failing while @p still_fails holds.
+ *
+ * @param failing a case for which still_fails(failing) is true
+ * @param still_fails the failure predicate (must be deterministic)
+ * @param max_evaluations evaluation budget; 0 means the default (800)
+ */
+ShrinkResult shrinkCase(const Case &failing,
+                        const std::function<bool(const Case &)> &still_fails,
+                        std::size_t max_evaluations = 0);
+
+} // namespace spm::conformance
+
+#endif // SPM_CONFORMANCE_SHRINK_HH

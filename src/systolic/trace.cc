@@ -1,5 +1,6 @@
 #include "systolic/trace.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "systolic/engine.hh"
@@ -25,6 +26,33 @@ TraceRecorder::snapshot(const Engine &engine, Beat beat)
         row.states.push_back(std::move(s));
     }
     rows.push_back(std::move(row));
+}
+
+void
+TraceRecorder::appendRow(Beat beat, std::vector<std::string> states)
+{
+    if (beatLimit != 0 && rows.size() >= beatLimit)
+        return;
+    rows.push_back(Row{beat, std::move(states)});
+}
+
+std::optional<std::pair<std::size_t, std::size_t>>
+TraceRecorder::firstDifference(const TraceRecorder &other) const
+{
+    const std::size_t common = std::min(rows.size(), other.rows.size());
+    for (std::size_t r = 0; r < common; ++r) {
+        const auto &a = rows[r].states;
+        const auto &b = other.rows[r].states;
+        const std::size_t cols = std::min(a.size(), b.size());
+        for (std::size_t c = 0; c < cols; ++c)
+            if (a[c] != b[c])
+                return std::make_pair(r, c);
+        if (a.size() != b.size())
+            return std::make_pair(r, cols);
+    }
+    if (rows.size() != other.rows.size())
+        return std::make_pair(common, std::size_t(0));
+    return std::nullopt;
 }
 
 const std::string &

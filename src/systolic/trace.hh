@@ -13,7 +13,9 @@
 #define SPM_SYSTOLIC_TRACE_HH
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/types.hh"
@@ -38,6 +40,28 @@ class TraceRecorder
 
     /** Capture the post-commit state of every cell; called by Engine. */
     void snapshot(const Engine &engine, Beat beat);
+
+    /**
+     * Append a row of states directly -- how the conformance golden
+     * traces build a canonical trace from cells that live in several
+     * engines (e.g., the chips of a cascade re-mapped to the column
+     * order of the equivalent single chip).
+     */
+    void appendRow(Beat beat, std::vector<std::string> states);
+
+    /** Number of state columns in recorded rows (0 when empty). */
+    std::size_t cellCount() const
+    {
+        return rows.empty() ? 0 : rows.front().states.size();
+    }
+
+    /**
+     * First (row, column) where two recorded traces diverge. A length
+     * or shape difference reports the first row index past the
+     * shorter trace with column 0. nullopt when identical.
+     */
+    std::optional<std::pair<std::size_t, std::size_t>> firstDifference(
+        const TraceRecorder &other) const;
 
     /** Number of recorded beats. */
     std::size_t beatCount() const { return rows.size(); }

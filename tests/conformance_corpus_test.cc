@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Regression replay of the committed conformance corpus.
+ *
+ * Every case ID under tests/corpus/ is a shape that once mattered: a
+ * word-boundary pattern length, a shard-straddling match, a minimized
+ * reproduction. This test replays the whole corpus across the full
+ * oracle registry (extension and golden-trace legs included) and
+ * fails on any disagreement, so the corpus acts as a permanent
+ * differential regression suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "conformance/harness.hh"
+
+#ifndef SPM_CORPUS_DIR
+#error "SPM_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace spm::conformance
+{
+namespace
+{
+
+TEST(Corpus, EveryCommittedCaseAgreesAcrossAllOracles)
+{
+    HarnessConfig cfg;
+    const RunReport r = runCorpus(SPM_CORPUS_DIR, cfg);
+    ASSERT_GT(r.casesRun, 0u)
+        << "corpus empty or unreadable: " << SPM_CORPUS_DIR;
+    EXPECT_GT(r.comparisons, r.casesRun);
+    for (const Failure &f : r.failures)
+        ADD_FAILURE() << f.report();
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(Corpus, RejectsAMissingPath)
+{
+    const RunReport r =
+        runCorpus("/nonexistent/corpus/path", HarnessConfig{});
+    EXPECT_FALSE(r.ok());
+}
+
+} // namespace
+} // namespace spm::conformance

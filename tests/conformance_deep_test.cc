@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deep (ctest -L deep) conformance legs: a time-boxed differential
+ * fuzz sweep across the full oracle registry and the complete
+ * mutation self-check. These run seconds, not milliseconds, so they
+ * carry the "deep" label and stay out of the quick development loop;
+ * scripts/check.sh runs them explicitly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "conformance/harness.hh"
+#include "conformance/mutants.hh"
+
+namespace spm::conformance
+{
+namespace
+{
+
+TEST(DeepConformance, TimeBoxedFuzzSweepAgrees)
+{
+    HarnessConfig cfg;
+    cfg.seed = 0xDEEF;
+    cfg.cases = 40'000;     // ceiling; the budget ends the run first
+    cfg.timeBudgetSec = 4.0;
+    const RunReport r = runFuzz(cfg);
+    // Sanity floor only: sanitizer builds run the sweep ~50x slower
+    // than plain builds, so keep this well below the plain-build rate.
+    EXPECT_GT(r.casesRun, 100u);
+    for (const Failure &f : r.failures)
+        ADD_FAILURE() << f.report();
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(DeepConformance, MutationSelfCheckLeavesNoSurvivors)
+{
+    const MutationReport r = runMutationSelfCheck(0xDEEF, 2000);
+    ASSERT_EQ(r.outcomes.size(), allMutants().size());
+    for (const MutantOutcome &o : r.outcomes) {
+        EXPECT_TRUE(o.caught)
+            << "surviving mutant " << o.name << " ("
+            << o.seededBug << ") after " << o.casesTried
+            << " cases -- the harness lost detection power";
+    }
+    EXPECT_EQ(r.survivors(), 0u);
+}
+
+} // namespace
+} // namespace spm::conformance

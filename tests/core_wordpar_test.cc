@@ -12,7 +12,6 @@
 #include "core/reference.hh"
 #include "core/wordpar.hh"
 #include "tests/helpers.hh"
-#include "util/rng.hh"
 
 namespace spm::core
 {
@@ -51,8 +50,7 @@ TEST(WordParallel, AllWildcardPatternMatchesEveryFullWindow)
 {
     WordParallelMatcher wp;
     ReferenceMatcher ref;
-    WorkloadGen gen(0xA11, 2);
-    const auto text = gen.randomText(150);
+    const auto text = test::makeShapedWorkload(0xA11, 2, 150, 5, 0).text;
     for (std::size_t k : {std::size_t(1), std::size_t(5),
                           std::size_t(70)}) {
         const std::vector<Symbol> pattern(k, wildcardSymbol);
@@ -69,15 +67,16 @@ TEST(WordParallel, MatchesReferenceOnRandomWorkloads)
     // wild-card densities; text lengths straddling word boundaries.
     for (BitWidth bits : {1u, 2u, 8u}) {
         for (std::size_t k = 1; k <= 64; ++k) {
-            WorkloadGen gen(0xBE7 * k + bits, bits);
-            const double density = (k % 3 == 0) ? 0.3 : (k % 3) * 0.1;
-            const auto pattern = gen.randomPattern(k, density);
+            const unsigned pct =
+                (k % 3 == 0) ? 30 : static_cast<unsigned>(k % 3) * 10;
             const std::size_t n =
-                k + gen.rng().nextBelow(200) + (k % 2 ? 64 : 1);
-            const auto text =
-                gen.textWithPlants(n, pattern, k + 3);
-            EXPECT_EQ(wp.match(text, pattern), ref.match(text, pattern))
-                << "bits=" << bits << " k=" << k << " n=" << n;
+                k + (k * 37) % 200 + (k % 2 ? 64 : 1);
+            const auto w = test::makeShapedWorkload(
+                0xBE7 * k + bits, bits, n, k, pct);
+            EXPECT_EQ(wp.match(w.text, w.pattern),
+                      ref.match(w.text, w.pattern))
+                << "bits=" << bits << " k=" << k << " n=" << n
+                << " case=" << w.caseId;
         }
     }
 }
@@ -88,11 +87,11 @@ TEST(WordParallel, HandlesPatternsLongerThanOneWord)
     ReferenceMatcher ref;
     for (std::size_t k : {std::size_t(65), std::size_t(100),
                           std::size_t(130), std::size_t(257)}) {
-        WorkloadGen gen(0x10AD + k, 2);
-        const auto pattern = gen.randomPattern(k, 0.25);
-        const auto text = gen.textWithPlants(k * 3 + 17, pattern, k + 5);
-        EXPECT_EQ(wp.match(text, pattern), ref.match(text, pattern))
-            << "k=" << k;
+        const auto w = test::makeShapedWorkload(0x10AD + k, 2,
+                                                k * 3 + 17, k, 25);
+        EXPECT_EQ(wp.match(w.text, w.pattern),
+                  ref.match(w.text, w.pattern))
+            << "k=" << k << " case=" << w.caseId;
     }
 }
 
@@ -101,9 +100,9 @@ TEST(WordParallel, PackedFormAgreesAndKeepsSlackBitsClear)
     WordParallelMatcher wp;
     for (std::size_t n : {std::size_t(63), std::size_t(64),
                           std::size_t(65), std::size_t(190)}) {
-        WorkloadGen gen(0x9AC + n, 2);
-        const auto pattern = gen.randomPattern(4, 0.2);
-        const auto text = gen.textWithPlants(n, pattern, 9);
+        const auto w = test::makeShapedWorkload(0x9AC + n, 2, n, 4, 20);
+        const auto &pattern = w.pattern;
+        const auto &text = w.text;
         const auto packed = wp.matchPacked(text, pattern);
         ASSERT_EQ(packed.size(), (n + 63) / 64);
         EXPECT_EQ(unpack(packed, n), wp.match(text, pattern));
@@ -118,10 +117,8 @@ TEST(WordParallel, PackedFormAgreesAndKeepsSlackBitsClear)
 TEST(WordParallel, ReportsKernelEffort)
 {
     WordParallelMatcher wp;
-    WorkloadGen gen(0xEFF, 8);
-    const auto pattern = gen.randomPattern(16, 0.0);
-    const auto text = gen.randomText(10'000);
-    wp.matchPacked(text, pattern);
+    const auto w = test::makeShapedWorkload(0xEFF, 8, 10'000, 16, 0);
+    wp.matchPacked(w.text, w.pattern);
     EXPECT_GT(wp.lastWordOps(), 0u);
     EXPECT_GE(wp.lastPlanes(), 1u);
     EXPECT_LE(wp.lastPlanes(), 8u);

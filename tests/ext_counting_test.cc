@@ -88,5 +88,43 @@ TEST(Counting, DegenerateInputs)
               (std::vector<unsigned>{0}));
 }
 
+TEST(Counting, TotalsEqualScalarRecountOnGeneratedCases)
+{
+    // Property over the conformance generator's hard regions: the
+    // systolic totals equal an independent scalar recount of
+    // per-window matches, and count == k coincides with the match
+    // bit of the reference definition.
+    core::ReferenceMatcher ref;
+    for (std::uint64_t index = 0; index < 48; ++index) {
+        const test::Workload w = test::makeWorkload(index);
+        const std::size_t n = w.text.size();
+        const std::size_t k = w.pattern.size();
+        if (k > 64 || n > 192)
+            continue; // keep the engine-simulated array tractable
+
+        const auto counts =
+            SystolicMatchCounter().count(w.text, w.pattern);
+        const auto bits = ref.match(w.text, w.pattern);
+        ASSERT_EQ(counts.size(), n) << w.caseId;
+        for (std::size_t i = k - 1; i < n; ++i) {
+            unsigned recount = 0;
+            for (std::size_t j = 0; j < k; ++j) {
+                const Symbol p = w.pattern[j];
+                recount += (p == wildcardSymbol ||
+                            p == w.text[i - (k - 1) + j])
+                               ? 1u
+                               : 0u;
+            }
+            EXPECT_EQ(counts[i], recount)
+                << "i=" << i << " case=" << w.caseId;
+            EXPECT_EQ(bits[i], counts[i] == k)
+                << "i=" << i << " case=" << w.caseId;
+        }
+        for (std::size_t i = 0; i + 1 < k && i < n; ++i)
+            EXPECT_EQ(counts[i], 0u)
+                << "i=" << i << " case=" << w.caseId;
+    }
+}
+
 } // namespace
 } // namespace spm::ext

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/reference.hh"
 #include "extensions/numarray.hh"
+#include "tests/helpers.hh"
 #include "util/rng.hh"
 
 namespace spm::ext
@@ -124,6 +127,46 @@ TEST(Convolve, MatchesDirectEvaluation)
                 want[i + j] += a[i] * b[j];
         SystolicFir f;
         EXPECT_EQ(f.convolve(a, b), want);
+    }
+}
+
+TEST(Convolve, MatchesDoubleReferenceOnGeneratedCases)
+{
+    // Property over the conformance generator: the int64 systolic
+    // convolution of a case's centered streams agrees with a
+    // double-precision direct evaluation within a fixed-point
+    // tolerance (the double side rounds past 2^53; the array does
+    // not).
+    SystolicFir f;
+    for (std::uint64_t index = 0; index < 48; ++index) {
+        const test::Workload w = test::makeWorkload(index);
+        if (w.text.size() > 192 || w.pattern.size() > 64)
+            continue;
+        const std::int64_t center = std::int64_t(1)
+                                    << (w.bits > 0 ? w.bits - 1 : 0);
+        std::vector<std::int64_t> a, b;
+        for (const Symbol s : w.text)
+            a.push_back(static_cast<std::int64_t>(s) - center);
+        for (const Symbol p : w.pattern)
+            b.push_back(p == wildcardSymbol
+                            ? 0
+                            : static_cast<std::int64_t>(p) - center);
+
+        const auto sys = f.convolve(a, b);
+        ASSERT_EQ(sys.size(), a.size() + b.size() - 1) << w.caseId;
+        for (std::size_t i = 0; i < sys.size(); ++i) {
+            double want = 0.0;
+            for (std::size_t j = 0; j < b.size(); ++j) {
+                if (i < j || i - j >= a.size())
+                    continue;
+                want += static_cast<double>(b[j]) *
+                        static_cast<double>(a[i - j]);
+            }
+            const double tol =
+                std::max(0.5, std::abs(want) * 1e-12);
+            EXPECT_NEAR(static_cast<double>(sys[i]), want, tol)
+                << "i=" << i << " case=" << w.caseId;
+        }
     }
 }
 

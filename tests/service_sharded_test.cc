@@ -13,7 +13,6 @@
 #include "service/service.hh"
 #include "service/sharded.hh"
 #include "tests/helpers.hh"
-#include "util/rng.hh"
 
 namespace spm::service
 {
@@ -34,13 +33,14 @@ smallShardConfig(unsigned threads, BitWidth bits)
 
 MatchRequest
 randomRequest(std::uint64_t seed, BitWidth bits, std::size_t text_len,
-              std::size_t pat_len, double wildcard_p = 0.2)
+              std::size_t pat_len, unsigned wildcard_pct = 20)
 {
-    WorkloadGen gen(seed, bits);
+    const test::Workload w = test::makeShapedWorkload(
+        seed, bits, text_len, pat_len, wildcard_pct);
     MatchRequest req;
     req.id = seed;
-    req.text = gen.randomText(text_len);
-    req.pattern = gen.randomPattern(pat_len, wildcard_p);
+    req.text = w.text;
+    req.pattern = w.pattern;
     return req;
 }
 
@@ -141,7 +141,7 @@ TEST(ShardedService, CriticalPathBeatsScaleWithShards)
     // slowest shard, so critical-path beats drop by nearly S relative
     // to the summed effort.
     const BitWidth bits = 2;
-    const auto req = randomRequest(0xCAFE, bits, 4096, 8, 0.0);
+    const auto req = randomRequest(0xCAFE, bits, 4096, 8, 0);
 
     ShardedConfig cfg1 = smallShardConfig(1, bits);
     cfg1.minShardChars = 256;

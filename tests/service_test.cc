@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -191,7 +192,11 @@ TEST(ServiceMatch, AgreesWithReferenceOnSeededWorkloads)
         const test::Workload w = test::makeWorkload(i);
         ServiceConfig cfg = smallConfig();
         cfg.alphabetBits = w.bits;
-        cfg.cells = 16; // makeWorkload patterns go up to 10
+        // Size the array (even cell count) and the pattern limit to
+        // the workload so no request degrades off the systolic rung.
+        const std::size_t k = w.pattern.size();
+        cfg.cells = std::max<std::size_t>(16, k + k % 2);
+        cfg.maxPatternLen = std::max<std::size_t>(cfg.maxPatternLen, k);
         cfg.chunkChars = 8 + i % 13;
         MatchService svc(cfg, behavioralLadder(cfg.cells));
 

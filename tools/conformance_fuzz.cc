@@ -1,0 +1,189 @@
+/**
+ * @file
+ * conformance_fuzz: the cross-fidelity differential fuzzer CLI.
+ *
+ * Default mode sweeps generated cases across the full oracle registry
+ * and exits nonzero on the first report of disagreement. Every
+ * failure prints two replayable case IDs (as found and as shrunk);
+ * `--replay <id>` reproduces either from the single string. `--mutants`
+ * runs the mutation self-check instead and fails unless every seeded
+ * bug is caught.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "conformance/harness.hh"
+#include "conformance/mutants.hh"
+#include "conformance/oracles.hh"
+
+namespace
+{
+
+void
+usage(std::FILE *out)
+{
+    std::fputs(
+        "usage: conformance_fuzz [options]\n"
+        "\n"
+        "  --cases N        generated cases to sweep (default 1000)\n"
+        "  --seed S         master seed (default 0xC0FFEE)\n"
+        "  --seconds T      wall-clock budget; stop early when hit\n"
+        "  --corpus PATH    replay a corpus file or directory instead\n"
+        "  --replay ID      replay one case ID instead\n"
+        "  --mutants        run the mutation self-check instead\n"
+        "  --mutant-cases N cases per mutant in the self-check "
+        "(default 400)\n"
+        "  --no-gate        skip the gate-level oracles\n"
+        "  --no-extensions  skip the extension cross-checks\n"
+        "  --no-golden      skip the golden-trace diffs\n"
+        "  --list-oracles   print the oracle registry and exit\n"
+        "\n"
+        "exit status: 0 all checks passed, 1 disagreement or surviving\n"
+        "mutant, 2 usage error\n",
+        out);
+}
+
+std::uint64_t
+parseU64(const char *s, const char *flag)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0') {
+        std::fprintf(stderr, "conformance_fuzz: bad value for %s: %s\n",
+                     flag, s);
+        std::exit(2);
+    }
+    return v;
+}
+
+void
+printReport(const spm::conformance::RunReport &report,
+            const std::string &what)
+{
+    std::printf("%s: %llu cases, %llu cross-checks (%llu skipped), "
+                "%llu extension checks, %llu golden traces, %.2fs "
+                "(%.0f cases/s)%s\n",
+                what.c_str(),
+                static_cast<unsigned long long>(report.casesRun),
+                static_cast<unsigned long long>(report.comparisons),
+                static_cast<unsigned long long>(report.skipped),
+                static_cast<unsigned long long>(report.extensionChecks),
+                static_cast<unsigned long long>(report.goldenTraceRuns),
+                report.seconds, report.casesPerSec(),
+                report.timedOut ? " [time budget hit]" : "");
+    for (const auto &f : report.failures)
+        std::printf("%s\n", f.report().c_str());
+    if (report.ok())
+        std::printf("%s: all implementations agree\n", what.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    spm::conformance::HarnessConfig cfg;
+    std::uint64_t mutant_cases = 400;
+    bool run_mutants = false;
+    bool list_oracles = false;
+    std::string corpus_path;
+    std::string replay_id;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "conformance_fuzz: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--cases")
+            cfg.cases = parseU64(value("--cases"), "--cases");
+        else if (arg == "--seed")
+            cfg.seed = parseU64(value("--seed"), "--seed");
+        else if (arg == "--seconds")
+            cfg.timeBudgetSec =
+                std::strtod(value("--seconds"), nullptr);
+        else if (arg == "--corpus")
+            corpus_path = value("--corpus");
+        else if (arg == "--replay")
+            replay_id = value("--replay");
+        else if (arg == "--mutants")
+            run_mutants = true;
+        else if (arg == "--mutant-cases")
+            mutant_cases =
+                parseU64(value("--mutant-cases"), "--mutant-cases");
+        else if (arg == "--no-gate")
+            cfg.withGate = false;
+        else if (arg == "--no-extensions")
+            cfg.withExtensions = false;
+        else if (arg == "--no-golden")
+            cfg.withGoldenTraces = false;
+        else if (arg == "--list-oracles")
+            list_oracles = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "conformance_fuzz: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    if (list_oracles) {
+        for (const std::string &name :
+             spm::conformance::allOracleNames(cfg.withGate))
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    if (run_mutants) {
+        const spm::conformance::MutationReport report =
+            spm::conformance::runMutationSelfCheck(cfg.seed,
+                                                   mutant_cases);
+        for (const auto &o : report.outcomes) {
+            if (o.caught)
+                std::printf("caught   %-24s after %llu case(s): %s\n",
+                            o.name.c_str(),
+                            static_cast<unsigned long long>(
+                                o.casesTried),
+                            o.shrunkId.c_str());
+            else
+                std::printf("SURVIVED %-24s (%s) after %llu case(s)\n",
+                            o.name.c_str(), o.seededBug.c_str(),
+                            static_cast<unsigned long long>(
+                                o.casesTried));
+        }
+        std::printf("mutation self-check: %zu/%zu caught in %.2fs\n",
+                    report.outcomes.size() - report.survivors(),
+                    report.outcomes.size(), report.seconds);
+        return report.allCaught() ? 0 : 1;
+    }
+
+    if (!replay_id.empty()) {
+        const auto report =
+            spm::conformance::replayCase(replay_id, cfg);
+        printReport(report, "replay");
+        return report.ok() ? 0 : 1;
+    }
+
+    if (!corpus_path.empty()) {
+        const auto report =
+            spm::conformance::runCorpus(corpus_path, cfg);
+        printReport(report, "corpus");
+        return report.ok() ? 0 : 1;
+    }
+
+    const auto report = spm::conformance::runFuzz(cfg);
+    printReport(report, "fuzz");
+    return report.ok() ? 0 : 1;
+}
