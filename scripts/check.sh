@@ -66,4 +66,36 @@ build/bench/bench_e13_throughput --smoke --json build/BENCH_E13.smoke.json \
     > /dev/null
 test -s build/BENCH_E13.smoke.json
 
-echo "All checks passed (plain + asan-ubsan + tsan + bench smoke)."
+# Telemetry leg. Four contracts: (1) the SPM_TELEM_OFF build compiles
+# and passes the quick suite with every instrumentation site expanded
+# to nothing; (2) runtime-enabled telemetry costs at most 5% on the
+# streaming service (E15's paired measurement); (3) trace_view's
+# snapshot renderings match the committed goldens byte for byte;
+# (4) a real traced sharded run exports Chrome trace JSON that passes
+# the schema check.
+echo "== telemetry: compile-out build =="
+cmake --preset telem-off
+cmake --build --preset telem-off -j "${jobs}"
+ctest --test-dir build-telem-off -L quick -j "${jobs}" --timeout 120
+build-telem-off/bench/bench_e15_telemetry --smoke \
+    --json build-telem-off/BENCH_E15.smoke.json > /dev/null
+grep -q '"telemetry.compiled_out": 1' build-telem-off/BENCH_E15.smoke.json
+
+echo "== telemetry: enabled-overhead gate =="
+build/bench/bench_e15_telemetry --smoke --json build/BENCH_E15.smoke.json \
+    > /dev/null
+overhead=$(sed -n \
+    's/.*"telemetry.enabled_overhead_frac": \([0-9.eE+-]*\).*/\1/p' \
+    build/BENCH_E15.smoke.json)
+echo "enabled overhead: ${overhead} (limit 0.05)"
+awk -v o="${overhead}" 'BEGIN { exit (o + 0 <= 0.05) ? 0 : 1 }'
+
+echo "== telemetry: trace_view goldens and trace schema =="
+build/tools/trace_view --table tests/golden/telemetry_snapshot.json |
+    diff -u tests/golden/telemetry_snapshot.table.txt -
+build/tools/trace_view --prom tests/golden/telemetry_snapshot.json |
+    diff -u tests/golden/telemetry_snapshot.prom.txt -
+build/tools/trace_view --demo-trace > build/demo_trace.json
+build/tools/trace_view --check build/demo_trace.json
+
+echo "All checks passed (plain + asan-ubsan + tsan + bench smoke + telemetry)."

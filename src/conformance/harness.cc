@@ -14,6 +14,8 @@
 #include "core/reference.hh"
 #include "extensions/counting.hh"
 #include "extensions/numarray.hh"
+#include "telemetry/flightrec.hh"
+#include "telemetry/telem.hh"
 
 namespace spm::conformance
 {
@@ -46,6 +48,17 @@ fileFailure(RunReport &report, const Case &c, const std::string &found_id,
         },
         shrink_budget);
     f.shrunkId = encodeLiteral(s.minimized);
+
+    // Leave a breadcrumb in the global flight recorder: the dump
+    // carries the replayable shrunk case ID next to whatever the
+    // services were doing when the disagreement surfaced.
+    telem::FlightEvent ev;
+    ev.kind = telem::FlightKind::ConformanceFailure;
+    ev.code = f.oracle;
+    ev.caseId = f.shrunkId;
+    ev.note = d.summary();
+    telem::FlightRecorder::global().trip("conformance disagreement", ev);
+
     report.failures.push_back(std::move(f));
 }
 
@@ -262,6 +275,8 @@ runOneCase(RunReport &report, const Case &c, const std::string &found_id,
            std::uint64_t index, std::vector<Oracle> &oracles,
            const HarnessConfig &cfg, bool force_side_legs)
 {
+    SPM_TSPAN("conformance.case", telem::cat::conformance, 0, index);
+    SPM_TCOUNT_GLOBAL("conformance.cases", 1);
     const CaseResult r = runCase(c, oracles, index);
     ++report.casesRun;
     report.comparisons += r.oraclesRun - 1;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "telemetry/telem.hh"
 #include "util/logging.hh"
 
 namespace spm::core
@@ -112,11 +113,13 @@ bool
 HostBusModel::transferChar(Symbol sent, Symbol received)
 {
     ++nChars;
+    SPM_TCOUNT_GLOBAL("hostbus.chars_transferred", 1);
     if (!parity)
         return true;
     if (parityBit(sent, bits) == parityBit(received, bits))
         return true;
     ++nParityErrors;
+    SPM_TCOUNT_GLOBAL("hostbus.parity_errors", 1);
     return false;
 }
 
@@ -127,12 +130,20 @@ HostBusModel::resetTransferStats()
     nParityErrors = 0;
 }
 
+telem::Snapshot
+HostBusModel::metricsSnapshot() const
+{
+    telem::Snapshot snap;
+    snap.setCounter("charsTransferred", nChars);
+    snap.setCounter("parityErrors", nParityErrors);
+    snap.setCounter("parityEnabled", parity ? 1 : 0);
+    return snap;
+}
+
 std::string
 HostBusModel::statsDump() const
 {
-    return "hostbus.charsTransferred = " + std::to_string(nChars) +
-           "\nhostbus.parityErrors = " + std::to_string(nParityErrors) +
-           "\nhostbus.parityEnabled = " + (parity ? "1" : "0") + "\n";
+    return metricsSnapshot().renderText("hostbus.");
 }
 
 } // namespace spm::core

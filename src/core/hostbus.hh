@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "telemetry/metrics.hh"
 #include "util/types.hh"
 
 namespace spm::core
@@ -128,6 +129,15 @@ class HostBusModel
 
     /** Reset the transfer counters (new measurement interval). */
     void resetTransferStats();
+
+    /**
+     * The transfer counters as a telemetry snapshot (bare names;
+     * parityEnabled rides along as a 0/1 counter so one snapshot
+     * carries the whole bus state). The model stays a plain copyable
+     * value -- ServiceConfig embeds one by value -- so the counters
+     * live here and are only *rendered* through the registry types.
+     */
+    telem::Snapshot metricsSnapshot() const;
 
     /** "hostbus.x = n" stat lines for the transfer counters. */
     std::string statsDump() const;

@@ -1,5 +1,7 @@
 #include "gate/levelized.hh"
 
+#include "telemetry/telem.hh"
+
 #include "util/logging.hh"
 
 namespace spm::gate
@@ -155,6 +157,7 @@ LevelizedNetlist::settle(Picoseconds now)
         64 + 16ULL * net.devices.size() * (net.devices.size() + 1);
     std::uint64_t rounds = 0;
     std::uint64_t fallback_steps = 0;
+    [[maybe_unused]] const std::uint64_t evals_before = net.evals;
     for (;;) {
         bool changed = false;
 
@@ -211,6 +214,10 @@ LevelizedNetlist::settle(Picoseconds now)
     for (NodeId node : touched)
         dirty[node] = 0;
     touched.clear();
+
+    SPM_TCOUNT_GLOBAL("gate.device_evals", net.evals - evals_before);
+    SPM_THIST_GLOBAL("gate.settle_rounds", 0.0, 16.0, 16,
+                     static_cast<double>(rounds + 1));
 }
 
 } // namespace spm::gate

@@ -1,6 +1,7 @@
 #include "gate/netlist.hh"
 
 #include "gate/levelized.hh"
+#include "telemetry/telem.hh"
 #include "util/logging.hh"
 
 namespace spm::gate
@@ -203,6 +204,9 @@ Netlist::settle(Picoseconds now)
             spm_panic("netlist '", netName, "' failed to settle (", steps,
                       " evaluations; oscillating feedback?)");
     }
+    SPM_TCOUNT_GLOBAL("gate.device_evals", steps);
+    SPM_THIST_GLOBAL("gate.settle_evals", 0.0, 256.0, 16,
+                     static_cast<double>(steps));
 }
 
 std::size_t

@@ -20,7 +20,6 @@
 
 #include "gate/device.hh"
 #include "gate/logic.hh"
-#include "util/stats.hh"
 #include "util/types.hh"
 
 namespace spm::gate

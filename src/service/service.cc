@@ -5,6 +5,7 @@
 
 #include "core/gatechip.hh"
 #include "core/reference.hh"
+#include "telemetry/telem.hh"
 #include "util/logging.hh"
 
 namespace spm::service
@@ -39,7 +40,7 @@ StreamSession::StreamSession(MatchService &svc, MatchRequest req,
         cp = std::move(*resume_from);
         response.resumed = true;
         response.beats = cp.beats;
-        ++service.counters.resumes;
+        service.resumesCtr.add();
         service.log.record("req=" + std::to_string(request.id) +
                            " resume offset=" + std::to_string(cp.offset) +
                            " rung=" + std::to_string(cp.rung) +
@@ -112,6 +113,25 @@ StreamSession::step()
                   request.text.begin() +
                       static_cast<std::ptrdiff_t>(cp.offset + chunk));
 
+    SPM_TSPAN_NAMED(chunk_span, "service.chunk", telem::cat::service,
+                    response.beats, request.id);
+
+    // The flight recorder's replay handle for this chunk: the window
+    // and pattern as a self-contained conformance case.
+    auto chunkCaseId = [&] {
+        return telem::literalCaseId(cfg.alphabetBits, request.pattern,
+                                    window);
+    };
+    auto flightEvent = [&](telem::FlightKind kind) {
+        telem::FlightEvent ev;
+        ev.kind = kind;
+        ev.beat = response.beats;
+        ev.shard = cfg.shardId;
+        ev.requestId = request.id;
+        ev.offset = cp.offset;
+        return ev;
+    };
+
     bool last_fail_watchdog = false;
     std::size_t rung = cp.rung;
     while (rung < service.ladder.size()) {
@@ -147,14 +167,37 @@ StreamSession::step()
             last_fail_watchdog = service.dog.tripped();
             if (last_fail_watchdog) {
                 ++response.watchdogTrips;
-                ++service.counters.watchdogTrips;
+                service.watchdogTripsCtr.add();
+                telem::FlightEvent trip =
+                    flightEvent(telem::FlightKind::WatchdogTrip);
+                trip.beat = response.beats;
+                trip.code = errorCodeName(ErrorCode::DeadlineExceeded);
+                trip.caseId = chunkCaseId();
+                trip.note = "rung=" + backend.name() + " budget=" +
+                            std::to_string(budget);
+                service.flight.trip("watchdog trip", std::move(trip));
+                SPM_TINSTANT("service.watchdog_trip",
+                             telem::cat::service, response.beats,
+                             request.id);
             }
             service.log.record(
                 "req=" + std::to_string(request.id) + " cancel rung=" +
                 backend.name() + " offset=" + std::to_string(cp.offset) +
                 " " + (wr.note.empty() ? "failed" : wr.note));
             ++response.degradations;
-            ++service.counters.degradations;
+            service.degradationsCtr.add();
+            telem::FlightEvent fall =
+                flightEvent(telem::FlightKind::LadderTransition);
+            fall.beat = response.beats;
+            fall.code = errorCodeName(last_fail_watchdog
+                                          ? ErrorCode::DeadlineExceeded
+                                          : ErrorCode::BackendFailed);
+            fall.caseId = chunkCaseId();
+            fall.note = "fall from=" + backend.name() + " to_rung=" +
+                        std::to_string(rung + 1);
+            service.flight.trip("ladder transition", std::move(fall));
+            SPM_TINSTANT("service.ladder_fall", telem::cat::service,
+                         response.beats, rung + 1);
             cp.rung = ++rung;
             continue;
         }
@@ -164,8 +207,17 @@ StreamSession::step()
                 core::ReferenceMatcher().match(window, request.pattern);
             if (wr.bits != expect) {
                 ++response.crossCheckFailures;
-                ++service.counters.crossCheckFailures;
+                service.crossCheckFailuresCtr.add();
                 const unsigned faults = ++rungFaults[rung];
+                telem::FlightEvent mismatch =
+                    flightEvent(telem::FlightKind::CrossCheckMismatch);
+                mismatch.code = errorCodeName(ErrorCode::BackendFailed);
+                mismatch.caseId = chunkCaseId();
+                mismatch.note =
+                    "rung=" + backend.name() + " faults=" +
+                    std::to_string(faults) + "/" +
+                    std::to_string(cfg.rungFaultBudget);
+                service.flight.record(std::move(mismatch));
                 service.log.record(
                     "req=" + std::to_string(request.id) +
                     " crosscheck-mismatch rung=" + backend.name() +
@@ -175,7 +227,20 @@ StreamSession::step()
                 if (faults > cfg.rungFaultBudget) {
                     last_fail_watchdog = false;
                     ++response.degradations;
-                    ++service.counters.degradations;
+                    service.degradationsCtr.add();
+                    telem::FlightEvent fall = flightEvent(
+                        telem::FlightKind::LadderTransition);
+                    fall.code =
+                        errorCodeName(ErrorCode::BackendFailed);
+                    fall.caseId = chunkCaseId();
+                    fall.note = "fault budget burned from=" +
+                                backend.name() + " to_rung=" +
+                                std::to_string(rung + 1);
+                    service.flight.trip("ladder transition",
+                                        std::move(fall));
+                    SPM_TINSTANT("service.ladder_fall",
+                                 telem::cat::service, response.beats,
+                                 rung + 1);
                     cp.rung = ++rung;
                 }
                 // Within budget: re-run the same rung (a transient
@@ -207,7 +272,12 @@ StreamSession::step()
         cp.beats = response.beats;
         ++response.chunks;
         ++response.checkpoints;
-        ++service.counters.checkpoints;
+        service.checkpointsCtr.add();
+        SPM_THIST(service.chunkBeatsHist,
+                  static_cast<double>(wr.beats));
+        chunk_span.setBeat(response.beats);
+        service.flight.record(
+            flightEvent(telem::FlightKind::ChunkCommit));
         service.log.record(
             "req=" + std::to_string(request.id) + " chunk offset=" +
             std::to_string(cp.offset) + "/" + std::to_string(n) +
@@ -242,11 +312,11 @@ StreamSession::finish()
             cancel("finish() before completion");
         }
     }
-    ++service.counters.served;
+    service.servedCtr.add();
     if (response.ok())
-        ++service.counters.completed;
+        service.completedCtr.add();
     else
-        ++service.counters.failed;
+        service.failedCtr.add();
     return response;
 }
 
@@ -269,7 +339,18 @@ MatchService::MatchService(
     ServiceConfig config,
     std::vector<std::unique_ptr<ServiceBackend>> ladder_rungs)
     : cfg(std::move(config)), ladder(std::move(ladder_rungs)),
-      queue(cfg.queueCapacity, cfg.policy), log(cfg.journalEnabled)
+      queue(cfg.queueCapacity, cfg.policy), log(cfg.journalEnabled),
+      servedCtr(metrics.counter("served")),
+      completedCtr(metrics.counter("completed")),
+      failedCtr(metrics.counter("failed")),
+      degradationsCtr(metrics.counter("degradations")),
+      watchdogTripsCtr(metrics.counter("watchdogTrips")),
+      crossCheckFailuresCtr(metrics.counter("crossCheckFailures")),
+      checkpointsCtr(metrics.counter("checkpoints")),
+      resumesCtr(metrics.counter("resumes")),
+      queueDepthGauge(metrics.gauge("queue_depth")),
+      chunkBeatsHist(metrics.histogram("chunk_beats", 0.0, 1024.0, 16)),
+      flight(cfg.flightCapacity)
 {
     spm_assert(cfg.cells > 0, "service needs at least one cell");
     spm_assert(cfg.chunkChars > 0, "service needs a nonzero chunk size");
@@ -391,12 +472,13 @@ MatchService::submit(MatchRequest req)
             shed_resp.error = ServiceError::make(
                 ErrorCode::Shed, "evicted under shed-oldest policy");
             log.record("req=" + std::to_string(shed_resp.id) + " shed");
-            ++counters.served;
-            ++counters.failed;
+            servedCtr.add();
+            failedCtr.add();
             out.shedResponse = std::move(shed_resp);
         }
         if (adm.admitted) {
             out.accepted = true;
+            queueDepthGauge.set(static_cast<double>(queue.size()));
             return out;
         }
         if (adm.mustDrain) {
@@ -405,8 +487,10 @@ MatchService::submit(MatchRequest req)
             // the bounced request.
             spm_assert(adm.bounced.has_value(),
                        "blocked offer must bounce the request");
-            if (auto head = queue.pop())
+            if (auto head = queue.pop()) {
+                queueDepthGauge.set(static_cast<double>(queue.size()));
                 out.drained.push_back(serve(*head));
+            }
             req = std::move(*adm.bounced);
             continue;
         }
@@ -419,37 +503,30 @@ std::vector<MatchResponse>
 MatchService::drain()
 {
     std::vector<MatchResponse> out;
-    while (auto req = queue.pop())
+    while (auto req = queue.pop()) {
+        queueDepthGauge.set(static_cast<double>(queue.size()));
         out.push_back(serve(*req));
+    }
     return out;
+}
+
+telem::Snapshot
+MatchService::metricsSnapshot() const
+{
+    telem::Snapshot snap = metrics.snapshot();
+    snap.setCounter("queue.offered", queue.offered());
+    snap.setCounter("queue.admitted", queue.admitted());
+    snap.setCounter("queue.rejected", queue.rejected());
+    snap.setCounter("queue.shed", queue.shedCount());
+    snap.setCounter("queue.blockedOffers", queue.blockedOffers());
+    return snap;
 }
 
 std::string
 MatchService::statsDump() const
 {
-    std::string s;
-    auto line = [&s](const char *k, std::uint64_t v) {
-        s += "service.";
-        s += k;
-        s += " = ";
-        s += std::to_string(v);
-        s += "\n";
-    };
-    line("served", counters.served);
-    line("completed", counters.completed);
-    line("failed", counters.failed);
-    line("degradations", counters.degradations);
-    line("watchdogTrips", counters.watchdogTrips);
-    line("crossCheckFailures", counters.crossCheckFailures);
-    line("checkpoints", counters.checkpoints);
-    line("resumes", counters.resumes);
-    line("queue.offered", queue.offered());
-    line("queue.admitted", queue.admitted());
-    line("queue.rejected", queue.rejected());
-    line("queue.shed", queue.shedCount());
-    line("queue.blockedOffers", queue.blockedOffers());
-    s += cfg.bus.statsDump();
-    return s;
+    return metricsSnapshot().renderText("service.") +
+           cfg.bus.statsDump();
 }
 
 std::vector<std::unique_ptr<ServiceBackend>>

@@ -41,6 +41,8 @@
 #include "service/queue.hh"
 #include "service/request.hh"
 #include "service/watchdog.hh"
+#include "telemetry/flightrec.hh"
+#include "telemetry/metrics.hh"
 #include "util/types.hh"
 
 namespace spm::service
@@ -73,6 +75,14 @@ struct ServiceConfig
     /** Admission queue depth. */
     std::size_t queueCapacity = 8;
     BackpressurePolicy policy = BackpressurePolicy::Reject;
+    /**
+     * Shard slot this service occupies (0 when unsharded); stamped on
+     * every flight-recorder event so a merged post-mortem attributes
+     * each chunk to its worker.
+     */
+    std::uint32_t shardId = 0;
+    /** Flight-recorder ring depth (recent chunk/trip events kept). */
+    std::size_t flightCapacity = 64;
     /** Bus pacing and parity; parity on by default for the service. */
     core::HostBusModel bus{prototypeBeatPs, 8, true};
 };
@@ -173,22 +183,31 @@ class MatchService
     const ReplayJournal &journal() const { return log; }
     ReplayJournal &journal() { return log; }
 
-    /** Lifetime serving counters. */
-    struct Stats
-    {
-        std::uint64_t served = 0;      ///< responses produced
-        std::uint64_t completed = 0;   ///< ok responses
-        std::uint64_t failed = 0;      ///< error responses (incl. shed)
-        std::uint64_t degradations = 0;
-        std::uint64_t watchdogTrips = 0;
-        std::uint64_t crossCheckFailures = 0;
-        std::uint64_t checkpoints = 0;
-        std::uint64_t resumes = 0;
-    };
-    const Stats &stats() const { return counters; }
+    /**
+     * Lifetime serving metrics, registry-backed: counters served,
+     * completed, failed, degradations, watchdogTrips,
+     * crossCheckFailures, checkpoints, resumes; gauge queue_depth;
+     * histogram chunk_beats (per-committed-chunk beat cost).
+     */
+    const telem::Registry &stats() const { return metrics; }
+
+    /**
+     * Serving + admission-queue counters as one snapshot (bare
+     * names); the sharded front end merges these across shards.
+     */
+    telem::Snapshot metricsSnapshot() const;
 
     /** "service.x = n" lines: serving, queue and bus-parity counters. */
     std::string statsDump() const;
+
+    /**
+     * The flight recorder: recent chunk commits plus watchdog trips,
+     * ladder transitions and cross-check mismatches, each stamped
+     * with beat index, shard id, error-taxonomy code and the chunk's
+     * replayable conformance case ID. Trips dump automatically.
+     */
+    const telem::FlightRecorder &flightRecorder() const { return flight; }
+    telem::FlightRecorder &flightRecorder() { return flight; }
 
   private:
     friend class StreamSession;
@@ -198,7 +217,21 @@ class MatchService
     AdmissionQueue queue;
     BeatWatchdog dog;
     ReplayJournal log;
-    Stats counters;
+
+    // Per-instance single-stripe registry: one service, one serving
+    // thread (the sharded front end gives each shard its own).
+    telem::Registry metrics{1};
+    telem::Counter &servedCtr;
+    telem::Counter &completedCtr;
+    telem::Counter &failedCtr;
+    telem::Counter &degradationsCtr;
+    telem::Counter &watchdogTripsCtr;
+    telem::Counter &crossCheckFailuresCtr;
+    telem::Counter &checkpointsCtr;
+    telem::Counter &resumesCtr;
+    telem::Gauge &queueDepthGauge;
+    telem::Histogram &chunkBeatsHist;
+    telem::FlightRecorder flight;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telem.hh"
 #include "util/logging.hh"
 
 namespace spm::service
@@ -21,9 +22,12 @@ ShardedMatchService::ShardedMatchService(ShardedConfig config,
     spm_assert(cfg.threads > 0, "sharded service needs at least one thread");
     spm_assert(cfg.minShardChars > 0, "minShardChars must be positive");
     shards.reserve(cfg.threads);
-    for (unsigned i = 0; i < cfg.threads; ++i)
-        shards.push_back(
-            std::make_unique<MatchService>(cfg.base, factory(cfg.base)));
+    for (unsigned i = 0; i < cfg.threads; ++i) {
+        ServiceConfig shard_cfg = cfg.base;
+        shard_cfg.shardId = i;
+        shards.push_back(std::make_unique<MatchService>(
+            std::move(shard_cfg), factory(cfg.base)));
+    }
     startWorkers();
 }
 
@@ -126,6 +130,8 @@ ShardedMatchService::serve(const MatchRequest &req)
     tasks.reserve(nshards);
     for (std::size_t s = 0; s < nshards; ++s) {
         tasks.push_back([this, &req, &starts, &sub, s, k] {
+            SPM_TSPAN("sharded.shard", telem::cat::sharded, 0,
+                      static_cast<std::uint64_t>(s));
             const std::size_t start = starts[s];
             const std::size_t ws = start >= k - 1 ? start - (k - 1) : 0;
             MatchRequest piece;
@@ -142,6 +148,8 @@ ShardedMatchService::serve(const MatchRequest &req)
             }
         });
     }
+    SPM_TSPAN_NAMED(batch_span, "sharded.serve", telem::cat::sharded, 0,
+                    req.id);
     runAll(tasks);
 
     MatchResponse out;
@@ -172,9 +180,21 @@ ShardedMatchService::serve(const MatchRequest &req)
     }
     // The host waits for the slowest shard, not the sum.
     out.beats = lastCritical;
+    batch_span.setBeat(lastCritical);
     if (!out.ok())
         out.result.clear();
     return out;
+}
+
+telem::Snapshot
+ShardedMatchService::metricsSnapshot() const
+{
+    telem::Snapshot snap;
+    for (const auto &shard : shards)
+        snap.merge(shard->metricsSnapshot());
+    snap.setGauge("threads", static_cast<double>(threadCount()));
+    snap.setGauge("last_shards", static_cast<double>(nLastShards));
+    return snap;
 }
 
 std::string
@@ -188,7 +208,9 @@ ShardedMatchService::statsDump() const
     s += "sharded.last_total_beats = " + std::to_string(lastTotal) + "\n";
     for (std::size_t i = 0; i < shards.size(); ++i) {
         s += "sharded.shard" + std::to_string(i) + ".served = " +
-             std::to_string(shards[i]->stats().served) + "\n";
+             std::to_string(
+                 shards[i]->stats().counter("served").value()) +
+             "\n";
     }
     return s;
 }

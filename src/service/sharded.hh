@@ -110,6 +110,13 @@ class ShardedMatchService
     /** The per-shard service in slot @p i (journals, stats). */
     const MatchService &shard(std::size_t i) const { return *shards.at(i); }
 
+    /**
+     * Serving metrics summed across every shard (counters and
+     * histogram cells add; queue_depth gauges sum), plus the
+     * sharded-layer gauges threads and last_shards.
+     */
+    telem::Snapshot metricsSnapshot() const;
+
     /** "sharded.x = n" lines plus every shard's statsDump(). */
     std::string statsDump() const;
 

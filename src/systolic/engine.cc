@@ -1,6 +1,7 @@
 #include "systolic/engine.hh"
 
 #include "systolic/trace.hh"
+#include "telemetry/telem.hh"
 #include "util/logging.hh"
 
 namespace spm::systolic
@@ -8,15 +9,24 @@ namespace spm::systolic
 
 Engine::Engine(Picoseconds beat_period_ps)
     : beatClock(beat_period_ps),
-      statGroup("engine"),
-      beatsCtr(statGroup.addCounter("beats")),
-      evalsCtr(statGroup.addCounter("evaluations")),
-      activeCtr(statGroup.addCounter("active_cell_beats")),
-      idleCtr(statGroup.addCounter("idle_cell_beats"))
+      beatsCtr(registry.counter("beats")),
+      evalsCtr(registry.counter("evaluations")),
+      activeCtr(registry.counter("active_cell_beats")),
+      idleCtr(registry.counter("idle_cell_beats")),
+      activeFracHist(registry.histogram("active_frac", 0.0, 1.001, 16))
 {
 }
 
-Engine::~Engine() = default;
+Engine::~Engine()
+{
+    // Fold this engine's lifetime totals into the process registry;
+    // engines are neither copyable nor movable, so the totals are
+    // final here. Compiled out under SPM_TELEM_OFF.
+    SPM_TCOUNT_GLOBAL("engine.beats", beatsCtr.value());
+    SPM_TCOUNT_GLOBAL("engine.evaluations", evalsCtr.value());
+    SPM_TCOUNT_GLOBAL("engine.active_cell_beats", activeCtr.value());
+    SPM_TCOUNT_GLOBAL("engine.idle_cell_beats", idleCtr.value());
+}
 
 void
 Engine::onBeatStart(BeatHook hook)
@@ -71,6 +81,10 @@ Engine::step()
         ? 0.0
         : static_cast<double>(active) / static_cast<double>(cells.size());
     utilStat.sample(lastUtil);
+    // Stride-sampled: one histogram update per 16 beats keeps the
+    // per-beat telemetry cost to a branch without losing the shape.
+    if ((beat & 15) == 0)
+        SPM_THIST(activeFracHist, lastUtil);
 
     for (auto &hook : endHooks)
         hook(beat);

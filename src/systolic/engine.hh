@@ -19,6 +19,7 @@
 
 #include "systolic/cell.hh"
 #include "systolic/clock.hh"
+#include "telemetry/metrics.hh"
 #include "util/stats.hh"
 
 namespace spm::systolic
@@ -97,13 +98,18 @@ class Engine
     /**
      * Simulation statistics: beats, evaluations, active_cell_beats
      * (cells with a valid meeting), idle_cell_beats (activations the
-     * checkerboard gated away). E3 reads its duty cycle from these
-     * counters rather than inferring it from the schedule.
+     * checkerboard gated away), plus an active_frac histogram of the
+     * per-beat utilization. E3 reads its duty cycle from these
+     * counters rather than inferring it from the schedule. Counter
+     * names are bare ("beats"); statsDump() prefixes "engine.".
      */
-    const StatGroup &stats() const { return statGroup; }
+    const telem::Registry &stats() const { return registry; }
 
     /** The counters as "engine.x = n" lines. */
-    std::string statsDump() const { return statGroup.dump(); }
+    std::string statsDump() const
+    {
+        return registry.snapshot().renderText("engine.");
+    }
 
   private:
     Clock beatClock;
@@ -113,11 +119,16 @@ class Engine
     std::vector<BeatHook> endHooks;
     TraceRecorder *trace = nullptr;
 
-    StatGroup statGroup;
-    Counter &beatsCtr;
-    Counter &evalsCtr;
-    Counter &activeCtr;
-    Counter &idleCtr;
+    // Engines are created per match window on hot service paths, so
+    // each keeps a private single-stripe registry (one engine, one
+    // stepping thread); the destructor folds lifetime totals into
+    // Registry::global() under the engine.* names.
+    telem::Registry registry{1};
+    telem::Counter &beatsCtr;
+    telem::Counter &evalsCtr;
+    telem::Counter &activeCtr;
+    telem::Counter &idleCtr;
+    telem::Histogram &activeFracHist;
     RunningStat utilStat;
     double lastUtil = 0.0;
 };

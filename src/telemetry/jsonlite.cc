@@ -1,0 +1,340 @@
+#include "telemetry/jsonlite.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spm::telem
+{
+
+const JsonValue *
+JsonValue::member(const std::string &name) const
+{
+    if (k != Kind::Object)
+        return nullptr;
+    const JsonValue *found = nullptr;
+    for (const auto &[key, v] : members)
+        if (key == name)
+            found = &v;
+    return found;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string; pos advances on success. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &s) : text(s) {}
+
+    std::optional<JsonValue>
+    parseDocument()
+    {
+        auto v = parseValue();
+        if (!v)
+            return std::nullopt;
+        skipSpace();
+        if (pos != text.size())
+            return std::nullopt; // trailing garbage
+        return v;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        std::size_t n = 0;
+        while (w[n])
+            ++n;
+        if (text.compare(pos, n, w) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    std::optional<JsonValue>
+    parseValue()
+    {
+        skipSpace();
+        if (pos >= text.size())
+            return std::nullopt;
+        // Nesting bound: malformed deeply-nested input must not
+        // overflow the parser's own stack.
+        if (depth > 200)
+            return std::nullopt;
+        char c = text[pos];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n')
+            return parseNull();
+        return parseNumber();
+    }
+
+    std::optional<JsonValue>
+    parseObject()
+    {
+        ++pos; // '{'
+        ++depth;
+        JsonValue v;
+        v.k = JsonValue::Kind::Object;
+        skipSpace();
+        if (consume('}')) {
+            --depth;
+            return v;
+        }
+        while (true) {
+            skipSpace();
+            if (pos >= text.size() || text[pos] != '"')
+                return std::nullopt;
+            auto key = parseString();
+            if (!key)
+                return std::nullopt;
+            if (!consume(':'))
+                return std::nullopt;
+            auto val = parseValue();
+            if (!val)
+                return std::nullopt;
+            v.members.emplace_back(key->text, std::move(*val));
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                break;
+            return std::nullopt;
+        }
+        --depth;
+        return v;
+    }
+
+    std::optional<JsonValue>
+    parseArray()
+    {
+        ++pos; // '['
+        ++depth;
+        JsonValue v;
+        v.k = JsonValue::Kind::Array;
+        skipSpace();
+        if (consume(']')) {
+            --depth;
+            return v;
+        }
+        while (true) {
+            auto item = parseValue();
+            if (!item)
+                return std::nullopt;
+            v.items.push_back(std::move(*item));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                break;
+            return std::nullopt;
+        }
+        --depth;
+        return v;
+    }
+
+    std::optional<JsonValue>
+    parseString()
+    {
+        ++pos; // '"'
+        JsonValue v;
+        v.k = JsonValue::Kind::String;
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return v;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return std::nullopt; // raw control character
+            if (c != '\\') {
+                v.text.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                return std::nullopt;
+            char e = text[pos++];
+            switch (e) {
+              case '"': v.text.push_back('"'); break;
+              case '\\': v.text.push_back('\\'); break;
+              case '/': v.text.push_back('/'); break;
+              case 'b': v.text.push_back('\b'); break;
+              case 'f': v.text.push_back('\f'); break;
+              case 'n': v.text.push_back('\n'); break;
+              case 'r': v.text.push_back('\r'); break;
+              case 't': v.text.push_back('\t'); break;
+              case 'u': {
+                  if (pos + 4 > text.size())
+                      return std::nullopt;
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      char h = text[pos++];
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9')
+                          cp |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          cp |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          cp |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          return std::nullopt;
+                  }
+                  // UTF-8 encode the basic-plane code point; the
+                  // telemetry writers never emit surrogate pairs.
+                  if (cp < 0x80) {
+                      v.text.push_back(static_cast<char>(cp));
+                  } else if (cp < 0x800) {
+                      v.text.push_back(
+                          static_cast<char>(0xC0 | (cp >> 6)));
+                      v.text.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  } else {
+                      v.text.push_back(
+                          static_cast<char>(0xE0 | (cp >> 12)));
+                      v.text.push_back(
+                          static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                      v.text.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  }
+                  break;
+              }
+              default:
+                  return std::nullopt;
+            }
+        }
+        return std::nullopt; // unterminated
+    }
+
+    std::optional<JsonValue>
+    parseBool()
+    {
+        JsonValue v;
+        v.k = JsonValue::Kind::Boolean;
+        if (consumeWord("true")) {
+            v.boolean = true;
+            return v;
+        }
+        if (consumeWord("false")) {
+            v.boolean = false;
+            return v;
+        }
+        return std::nullopt;
+    }
+
+    std::optional<JsonValue>
+    parseNull()
+    {
+        if (!consumeWord("null"))
+            return std::nullopt;
+        return JsonValue{};
+    }
+
+    std::optional<JsonValue>
+    parseNumber()
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        std::size_t digits = pos;
+        while (pos < text.size() && std::isdigit(
+                   static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+        if (pos == digits)
+            return std::nullopt;
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            std::size_t frac = pos;
+            while (pos < text.size() && std::isdigit(
+                       static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            }
+            if (pos == frac)
+                return std::nullopt;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-')) {
+                ++pos;
+            }
+            std::size_t exp = pos;
+            while (pos < text.size() && std::isdigit(
+                       static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            }
+            if (pos == exp)
+                return std::nullopt;
+        }
+        JsonValue v;
+        v.k = JsonValue::Kind::Number;
+        v.number = std::strtod(text.substr(start, pos - start).c_str(),
+                               nullptr);
+        return v;
+    }
+
+    const std::string &text;
+    std::size_t pos = 0;
+    int depth = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+jsonParse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace spm::telem

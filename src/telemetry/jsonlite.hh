@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A minimal strict JSON reader for telemetry artifacts.
+ *
+ * The telemetry layer round-trips two small document shapes: registry
+ * snapshots (Snapshot::toJson) and Chrome trace-event arrays
+ * (TraceBuffer::exportChromeJson). This parser covers full JSON —
+ * objects, arrays, strings with escapes, numbers, booleans, null —
+ * and rejects trailing garbage, which is all the snapshot loader,
+ * trace schema check, and tools/trace_view need. It is deliberately
+ * not a serializer framework; writers emit their JSON directly.
+ */
+
+#ifndef SPM_TELEMETRY_JSONLITE_HH
+#define SPM_TELEMETRY_JSONLITE_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spm::telem
+{
+
+/** One parsed JSON value; a tagged tree. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Boolean,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return k; }
+    bool isNull() const { return k == Kind::Null; }
+    bool isBool() const { return k == Kind::Boolean; }
+    bool isNumber() const { return k == Kind::Number; }
+    bool isString() const { return k == Kind::String; }
+    bool isArray() const { return k == Kind::Array; }
+    bool isObject() const { return k == Kind::Object; }
+
+    bool asBool() const { return boolean; }
+    double asNumber() const { return number; }
+    const std::string &asString() const { return text; }
+
+    const std::vector<JsonValue> &arrayItems() const { return items; }
+
+    /** Object members in document order (duplicate keys keep the last). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    objectMembers() const
+    {
+        return members;
+    }
+
+    /** Look up an object member; nullptr when absent or not an object. */
+    const JsonValue *member(const std::string &name) const;
+
+    Kind k = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+};
+
+/**
+ * Parse a complete JSON document. Returns nullopt on any syntax
+ * error, including trailing non-whitespace after the root value.
+ */
+std::optional<JsonValue> jsonParse(const std::string &text);
+
+/** Quote and escape a string for direct JSON emission. */
+std::string jsonQuote(const std::string &s);
+
+} // namespace spm::telem
+
+#endif // SPM_TELEMETRY_JSONLITE_HH

@@ -1,0 +1,600 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/jsonlite.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace spm::telem
+{
+
+namespace
+{
+
+std::atomic<bool> gSampling{true};
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/** Format a double the way the JSON snapshot and stat lines expect. */
+std::string
+formatDouble(double v)
+{
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 1e15) {
+        return std::to_string(static_cast<long long>(v));
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+template <typename Vec>
+auto
+findEntry(Vec &entries, const std::string &name)
+{
+    return std::find_if(entries.begin(), entries.end(),
+                        [&](const auto &e) { return e.first == name; });
+}
+
+template <typename Vec, typename Value>
+void
+setSorted(Vec &entries, const std::string &name, Value &&v)
+{
+    auto it = findEntry(entries, name);
+    if (it != entries.end()) {
+        it->second = std::forward<Value>(v);
+        return;
+    }
+    auto pos = std::lower_bound(
+        entries.begin(), entries.end(), name,
+        [](const auto &e, const std::string &n) { return e.first < n; });
+    entries.insert(pos, {name, std::forward<Value>(v)});
+}
+
+/** Prometheus metric names: [a-zA-Z0-9_], dots become underscores. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "spm_";
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+} // namespace
+
+void
+setSamplingEnabled(bool enabled)
+{
+    gSampling.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+samplingEnabled()
+{
+    return gSampling.load(std::memory_order_relaxed);
+}
+
+std::size_t
+threadStripe()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return stripe;
+}
+
+// ---------------------------------------------------------------- Counter
+
+Counter::Counter(std::string metric_name, std::size_t stripes)
+    : metricName(std::move(metric_name))
+{
+    std::size_t n = roundUpPow2(std::max<std::size_t>(stripes, 1));
+    mask = n - 1;
+    cells = std::make_unique<StripeCell[]>(n);
+}
+
+std::uint64_t
+Counter::value() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i <= mask; ++i)
+        total += cells[i].v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (std::size_t i = 0; i <= mask; ++i)
+        cells[i].v.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::string metric_name, double range_lo,
+                     double range_hi, std::size_t buckets,
+                     std::size_t stripe_count)
+    : metricName(std::move(metric_name)), lo(range_lo), hi(range_hi),
+      nBuckets(buckets)
+{
+    spm_assert(range_lo < range_hi,
+               "histogram '", metricName, "': lo must be < hi");
+    spm_assert(buckets > 0,
+               "histogram '", metricName, "': needs at least one bucket");
+    stripes = roundUpPow2(std::max<std::size_t>(stripe_count, 1));
+    cells = std::make_unique<std::atomic<std::uint64_t>[]>(
+        stripes * (nBuckets + 2));
+    for (std::size_t i = 0; i < stripes * (nBuckets + 2); ++i)
+        cells[i].store(0, std::memory_order_relaxed);
+    sumCells = std::make_unique<StripeCell[]>(stripes);
+}
+
+void
+Histogram::sample(double v)
+{
+    std::size_t stripe = threadStripe() & (stripes - 1);
+    std::size_t slot;
+    if (v < lo) {
+        slot = nBuckets; // underflow
+    } else if (v >= hi) {
+        slot = nBuckets + 1; // overflow
+    } else {
+        auto i = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                          static_cast<double>(nBuckets));
+        slot = std::min(i, nBuckets - 1);
+    }
+    cells[cellIndex(stripe, slot)].fetch_add(1, std::memory_order_relaxed);
+    // Sums accumulate in milli-units so one atomic integer carries
+    // fractional samples (utilization fractions, millisecond latencies).
+    auto milli = static_cast<std::int64_t>(std::llround(v * 1000.0));
+    sumCells[stripe].v.fetch_add(static_cast<std::uint64_t>(milli),
+                                 std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::slotTotal(std::size_t slot) const
+{
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < stripes; ++s)
+        total += cells[cellIndex(s, slot)].load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+Histogram::bucketValue(std::size_t i) const
+{
+    spm_assert(i < nBuckets, "histogram '", metricName,
+               "': bucket ", i, " out of range");
+    return slotTotal(i);
+}
+
+std::uint64_t
+Histogram::underflows() const
+{
+    return slotTotal(nBuckets);
+}
+
+std::uint64_t
+Histogram::overflows() const
+{
+    return slotTotal(nBuckets + 1);
+}
+
+std::uint64_t
+Histogram::samples() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t slot = 0; slot < nBuckets + 2; ++slot)
+        total += slotTotal(slot);
+    return total;
+}
+
+double
+Histogram::sum() const
+{
+    std::int64_t milli = 0;
+    for (std::size_t s = 0; s < stripes; ++s)
+        milli += static_cast<std::int64_t>(
+            sumCells[s].v.load(std::memory_order_relaxed));
+    return static_cast<double>(milli) / 1000.0;
+}
+
+void
+Histogram::reset()
+{
+    for (std::size_t i = 0; i < stripes * (nBuckets + 2); ++i)
+        cells[i].store(0, std::memory_order_relaxed);
+    for (std::size_t s = 0; s < stripes; ++s)
+        sumCells[s].v.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- Snapshot
+
+std::uint64_t
+Snapshot::HistogramData::samples() const
+{
+    std::uint64_t total = under + over;
+    for (std::uint64_t b : buckets)
+        total += b;
+    return total;
+}
+
+double
+Snapshot::HistogramData::mean() const
+{
+    std::uint64_t n = samples();
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+void
+Snapshot::setCounter(const std::string &name, std::uint64_t v)
+{
+    setSorted(counters, name, v);
+}
+
+void
+Snapshot::setGauge(const std::string &name, double v)
+{
+    setSorted(gauges, name, v);
+}
+
+void
+Snapshot::setHistogram(const std::string &name, HistogramData h)
+{
+    setSorted(histograms, name, std::move(h));
+}
+
+std::uint64_t
+Snapshot::counterValue(const std::string &name) const
+{
+    auto it = findEntry(counters, name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+std::optional<double>
+Snapshot::gaugeValue(const std::string &name) const
+{
+    auto it = findEntry(gauges, name);
+    if (it == gauges.end())
+        return std::nullopt;
+    return it->second;
+}
+
+const Snapshot::HistogramData *
+Snapshot::histogram(const std::string &name) const
+{
+    auto it = findEntry(histograms, name);
+    return it == histograms.end() ? nullptr : &it->second;
+}
+
+void
+Snapshot::merge(const Snapshot &other)
+{
+    for (const auto &[name, v] : other.counters)
+        setCounter(name, counterValue(name) + v);
+    for (const auto &[name, v] : other.gauges) {
+        auto mine = gaugeValue(name);
+        setGauge(name, mine ? *mine + v : v);
+    }
+    for (const auto &[name, h] : other.histograms) {
+        auto it = findEntry(histograms, name);
+        if (it == histograms.end()) {
+            setHistogram(name, h);
+            continue;
+        }
+        HistogramData &mine = it->second;
+        spm_assert(mine.buckets.size() == h.buckets.size() &&
+                       mine.lo == h.lo && mine.hi == h.hi,
+                   "snapshot merge: histogram '", name,
+                   "' has mismatched shape");
+        for (std::size_t i = 0; i < h.buckets.size(); ++i)
+            mine.buckets[i] += h.buckets[i];
+        mine.under += h.under;
+        mine.over += h.over;
+        mine.sum += h.sum;
+    }
+}
+
+std::string
+Snapshot::renderText(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, v] : counters)
+        os << prefix << name << " = " << v << "\n";
+    for (const auto &[name, v] : gauges)
+        os << prefix << name << " = " << formatDouble(v) << "\n";
+    for (const auto &[name, h] : histograms) {
+        os << prefix << name << " = samples:" << h.samples()
+           << " mean:" << formatDouble(h.mean())
+           << " under:" << h.under << " over:" << h.over << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Snapshot::renderTable(const std::string &title) const
+{
+    Table t(title);
+    t.setHeader({"metric", "kind", "value"});
+    for (const auto &[name, v] : counters)
+        t.addRow({name, "counter", std::to_string(v)});
+    for (const auto &[name, v] : gauges)
+        t.addRow({name, "gauge", formatDouble(v)});
+    for (const auto &[name, h] : histograms) {
+        std::ostringstream cell;
+        cell << "n=" << h.samples() << " mean=" << formatDouble(h.mean())
+             << " [" << formatDouble(h.lo) << "," << formatDouble(h.hi)
+             << ")x" << h.buckets.size();
+        t.addRow({name, "histogram", cell.str()});
+    }
+    return t.toString();
+}
+
+std::string
+Snapshot::renderPrometheus() const
+{
+    std::ostringstream os;
+    for (const auto &[name, v] : counters) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " counter\n" << p << " " << v << "\n";
+    }
+    for (const auto &[name, v] : gauges) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " gauge\n"
+           << p << " " << formatDouble(v) << "\n";
+    }
+    for (const auto &[name, h] : histograms) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " histogram\n";
+        std::uint64_t cumulative = h.under;
+        double width =
+            (h.hi - h.lo) / static_cast<double>(h.buckets.size());
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            cumulative += h.buckets[i];
+            os << p << "_bucket{le=\""
+               << formatDouble(h.lo + width * static_cast<double>(i + 1))
+               << "\"} " << cumulative << "\n";
+        }
+        os << p << "_bucket{le=\"+Inf\"} " << h.samples() << "\n";
+        os << p << "_sum " << formatDouble(h.sum) << "\n";
+        os << p << "_count " << h.samples() << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Snapshot::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        if (i)
+            os << ",";
+        os << jsonQuote(counters[i].first) << ":" << counters[i].second;
+    }
+    os << "},\"gauges\":{";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        if (i)
+            os << ",";
+        os << jsonQuote(gauges[i].first) << ":"
+           << formatDouble(gauges[i].second);
+    }
+    os << "},\"histograms\":{";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        if (i)
+            os << ",";
+        const auto &[name, h] = histograms[i];
+        os << jsonQuote(name) << ":{\"lo\":" << formatDouble(h.lo)
+           << ",\"hi\":" << formatDouble(h.hi) << ",\"buckets\":[";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (b)
+                os << ",";
+            os << h.buckets[b];
+        }
+        os << "],\"under\":" << h.under << ",\"over\":" << h.over
+           << ",\"sum\":" << formatDouble(h.sum) << "}";
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::optional<Snapshot>
+Snapshot::fromJson(const std::string &text)
+{
+    auto root = jsonParse(text);
+    if (!root || !root->isObject())
+        return std::nullopt;
+
+    Snapshot snap;
+    if (const JsonValue *cs = root->member("counters")) {
+        if (!cs->isObject())
+            return std::nullopt;
+        for (const auto &[name, v] : cs->objectMembers()) {
+            if (!v.isNumber())
+                return std::nullopt;
+            snap.setCounter(name,
+                            static_cast<std::uint64_t>(v.asNumber()));
+        }
+    }
+    if (const JsonValue *gs = root->member("gauges")) {
+        if (!gs->isObject())
+            return std::nullopt;
+        for (const auto &[name, v] : gs->objectMembers()) {
+            if (!v.isNumber())
+                return std::nullopt;
+            snap.setGauge(name, v.asNumber());
+        }
+    }
+    if (const JsonValue *hs = root->member("histograms")) {
+        if (!hs->isObject())
+            return std::nullopt;
+        for (const auto &[name, v] : hs->objectMembers()) {
+            if (!v.isObject())
+                return std::nullopt;
+            const JsonValue *lo = v.member("lo");
+            const JsonValue *hi = v.member("hi");
+            const JsonValue *buckets = v.member("buckets");
+            const JsonValue *under = v.member("under");
+            const JsonValue *over = v.member("over");
+            const JsonValue *sum = v.member("sum");
+            if (!lo || !hi || !buckets || !under || !over || !sum ||
+                !lo->isNumber() || !hi->isNumber() ||
+                !buckets->isArray() || !under->isNumber() ||
+                !over->isNumber() || !sum->isNumber()) {
+                return std::nullopt;
+            }
+            HistogramData h;
+            h.lo = lo->asNumber();
+            h.hi = hi->asNumber();
+            for (const JsonValue &b : buckets->arrayItems()) {
+                if (!b.isNumber())
+                    return std::nullopt;
+                h.buckets.push_back(
+                    static_cast<std::uint64_t>(b.asNumber()));
+            }
+            h.under = static_cast<std::uint64_t>(under->asNumber());
+            h.over = static_cast<std::uint64_t>(over->asNumber());
+            h.sum = sum->asNumber();
+            snap.setHistogram(name, std::move(h));
+        }
+    }
+    return snap;
+}
+
+// --------------------------------------------------------------- Registry
+
+Registry::Registry(std::size_t stripe_count)
+    : stripes(roundUpPow2(std::max<std::size_t>(stripe_count, 1)))
+{
+}
+
+Registry &
+Registry::global()
+{
+    // Leaked intentionally: worker threads may still bump counters
+    // during static destruction.
+    static Registry *g = new Registry(16);
+    return *g;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &c : counters)
+        if (c->name() == name)
+            return *c;
+    counters.push_back(std::make_unique<Counter>(name, stripes));
+    return *counters.back();
+}
+
+const Counter &
+Registry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &c : counters)
+        if (c->name() == name)
+            return *c;
+    spm_panic("telemetry: no counter named '", name, "'");
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &g : gauges)
+        if (g->name() == name)
+            return *g;
+    gauges.push_back(std::make_unique<Gauge>(name));
+    return *gauges.back();
+}
+
+Histogram &
+Registry::histogram(const std::string &name, double lo, double hi,
+                    std::size_t buckets)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &h : histograms) {
+        if (h->name() == name) {
+            spm_assert(h->rangeLo() == lo && h->rangeHi() == hi &&
+                           h->bucketCount() == buckets,
+                       "telemetry: histogram '", name,
+                       "' re-registered with a different shape");
+            return *h;
+        }
+    }
+    histograms.push_back(
+        std::make_unique<Histogram>(name, lo, hi, buckets, stripes));
+    return *histograms.back();
+}
+
+const Histogram &
+Registry::histogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &h : histograms)
+        if (h->name() == name)
+            return *h;
+    spm_panic("telemetry: no histogram named '", name, "'");
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Snapshot snap;
+    for (const auto &c : counters)
+        snap.setCounter(c->name(), c->value());
+    for (const auto &g : gauges)
+        snap.setGauge(g->name(), g->value());
+    for (const auto &h : histograms) {
+        Snapshot::HistogramData data;
+        data.lo = h->rangeLo();
+        data.hi = h->rangeHi();
+        data.buckets.resize(h->bucketCount());
+        for (std::size_t i = 0; i < h->bucketCount(); ++i)
+            data.buckets[i] = h->bucketValue(i);
+        data.under = h->underflows();
+        data.over = h->overflows();
+        data.sum = h->sum();
+        snap.setHistogram(h->name(), std::move(data));
+    }
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &c : counters)
+        c->reset();
+    for (auto &g : gauges)
+        g->set(0.0);
+    for (auto &h : histograms)
+        h->reset();
+}
+
+std::size_t
+Registry::metricCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters.size() + gauges.size() + histograms.size();
+}
+
+} // namespace spm::telem

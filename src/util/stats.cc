@@ -1,9 +1,6 @@
 #include "util/stats.hh"
 
 #include <cmath>
-#include <sstream>
-
-#include "util/logging.hh"
 
 namespace spm
 {
@@ -42,78 +39,6 @@ void
 RunningStat::reset()
 {
     *this = RunningStat();
-}
-
-Histogram::Histogram(double lo, double hi, std::size_t buckets)
-    : rangeLo(lo), rangeHi(hi), counts(buckets, 0)
-{
-    spm_assert(hi > lo && buckets > 0, "bad histogram parameters");
-}
-
-void
-Histogram::sample(double v)
-{
-    ++total;
-    if (v < rangeLo) {
-        ++under;
-        return;
-    }
-    if (v >= rangeHi) {
-        ++over;
-        return;
-    }
-    const double frac = (v - rangeLo) / (rangeHi - rangeLo);
-    auto idx = static_cast<std::size_t>(
-        frac * static_cast<double>(counts.size()));
-    if (idx >= counts.size())
-        idx = counts.size() - 1;
-    ++counts[idx];
-}
-
-std::string
-Histogram::toString() const
-{
-    std::ostringstream os;
-    const double width =
-        (rangeHi - rangeLo) / static_cast<double>(counts.size());
-    for (std::size_t i = 0; i < counts.size(); ++i) {
-        const double b_lo = rangeLo + width * static_cast<double>(i);
-        os << "[" << b_lo << "," << b_lo + width << "): " << counts[i]
-           << "\n";
-    }
-    if (under)
-        os << "underflow: " << under << "\n";
-    if (over)
-        os << "overflow: " << over << "\n";
-    return os.str();
-}
-
-Counter &
-StatGroup::addCounter(const std::string &counter_name)
-{
-    auto [it, inserted] =
-        counters.emplace(counter_name, Counter(counter_name));
-    spm_assert(inserted, "duplicate counter '", counter_name, "' in group '",
-               name, "'");
-    return it->second;
-}
-
-const Counter &
-StatGroup::counter(const std::string &counter_name) const
-{
-    auto it = counters.find(counter_name);
-    spm_assert(it != counters.end(), "no counter '", counter_name,
-               "' in group '", name, "'");
-    return it->second;
-}
-
-std::string
-StatGroup::dump() const
-{
-    std::ostringstream os;
-    for (const auto &[counter_name, c] : counters)
-        os << name << "." << counter_name << " = " << c.value() << "\n";
-    return os.str();
 }
 
 } // namespace spm

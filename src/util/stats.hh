@@ -1,40 +1,21 @@
 /**
  * @file
- * Lightweight statistics collection.
+ * Running-aggregate statistics.
  *
- * Every simulator in the reproduction exposes counters (beats simulated,
- * comparisons performed, cells active) and distributions (per-beat
- * utilization). This module provides the small set of statistic types
- * they use, in the spirit of gem5's stats package but self-contained.
+ * Counters, gauges and histograms live in the telemetry registry
+ * (src/telemetry/metrics.hh); what remains here is the one aggregate
+ * that is cheaper to carry inline than to bucket: a Welford running
+ * mean/min/max/variance over a stream of samples, used for per-beat
+ * utilization summaries and bench reporting.
  */
 
 #ifndef SPM_UTIL_STATS_HH
 #define SPM_UTIL_STATS_HH
 
 #include <cstdint>
-#include <map>
-#include <string>
-#include <vector>
 
 namespace spm
 {
-
-/** A named monotonically increasing counter. */
-class Counter
-{
-  public:
-    explicit Counter(std::string stat_name = "")
-        : name(std::move(stat_name)) {}
-
-    void increment(std::uint64_t by = 1) { count += by; }
-    std::uint64_t value() const { return count; }
-    void reset() { count = 0; }
-    const std::string &statName() const { return name; }
-
-  private:
-    std::string name;
-    std::uint64_t count = 0;
-};
 
 /** Running mean / min / max / variance over a stream of samples. */
 class RunningStat
@@ -60,59 +41,6 @@ class RunningStat
     double hi = 0.0;
     double welfordMean = 0.0;
     double welfordM2 = 0.0;
-};
-
-/** Fixed-bucket histogram over [lo, hi). */
-class Histogram
-{
-  public:
-    Histogram(double lo, double hi, std::size_t buckets);
-
-    void sample(double v);
-
-    std::size_t bucketCount() const { return counts.size(); }
-    std::uint64_t bucketValue(std::size_t i) const { return counts[i]; }
-    std::uint64_t underflows() const { return under; }
-    std::uint64_t overflows() const { return over; }
-    std::uint64_t samples() const { return total; }
-
-    /** Render the histogram as rows of "[lo,hi): count". */
-    std::string toString() const;
-
-  private:
-    double rangeLo;
-    double rangeHi;
-    std::vector<std::uint64_t> counts;
-    std::uint64_t under = 0;
-    std::uint64_t over = 0;
-    std::uint64_t total = 0;
-};
-
-/**
- * A registry of named statistics belonging to one simulated component.
- * Components register counters at construction; dump() renders the
- * group for reports.
- */
-class StatGroup
-{
-  public:
-    explicit StatGroup(std::string group_name)
-        : name(std::move(group_name)) {}
-
-    /** Register and return a counter owned by this group. */
-    Counter &addCounter(const std::string &counter_name);
-
-    /** Look up a registered counter; panics if missing. */
-    const Counter &counter(const std::string &counter_name) const;
-
-    /** Render "group.counter = value" lines. */
-    std::string dump() const;
-
-    const std::string &groupName() const { return name; }
-
-  private:
-    std::string name;
-    std::map<std::string, Counter> counters;
 };
 
 } // namespace spm

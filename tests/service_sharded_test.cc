@@ -12,6 +12,7 @@
 #include "core/reference.hh"
 #include "service/service.hh"
 #include "service/sharded.hh"
+#include "telemetry/span.hh"
 #include "tests/helpers.hh"
 
 namespace spm::service
@@ -208,8 +209,11 @@ TEST(ShardedService, PerShardJournalsAndCheckpointsAreKept)
     EXPECT_GE(resp.chunks, 4u);
     EXPECT_GE(resp.checkpoints, 4u);
     for (std::size_t s = 0; s < 4; ++s) {
-        EXPECT_EQ(sharded.shard(s).stats().served, 1u) << "shard " << s;
-        EXPECT_GE(sharded.shard(s).stats().checkpoints, 1u) << "shard " << s;
+        EXPECT_EQ(sharded.shard(s).stats().counter("served").value(), 1u)
+            << "shard " << s;
+        EXPECT_GE(
+            sharded.shard(s).stats().counter("checkpoints").value(), 1u)
+            << "shard " << s;
         EXPECT_TRUE(sharded.shard(s).journal().size() > 0) << "shard " << s;
     }
     const std::string dump = sharded.statsDump();
@@ -232,6 +236,53 @@ TEST(ShardedService, CustomLadderFactoryPinsBackend)
     core::ReferenceMatcher ref;
     EXPECT_EQ(resp.result, ref.match(req.text, req.pattern));
 }
+
+#ifndef SPM_TELEM_OFF
+TEST(ShardedService, TracedServeExportsValidChromeTrace)
+{
+    // Four worker threads record spans into the global trace buffer
+    // concurrently; serve()'s batch join is the happens-before edge
+    // the export contract requires. Run under TSan by check.sh.
+    auto &buf = telem::TraceBuffer::global();
+    buf.clear();
+    buf.setEnabled(true);
+    buf.setCategoryMask(telem::cat::all);
+
+    ShardedMatchService sharded(smallShardConfig(4, 2));
+    const auto req = randomRequest(0x7ACE, 2, 200, 5);
+    const MatchResponse resp = sharded.serve(req);
+    buf.setEnabled(false);
+    ASSERT_TRUE(resp.ok()) << resp.error.detail;
+    ASSERT_EQ(sharded.lastShards(), 4u);
+
+    const std::string json = buf.exportChromeJson("sharded test");
+    EXPECT_EQ(telem::validateChromeTrace(json), "") << json.substr(0, 400);
+
+    // The batch span and all four shard spans made it into the trace,
+    // recorded from more than one thread.
+    const auto events = buf.collect();
+    std::size_t batch_spans = 0;
+    std::size_t shard_spans = 0;
+    std::size_t distinct_tids = 0;
+    std::vector<bool> tid_seen(64, false);
+    for (const telem::SpanEvent &ev : events) {
+        if (std::string(ev.name) == "sharded.serve") {
+            ++batch_spans;
+            EXPECT_EQ(ev.beat, sharded.lastCriticalBeats());
+        }
+        if (std::string(ev.name) == "sharded.shard")
+            ++shard_spans;
+        if (ev.tid < tid_seen.size() && !tid_seen[ev.tid]) {
+            tid_seen[ev.tid] = true;
+            ++distinct_tids;
+        }
+    }
+    EXPECT_EQ(batch_spans, 1u);
+    EXPECT_EQ(shard_spans, 4u);
+    EXPECT_GE(distinct_tids, 2u);
+    buf.clear();
+}
+#endif // SPM_TELEM_OFF
 
 TEST(ShardedService, RepeatedServesAreDeterministic)
 {

@@ -542,10 +542,10 @@ TEST(Service, StatsDumpCountsServing)
     MatchService svc(smallConfig(), behavioralLadder(8));
     svc.serve(seededRequest(1, 1, 2, 24, 3));
     const auto &s = svc.stats();
-    EXPECT_EQ(s.served, 1u);
-    EXPECT_EQ(s.completed, 1u);
-    EXPECT_EQ(s.failed, 0u);
-    EXPECT_GT(s.checkpoints, 0u);
+    EXPECT_EQ(s.counter("served").value(), 1u);
+    EXPECT_EQ(s.counter("completed").value(), 1u);
+    EXPECT_EQ(s.counter("failed").value(), 0u);
+    EXPECT_GT(s.counter("checkpoints").value(), 0u);
     const std::string dump = svc.statsDump();
     EXPECT_NE(dump.find("service.completed = 1"), std::string::npos);
     EXPECT_NE(dump.find("hostbus.charsTransferred"), std::string::npos);

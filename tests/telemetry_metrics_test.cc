@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit tests for the metrics registry: bucket boundary placement,
+ * striped aggregation under concurrent writers, snapshot merge
+ * semantics (the sharded service's aggregation path), and the four
+ * render formats round-tripping through trace_view's JSON reader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace spm::telem
+{
+namespace
+{
+
+TEST(Counter, AddAndValue)
+{
+    Registry reg;
+    Counter &c = reg.counter("beats");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, GetOrCreateReturnsSameInstance)
+{
+    Registry reg;
+    Counter &a = reg.counter("x");
+    Counter &b = reg.counter("x");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_EQ(reg.metricCount(), 1u);
+}
+
+TEST(Counter, ConstLookupPanicsWhenMissing)
+{
+    Registry reg;
+    const Registry &cref = reg;
+    EXPECT_THROW(cref.counter("nonexistent"), std::logic_error);
+}
+
+TEST(Counter, ConcurrentWritersSumExactly)
+{
+    Registry reg(8);
+    Counter &c = reg.counter("hits");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 50000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i)
+                c.add();
+        });
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(c.value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, LastWriteWins)
+{
+    Registry reg;
+    Gauge &g = reg.gauge("depth");
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(7.0);
+    g.set(3.5);
+    EXPECT_EQ(g.value(), 3.5);
+}
+
+TEST(Histogram, BucketBoundariesAreHalfOpen)
+{
+    Registry reg;
+    // [0, 10) in 5 buckets of width 2: [0,2) [2,4) [4,6) [6,8) [8,10)
+    Histogram &h = reg.histogram("lat", 0.0, 10.0, 5);
+    h.sample(0.0);  // exactly lo -> bucket 0
+    h.sample(1.99); // bucket 0
+    h.sample(2.0);  // exact boundary -> bucket 1, not 0
+    h.sample(8.0);  // bucket 4
+    h.sample(9.99); // bucket 4
+    h.sample(10.0); // exactly hi -> overflow, not bucket 4
+    h.sample(-0.1); // below lo -> underflow
+    h.sample(1e9);  // far above -> overflow
+
+    EXPECT_EQ(h.bucketValue(0), 2u);
+    EXPECT_EQ(h.bucketValue(1), 1u);
+    EXPECT_EQ(h.bucketValue(2), 0u);
+    EXPECT_EQ(h.bucketValue(3), 0u);
+    EXPECT_EQ(h.bucketValue(4), 2u);
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 2u);
+    EXPECT_EQ(h.samples(), 8u);
+}
+
+TEST(Histogram, SumAndMeanTrackSamples)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("v", 0.0, 100.0, 4);
+    h.sample(10.0);
+    h.sample(20.0);
+    h.sample(30.0);
+    EXPECT_NEAR(h.sum(), 60.0, 1e-6);
+    const Snapshot snap = reg.snapshot();
+    const Snapshot::HistogramData *d = snap.histogram("v");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NEAR(d->mean(), 20.0, 1e-6);
+}
+
+TEST(Histogram, NegativeValuesSumCorrectly)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("signed", -10.0, 10.0, 4);
+    h.sample(-5.0);
+    h.sample(2.0);
+    EXPECT_NEAR(h.sum(), -3.0, 1e-6);
+}
+
+TEST(Histogram, ShapeMismatchPanics)
+{
+    Registry reg;
+    reg.histogram("h", 0.0, 10.0, 5);
+    EXPECT_THROW(reg.histogram("h", 0.0, 10.0, 8), std::logic_error);
+    EXPECT_THROW(reg.histogram("h", 0.0, 20.0, 5), std::logic_error);
+    // Same shape is the same histogram.
+    EXPECT_NO_THROW(reg.histogram("h", 0.0, 10.0, 5));
+}
+
+TEST(Snapshot, MergeAddsCountersAndHistogramCells)
+{
+    Registry a;
+    Registry b;
+    a.counter("served").add(3);
+    b.counter("served").add(4);
+    b.counter("only_b").add(1);
+    a.histogram("lat", 0.0, 8.0, 4).sample(1.0);
+    b.histogram("lat", 0.0, 8.0, 4).sample(1.5);
+    b.histogram("lat", 0.0, 8.0, 4).sample(7.0);
+    a.gauge("depth").set(2.0);
+    b.gauge("depth").set(3.0);
+    b.gauge("threads").set(4.0);
+
+    Snapshot s = a.snapshot();
+    s.merge(b.snapshot());
+
+    EXPECT_EQ(s.counterValue("served"), 7u);
+    EXPECT_EQ(s.counterValue("only_b"), 1u);
+    const Snapshot::HistogramData *d = s.histogram("lat");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->buckets[0], 2u); // 1.0 and 1.5 both in [0,2)
+    EXPECT_EQ(d->buckets[3], 1u);
+    EXPECT_EQ(d->samples(), 3u);
+    EXPECT_NEAR(d->sum, 9.5, 1e-6);
+    // Gauges sum when both sides have the entry (queue depths across
+    // shards); absent entries are taken as-is.
+    EXPECT_EQ(s.gaugeValue("depth"), 5.0);
+    EXPECT_EQ(s.gaugeValue("threads"), 4.0);
+}
+
+TEST(Snapshot, MergeShapeMismatchPanics)
+{
+    Registry a;
+    Registry b;
+    a.histogram("h", 0.0, 8.0, 4).sample(1.0);
+    b.histogram("h", 0.0, 8.0, 8).sample(1.0);
+    Snapshot s = a.snapshot();
+    EXPECT_THROW(s.merge(b.snapshot()), std::logic_error);
+}
+
+TEST(Snapshot, RenderTextMatchesLegacyDumpFormat)
+{
+    Registry reg;
+    reg.counter("beats").add(12);
+    reg.counter("evaluations").add(48);
+    const std::string text = reg.snapshot().renderText("engine.");
+    EXPECT_NE(text.find("engine.beats = 12"), std::string::npos);
+    EXPECT_NE(text.find("engine.evaluations = 48"), std::string::npos);
+}
+
+TEST(Snapshot, RenderPrometheusSanitizesNames)
+{
+    Registry reg;
+    reg.counter("engine.beats").add(5);
+    reg.gauge("queue depth").set(2);
+    reg.histogram("lat", 0.0, 4.0, 2).sample(1.0);
+    const std::string prom = reg.snapshot().renderPrometheus();
+    EXPECT_NE(prom.find("spm_engine_beats 5"), std::string::npos);
+    EXPECT_NE(prom.find("spm_queue_depth 2"), std::string::npos);
+    // Cumulative le-buckets with a +Inf terminator.
+    EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+    EXPECT_NE(prom.find("spm_lat_count 1"), std::string::npos);
+}
+
+TEST(Snapshot, JsonRoundTripIsLossless)
+{
+    Registry reg(4);
+    reg.counter("served").add(1234567);
+    reg.gauge("depth").set(3.25);
+    Histogram &h = reg.histogram("lat", 0.0, 64.0, 8);
+    h.sample(-1.0);
+    h.sample(0.5);
+    h.sample(63.9);
+    h.sample(100.0);
+
+    const Snapshot before = reg.snapshot();
+    const std::string json = before.toJson();
+    const std::optional<Snapshot> after = Snapshot::fromJson(json);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(after->counterValue("served"), 1234567u);
+    EXPECT_EQ(after->gaugeValue("depth"), 3.25);
+    const Snapshot::HistogramData *d = after->histogram("lat");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->buckets, before.histogram("lat")->buckets);
+    EXPECT_EQ(d->under, 1u);
+    EXPECT_EQ(d->over, 1u);
+    EXPECT_NEAR(d->sum, before.histogram("lat")->sum, 1e-6);
+    // And the round trip is a fixed point.
+    EXPECT_EQ(after->toJson(), json);
+}
+
+TEST(Snapshot, FromJsonRejectsGarbage)
+{
+    EXPECT_FALSE(Snapshot::fromJson("").has_value());
+    EXPECT_FALSE(Snapshot::fromJson("not json").has_value());
+    EXPECT_FALSE(Snapshot::fromJson("[1,2,3]").has_value());
+    EXPECT_FALSE(Snapshot::fromJson("{\"counters\":7}").has_value());
+}
+
+TEST(Registry, ResetZeroesEverything)
+{
+    Registry reg;
+    reg.counter("c").add(5);
+    reg.gauge("g").set(5);
+    reg.histogram("h", 0.0, 4.0, 2).sample(1.0);
+    reg.reset();
+    EXPECT_EQ(reg.counter("c").value(), 0u);
+    EXPECT_EQ(reg.gauge("g").value(), 0.0);
+    EXPECT_EQ(reg.histogram("h", 0.0, 4.0, 2).samples(), 0u);
+}
+
+TEST(Registry, GlobalIsUsableAndStable)
+{
+    Counter &c = Registry::global().counter("test.metrics.global");
+    const std::uint64_t before = c.value();
+    c.add(2);
+    EXPECT_EQ(Registry::global().counter("test.metrics.global").value(),
+              before + 2);
+}
+
+} // namespace
+} // namespace spm::telem

@@ -1,4 +1,4 @@
-/** @file Unit tests for counters, running stats and histograms. */
+/** @file Unit tests for running-aggregate statistics. */
 
 #include <gtest/gtest.h>
 
@@ -8,18 +8,6 @@ namespace spm
 {
 namespace
 {
-
-TEST(Counter, IncrementAndReset)
-{
-    Counter c("hits");
-    EXPECT_EQ(c.value(), 0u);
-    c.increment();
-    c.increment(9);
-    EXPECT_EQ(c.value(), 10u);
-    c.reset();
-    EXPECT_EQ(c.value(), 0u);
-    EXPECT_EQ(c.statName(), "hits");
-}
 
 TEST(RunningStat, MeanMinMax)
 {
@@ -60,47 +48,15 @@ TEST(RunningStat, ResetClears)
     EXPECT_EQ(s.mean(), 0.0);
 }
 
-TEST(Histogram, BucketsAndEdges)
+TEST(RunningStat, SingleSample)
 {
-    Histogram h(0.0, 10.0, 5);
-    h.sample(0.0);   // bucket 0
-    h.sample(1.99);  // bucket 0
-    h.sample(2.0);   // bucket 1
-    h.sample(9.99);  // bucket 4
-    h.sample(10.0);  // overflow (hi is exclusive)
-    h.sample(-0.1);  // underflow
-    EXPECT_EQ(h.bucketValue(0), 2u);
-    EXPECT_EQ(h.bucketValue(1), 1u);
-    EXPECT_EQ(h.bucketValue(4), 1u);
-    EXPECT_EQ(h.overflows(), 1u);
-    EXPECT_EQ(h.underflows(), 1u);
-    EXPECT_EQ(h.samples(), 6u);
-}
-
-TEST(Histogram, BadParametersPanic)
-{
-    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::logic_error);
-    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
-}
-
-TEST(StatGroup, RegisterAndDump)
-{
-    StatGroup g("chip");
-    Counter &beats = g.addCounter("beats");
-    beats.increment(3);
-    g.addCounter("cells");
-    EXPECT_EQ(g.counter("beats").value(), 3u);
-    const std::string dump = g.dump();
-    EXPECT_NE(dump.find("chip.beats = 3"), std::string::npos);
-    EXPECT_NE(dump.find("chip.cells = 0"), std::string::npos);
-}
-
-TEST(StatGroup, DuplicateAndMissingPanic)
-{
-    StatGroup g("g");
-    g.addCounter("x");
-    EXPECT_THROW(g.addCounter("x"), std::logic_error);
-    EXPECT_THROW(g.counter("y"), std::logic_error);
+    RunningStat s;
+    s.sample(7.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(s.min(), 7.5);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
 }
 
 } // namespace
