@@ -54,17 +54,38 @@ build/tools/conformance_fuzz --mutants
 
 # Smoke-run every benchmark binary: each prints its report with a
 # scaled-down sweep and one-iteration timings, so a crash or a shape
-# regression in a bench fails CI without costing a full run. E13 also
-# exercises the machine-readable JSON side channel.
+# regression in a bench fails CI without costing a full run. Every
+# bench gets an explicit --json into build/ -- without it, benches
+# with a jsonDefaultPath() would overwrite their committed repo-root
+# baselines with smoke-run numbers.
 echo "== bench: smoke =="
 cmake --build --preset default -j "${jobs}"
 for bench in build/bench/bench_*; do
     echo "-- ${bench} --smoke"
-    "${bench}" --smoke > /dev/null
+    "${bench}" --smoke --json "build/$(basename "${bench}").smoke.json" \
+        > /dev/null
 done
-build/bench/bench_e13_throughput --smoke --json build/BENCH_E13.smoke.json \
-    > /dev/null
-test -s build/BENCH_E13.smoke.json
+test -s build/bench_e13_throughput.smoke.json
+
+# Bench-regression gate: re-run every bench with a committed baseline
+# in smoke mode and diff the JSON reports with bench_diff. Throughput
+# keys must stay within the tolerance band (>= 0.5x baseline), latency
+# keys within 4x, "agrees"-style strings exact -- a silently disabled
+# fast path or a broken oracle hard-fails CI here instead of shipping
+# as a quiet slowdown.
+echo "== bench: regression gate vs committed baselines =="
+for pair in \
+    "BENCH_E13.json bench_e13_throughput" \
+    "BENCH_E15.json bench_e15_telemetry" \
+    "BENCH_E16.json bench_e16_faultgrade"; do
+    set -- ${pair}
+    baseline="$1"
+    bin="$2"
+    fresh="build/${baseline%.json}.fresh.json"
+    echo "-- ${bin} vs ${baseline}"
+    "build/bench/${bin}" --smoke --json "${fresh}" > /dev/null
+    build/tools/bench_diff "${baseline}" "${fresh}"
+done
 
 # Telemetry leg. Four contracts: (1) the SPM_TELEM_OFF build compiles
 # and passes the quick suite with every instrumentation site expanded
@@ -73,6 +94,25 @@ test -s build/BENCH_E13.smoke.json
 # snapshot renderings match the committed goldens byte for byte;
 # (4) a real traced sharded run exports Chrome trace JSON that passes
 # the schema check.
+# Fault-grading legs. Three contracts: (1) the grading pipeline runs
+# clean under AddressSanitizer + UBSan on a scaled-down configuration
+# (exit status also proves the serial cross-check agreed); (2) grading
+# the collapsed classes is exactly as good as grading the raw
+# universe -- the equivalence-collapsing lockstep test, part of the
+# quick suite, re-checks this on the stdcell library under ASan; (3)
+# the --golden report matches the committed golden byte for byte, like
+# the trace_view goldens.
+echo "== fault grading: asan smoke =="
+cmake --build --preset asan-ubsan -j "${jobs}" --target fault_grade
+build-asan-ubsan/tools/fault_grade --cells 4 --text-len 24 \
+    --workloads 2 --cross-check 16 > /dev/null
+echo "== fault grading: collapsed-vs-uncollapsed equivalence =="
+ctest --test-dir build-asan-ubsan --timeout 120 --output-on-failure \
+    -R 'fault_collapse_test|fault_grade_test'
+echo "== fault grading: golden report =="
+build/tools/fault_grade --golden |
+    diff -u tests/golden/fault_grade_report.txt -
+
 echo "== telemetry: compile-out build =="
 cmake --preset telem-off
 cmake --build --preset telem-off -j "${jobs}"
@@ -98,4 +138,5 @@ build/tools/trace_view --prom tests/golden/telemetry_snapshot.json |
 build/tools/trace_view --demo-trace > build/demo_trace.json
 build/tools/trace_view --check build/demo_trace.json
 
-echo "All checks passed (plain + asan-ubsan + tsan + bench smoke + telemetry)."
+echo "All checks passed (plain + asan-ubsan + tsan + bench smoke +"
+echo "bench-regression gate + fault grading + telemetry)."

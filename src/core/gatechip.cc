@@ -266,6 +266,8 @@ GateLevelMatcher::match(const std::vector<Symbol> &text,
                 const bool value =
                     chip.resultKnown() && chip.resultOut();
                 result[i] = i >= len - 1 && value;
+                if (resultObserver)
+                    resultObserver(i, chip);
                 ++collected;
             }
         }

@@ -79,6 +79,15 @@ class GateChip
     /** Whether the result output node holds a definite level. */
     bool resultKnown() const;
 
+    /** The netlist node carrying the result-stream output. */
+    gate::NodeId resultNode() const { return rOutNode; }
+
+    /**
+     * Whether the result node carries inverted polarity (the positive
+     * twin emits inverted outputs); resultOut() undoes the inversion.
+     */
+    bool resultInverted() const { return rOutInverted; }
+
     /**
      * Stall the clock for @p duration_ps; returns how many dynamic
      * storage nodes lost their charge (Section 3.3.3 failure mode).
@@ -185,6 +194,18 @@ class GateLevelMatcher : public Matcher
         chipPrep = std::move(prep);
     }
 
+    /**
+     * Install a hook run at every result-collection beat, right after
+     * the protocol reads the chip's result output for text position
+     * @p index -- the seam the fault grader uses to record replayable
+     * observation points (fault/wordsim.hh).
+     */
+    void setResultObserver(
+        std::function<void(std::size_t index, const GateChip &)> obs)
+    {
+        resultObserver = std::move(obs);
+    }
+
   private:
     std::size_t cells;
     BitWidth bitsPerChar;
@@ -193,6 +214,7 @@ class GateLevelMatcher : public Matcher
     bool useLevelized = false;
     std::uint64_t evalsUsed = 0;
     std::function<void(GateChip &)> chipPrep;
+    std::function<void(std::size_t, const GateChip &)> resultObserver;
 };
 
 } // namespace spm::core

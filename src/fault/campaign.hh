@@ -137,7 +137,13 @@ class FaultCampaign
     /** Beats one protocol run takes; the transient strike window. */
     Beat protocolBeats() const;
 
-    /** Inject @p f into a full protected run and classify it. */
+    /**
+     * Inject @p f into a full protected run and classify it. Trial
+     * activity also lands on the global telemetry registry as
+     * fault.campaign.* counters (trials, per-outcome counts, detector
+     * flags, retry attempts and backoff beats, bypass runs) -- the
+     * campaign keeps no ad-hoc counter state of its own.
+     */
     TrialResult runTrial(const Fault &f);
 
     /** runTrial over a whole list, in order. */
@@ -194,6 +200,9 @@ class FaultCampaign
 
     Observation protectedRun(const Fault *f,
                              const Protection &prot) const;
+
+    /** runTrial minus the telemetry rollup. */
+    TrialResult classifyTrial(const Fault &f);
 
     CampaignConfig cfg;
     std::vector<Symbol> text;

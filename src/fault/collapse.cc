@@ -1,0 +1,204 @@
+#include "fault/collapse.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spm::fault
+{
+
+using gate::Device;
+using gate::DeviceKind;
+using gate::NodeId;
+
+std::string
+FaultSite::describe(const gate::Netlist &net) const
+{
+    return net.nodeName(node) + (stuckAt1 ? "/sa1" : "/sa0");
+}
+
+double
+CollapseResult::simRatio() const
+{
+    return classCount == 0
+        ? 1.0
+        : static_cast<double>(totalSites) / static_cast<double>(classCount);
+}
+
+double
+CollapseResult::primeRatio() const
+{
+    return primeCount == 0
+        ? 1.0
+        : static_cast<double>(totalSites) / static_cast<double>(primeCount);
+}
+
+std::vector<std::uint32_t>
+CollapseResult::classMembers(std::uint32_t cls) const
+{
+    std::vector<std::uint32_t> members;
+    for (std::uint32_t s = 0; s < classOf.size(); ++s)
+        if (classOf[s] == cls)
+            members.push_back(s);
+    return members;
+}
+
+std::vector<FaultSite>
+CollapseResult::representativeSites() const
+{
+    std::vector<FaultSite> sites;
+    sites.reserve(representative.size());
+    for (std::uint32_t rep : representative)
+        sites.push_back(FaultSite::fromIndex(rep));
+    return sites;
+}
+
+namespace
+{
+
+/** Union-find over site indices keeping the minimum index as root. */
+class SiteUnion
+{
+  public:
+    explicit SiteUnion(std::size_t n) : parent(n)
+    {
+        for (std::uint32_t i = 0; i < n; ++i)
+            parent[i] = i;
+    }
+
+    std::uint32_t find(std::uint32_t s)
+    {
+        while (parent[s] != s) {
+            parent[s] = parent[parent[s]]; // path halving
+            s = parent[s];
+        }
+        return s;
+    }
+
+    void unite(std::uint32_t a, std::uint32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        if (a > b)
+            std::swap(a, b);
+        parent[b] = a; // the smaller index stays canonical
+    }
+
+  private:
+    std::vector<std::uint32_t> parent;
+};
+
+std::uint32_t
+siteIndex(NodeId node, bool sa1)
+{
+    return FaultSite{node, sa1}.index();
+}
+
+} // namespace
+
+CollapseResult
+collapseFaults(const gate::Netlist &net,
+               const std::vector<NodeId> &observed)
+{
+    const std::size_t nn = net.nodeCount();
+    CollapseResult r;
+    r.totalSites = 2 * nn;
+
+    std::vector<std::uint8_t> isObserved(nn, 0);
+    for (NodeId node : observed) {
+        spm_assert(node < nn, "observed node out of range");
+        isObserved[node] = 1;
+    }
+
+    // An input net is fanout-free for its gate when that gate is the
+    // only reader and the tester cannot see the net directly. Faults
+    // on such a net act only through the gate, which is what makes
+    // the input/output merges below indistinguishable.
+    auto fanoutFree = [&](NodeId in) {
+        return net.readerCount(in) == 1 && !isObserved[in];
+    };
+
+    SiteUnion uf(r.totalSites);
+    r.dominated.assign(r.totalSites, 0);
+
+    for (const Device &d : net.deviceList()) {
+        switch (d.kind) {
+        case DeviceKind::Inverter:
+            if (fanoutFree(d.inA)) {
+                uf.unite(siteIndex(d.inA, false), siteIndex(d.out, true));
+                uf.unite(siteIndex(d.inA, true), siteIndex(d.out, false));
+            }
+            break;
+        case DeviceKind::Nand2:
+        case DeviceKind::Nor2:
+        case DeviceKind::And2:
+        case DeviceKind::Or2: {
+            // Controlling input value c and the output value it forces.
+            const bool c =
+                d.kind == DeviceKind::Nor2 || d.kind == DeviceKind::Or2;
+            const bool forced =
+                d.kind == DeviceKind::Nand2 || d.kind == DeviceKind::Or2;
+            bool any_free = false;
+            for (NodeId in : {d.inA, d.inB}) {
+                if (!fanoutFree(in))
+                    continue;
+                any_free = true;
+                uf.unite(siteIndex(in, c), siteIndex(d.out, forced));
+                if (d.inB == d.inA)
+                    break;
+            }
+            // Output stuck at the forced value merged above; output
+            // stuck at the opposite value is dominated by any input
+            // stuck at the non-controlling value (every test for the
+            // input fault drives the output to the forced value and
+            // observes it). Only a test-generation drop: the fault
+            // stays simulated.
+            if (any_free)
+                r.dominated[siteIndex(d.out, !forced)] = 1;
+            break;
+        }
+        case DeviceKind::Xor2:
+        case DeviceKind::Xnor2:
+            // No controlling value: every single stuck input is
+            // distinguishable from every stuck output. Nothing
+            // collapses (pinned down by the property tests).
+            break;
+        case DeviceKind::PassGate:
+            // A dynamic sampling element, not a Boolean gate: a stuck
+            // source differs from a stuck storage node whenever the
+            // clock is low, and a stuck clock is its own fault class.
+            break;
+        }
+    }
+
+    // Compact the union-find roots into dense class ids, ordered by
+    // canonical (minimum) site index so the numbering is stable.
+    r.classOf.assign(r.totalSites, 0);
+    std::vector<std::int32_t> classIdOfRoot(r.totalSites, -1);
+    for (std::uint32_t s = 0; s < r.totalSites; ++s) {
+        const std::uint32_t root = uf.find(s);
+        if (classIdOfRoot[root] < 0) {
+            classIdOfRoot[root] =
+                static_cast<std::int32_t>(r.representative.size());
+            r.representative.push_back(root);
+        }
+        r.classOf[s] = static_cast<std::uint32_t>(classIdOfRoot[root]);
+    }
+    r.classCount = r.representative.size();
+
+    // A class leaves the prime (test-generation) set only when every
+    // member is dominance-dropped.
+    std::vector<std::uint8_t> classAllDominated(r.classCount, 1);
+    for (std::uint32_t s = 0; s < r.totalSites; ++s)
+        if (!r.dominated[s])
+            classAllDominated[r.classOf[s]] = 0;
+    r.primeCount = 0;
+    for (std::uint8_t all_dom : classAllDominated)
+        r.primeCount += all_dom ? 0 : 1;
+
+    return r;
+}
+
+} // namespace spm::fault

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Structural stuck-at fault collapsing over the gate-level netlist.
+ *
+ * The single-stuck-at universe of a netlist is two faults per node
+ * (stuck-at-0, stuck-at-1). Before any simulation the universe is
+ * shrunk structurally, the classic ATPG preprocessing step:
+ *
+ *   equivalence  two faults no test can distinguish collapse into one
+ *                class and only a representative is simulated. For a
+ *                gate whose input net is fanout-free (read by that
+ *                gate alone and not directly observed), a controlling
+ *                stuck value on the input is indistinguishable from
+ *                the corresponding stuck output: NAND input s-a-0 ==
+ *                output s-a-1, NOR input s-a-1 == output s-a-0, AND
+ *                input s-a-0 == output s-a-0, OR input s-a-1 ==
+ *                output s-a-1, and an inverter merges both polarities
+ *                of its fanout-free input with its output. XOR/XNOR
+ *                have no controlling value and collapse nothing --
+ *                the property tests pin that down. Classes are closed
+ *                transitively (union-find), so an inverter chain
+ *                collapses end to end.
+ *
+ *   dominance    fault f dominates g when every test detecting g also
+ *                detects f; f can then be dropped from a *test
+ *                generation* target list (covering g covers f). With
+ *                a fanout-free input present, a NAND output s-a-0 is
+ *                dominated away by the input s-a-1 faults, and dually
+ *                for NOR/AND/OR. Unlike equivalence this does not
+ *                preserve per-fault verdicts, so dominance-dropped
+ *                faults stay in the simulated universe and are only
+ *                excluded from the prime (test-generation) count.
+ *
+ * Pass transistors are dynamic sampling elements, not Boolean gates;
+ * no rule fires across them and their storage nodes keep both faults.
+ */
+
+#ifndef SPM_FAULT_COLLAPSE_HH
+#define SPM_FAULT_COLLAPSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gate/netlist.hh"
+
+namespace spm::fault
+{
+
+/** One structural stuck-at fault site: a netlist node and a level. */
+struct FaultSite
+{
+    gate::NodeId node = gate::invalidNode;
+    bool stuckAt1 = false;
+
+    /** The forced logic level. */
+    gate::LogicValue level() const
+    {
+        return stuckAt1 ? gate::LogicValue::H : gate::LogicValue::L;
+    }
+
+    /** Index within the 2-per-node universe. */
+    std::uint32_t index() const { return node * 2 + (stuckAt1 ? 1 : 0); }
+
+    /** Inverse of index(). */
+    static FaultSite fromIndex(std::uint32_t idx)
+    {
+        return {idx / 2, (idx & 1) != 0};
+    }
+
+    bool operator==(const FaultSite &o) const
+    {
+        return node == o.node && stuckAt1 == o.stuckAt1;
+    }
+
+    /** "s_o1_3/sa0" style one-liner (needs the owning netlist). */
+    std::string describe(const gate::Netlist &net) const;
+};
+
+/** The collapsed view of a netlist's stuck-at universe. */
+struct CollapseResult
+{
+    /** Site index -> equivalence class id (dense, 0-based). */
+    std::vector<std::uint32_t> classOf;
+    /** Class id -> representative site index. */
+    std::vector<std::uint32_t> representative;
+    /** Site index -> true when dominance drops it from the prime set. */
+    std::vector<std::uint8_t> dominated;
+
+    std::size_t totalSites = 0;
+    std::size_t classCount = 0;
+    /** Representatives that survive dominance dropping. */
+    std::size_t primeCount = 0;
+
+    /** Universe-to-simulated shrink factor (total / classes). */
+    double simRatio() const;
+    /** Universe-to-test-target shrink factor (total / primes). */
+    double primeRatio() const;
+
+    /** All members of class @p cls, as site indices. */
+    std::vector<std::uint32_t> classMembers(std::uint32_t cls) const;
+
+    /** Representative sites, one per class, in class order. */
+    std::vector<FaultSite> representativeSites() const;
+};
+
+/**
+ * Collapse the stuck-at universe of @p net. Nodes in @p observed are
+ * directly visible to the tester and never merge with their driver's
+ * or reader's faults.
+ */
+CollapseResult collapseFaults(const gate::Netlist &net,
+                              const std::vector<gate::NodeId> &observed);
+
+} // namespace spm::fault
+
+#endif // SPM_FAULT_COLLAPSE_HH

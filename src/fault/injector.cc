@@ -5,6 +5,7 @@
 #include "core/behavioral.hh"
 #include "core/bitserial.hh"
 #include "core/gatechip.hh"
+#include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
 namespace spm::fault
@@ -12,6 +13,48 @@ namespace spm::fault
 
 using systolic::FaultOp;
 using systolic::FaultPoint;
+
+namespace
+{
+
+[[noreturn]] void
+badSite(const Fault &f, const std::string &why)
+{
+    throw InvalidFaultSite("invalid fault site (" + f.describe() +
+                           "): " + why);
+}
+
+/** Bit-range check against the latch the fault addresses. */
+void
+validateBit(const Fault &f, unsigned sym_bits)
+{
+    switch (f.point) {
+    case FaultPoint::PatternLatch:
+    case FaultPoint::StringLatch:
+        if (f.bit >= sym_bits)
+            badSite(f, "symbol latch has " + std::to_string(sym_bits) +
+                           " bits");
+        break;
+    case FaultPoint::ControlLatch:
+        if (f.bit >= 2)
+            badSite(f, "control latch has 2 bits (lambda, x)");
+        break;
+    case FaultPoint::CompareLatch:
+    case FaultPoint::ResultLatch:
+        if (f.bit != 0)
+            badSite(f, "single-bit latch");
+        break;
+    }
+}
+
+void
+validateCell(const Fault &f, std::size_t cells)
+{
+    if (f.cell >= cells)
+        badSite(f, "array has " + std::to_string(cells) + " cells");
+}
+
+} // namespace
 
 void
 FaultInjector::attach(systolic::Engine &eng, CellResolver resolver)
@@ -27,11 +70,18 @@ void
 FaultInjector::applyAt(systolic::Engine &eng, const CellResolver &resolver,
                        const Fault &f, FaultOp op)
 {
+    validateBit(f, symBits);
     const std::size_t idx = resolver(f);
-    spm_assert(idx < eng.cellCount(), "fault resolver returned cell ",
-               idx, " of ", eng.cellCount());
-    if (eng.cell(idx).applyFault(f.point, op, f.bit))
+    if (idx >= eng.cellCount())
+        badSite(f, "resolved to engine cell " + std::to_string(idx) +
+                       " of " + std::to_string(eng.cellCount()));
+    if (eng.cell(idx).applyFault(f.point, op, f.bit)) {
         ++hits;
+        // Cached: this runs once per fault per beat.
+        static telem::Counter &ctr =
+            telem::Registry::global().counter("fault.injections");
+        ctr.add();
+    }
 }
 
 void
@@ -81,6 +131,7 @@ FaultInjector::CellResolver
 behavioralResolver(const core::BehavioralChip &chip)
 {
     return [&chip](const Fault &f) {
+        validateCell(f, chip.cellCount());
         const bool comparator = f.point == FaultPoint::PatternLatch ||
                                 f.point == FaultPoint::StringLatch ||
                                 f.point == FaultPoint::CompareLatch;
@@ -92,12 +143,17 @@ FaultInjector::CellResolver
 bitSerialResolver(const core::BitSerialChip &chip)
 {
     return [&chip](const Fault &f) {
+        validateCell(f, chip.cellCount());
         const unsigned rows = chip.bits();
         switch (f.point) {
         case FaultPoint::PatternLatch:
         case FaultPoint::StringLatch:
-            return chip.comparatorIndex(rows - 1 - (f.bit % rows),
-                                        f.cell);
+            // A symbol bit beyond the grid would alias into a
+            // neighboring column's row if clamped -- reject it.
+            if (f.bit >= rows)
+                badSite(f, "grid has " + std::to_string(rows) +
+                               " comparator rows");
+            return chip.comparatorIndex(rows - 1 - f.bit, f.cell);
         case FaultPoint::CompareLatch:
             return chip.comparatorIndex(rows - 1, f.cell);
         case FaultPoint::ControlLatch:
@@ -111,14 +167,16 @@ bitSerialResolver(const core::BitSerialChip &chip)
 namespace
 {
 
-/** Force one named node if present; counts successful forces. */
+/** Force one named node; throws InvalidFaultSite when absent. */
 void
 forceNode(core::GateChip &chip, const std::string &name,
           gate::LogicValue v, std::size_t &forced)
 {
     const gate::NodeId id = chip.netlist().findNode(name);
     if (id == gate::invalidNode)
-        return;
+        throw InvalidFaultSite("invalid fault site: netlist has no "
+                               "node named " +
+                               name);
     chip.netlist().forceStuckAt(id, v, chip.clock().now());
     ++forced;
 }
@@ -140,6 +198,9 @@ lowerStuckAtFaults(core::GateChip &chip, const std::vector<Fault> &faults)
     for (const Fault &f : faults) {
         if (!f.isPermanent())
             continue;
+        validateCell(f, chip.cellCount());
+        if (f.kind != FaultKind::DeadCell)
+            validateBit(f, rows);
         const gate::LogicValue v = f.kind == FaultKind::StuckAt1
             ? gate::LogicValue::H
             : gate::LogicValue::L;
@@ -157,13 +218,11 @@ lowerStuckAtFaults(core::GateChip &chip, const std::vector<Fault> &faults)
         }
         switch (f.point) {
         case FaultPoint::PatternLatch:
-            forceNode(chip,
-                      wireName("p_o", rows - 1 - (f.bit % rows), f.cell),
+            forceNode(chip, wireName("p_o", rows - 1 - f.bit, f.cell),
                       v, forced);
             break;
         case FaultPoint::StringLatch:
-            forceNode(chip,
-                      wireName("s_o", rows - 1 - (f.bit % rows), f.cell),
+            forceNode(chip, wireName("s_o", rows - 1 - f.bit, f.cell),
                       v, forced);
             break;
         case FaultPoint::CompareLatch:

@@ -20,6 +20,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "fault/model.hh"
@@ -37,6 +39,22 @@ namespace spm::fault
 {
 
 /**
+ * A fault list named a site the active chip does not have: a cell
+ * beyond the array, a bit beyond the latch width, or (gate level) a
+ * node name absent from the netlist. Injection used to clamp or skip
+ * such sites silently, which grades a fault that was never actually
+ * injected; now every lowering path validates first and throws.
+ */
+class InvalidFaultSite : public std::runtime_error
+{
+  public:
+    explicit InvalidFaultSite(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
+/**
  * Replays a fault list against a running engine. Permanent faults are
  * re-applied after every commit (a stuck wire corrupts every beat);
  * transients fire on their strike beat only; DeadCell expands to
@@ -45,6 +63,9 @@ namespace spm::fault
  * choreography (token validity) is undisturbed.
  *
  * The injector must outlive any engine stepping after attach().
+ * Injection throws InvalidFaultSite (from the engine step that first
+ * replays the list) when a fault addresses a bit outside the latch
+ * width or the resolver maps it outside the engine.
  */
 class FaultInjector
 {
@@ -83,7 +104,10 @@ class FaultInjector
     std::uint64_t hits = 0;
 };
 
-/** Resolver for the character-level behavioral chip. */
+/**
+ * Resolver for the character-level behavioral chip. Throws
+ * InvalidFaultSite for a cell beyond the array.
+ */
 FaultInjector::CellResolver behavioralResolver(
     const core::BehavioralChip &chip);
 
@@ -91,7 +115,8 @@ FaultInjector::CellResolver behavioralResolver(
  * Resolver for the bit-serial grid: symbol-latch faults land on the
  * comparator row carrying the addressed bit (bit b lives in row
  * bits-1-b; the MSB enters row 0), compare-latch faults on the bottom
- * row whose d output feeds the accumulators.
+ * row whose d output feeds the accumulators. Throws InvalidFaultSite
+ * for a cell beyond the array or a symbol bit beyond the grid's rows.
  */
 FaultInjector::CellResolver bitSerialResolver(
     const core::BitSerialChip &chip);
@@ -103,6 +128,11 @@ FaultInjector::CellResolver bitSerialResolver(
  * level; with the checkerboard of polarity twins the logical polarity
  * alternates per cell, which leaves the fault a genuine stuck-at
  * either way. Returns the number of nodes forced.
+ *
+ * Throws InvalidFaultSite when a permanent fault addresses a cell or
+ * bit the chip does not have, or when the derived wire name is absent
+ * from the netlist -- a silently unforced node would grade as a fault
+ * that was never injected.
  */
 std::size_t lowerStuckAtFaults(core::GateChip &chip,
                                const std::vector<Fault> &faults);

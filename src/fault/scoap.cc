@@ -1,0 +1,194 @@
+#include "fault/scoap.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spm::fault
+{
+
+using gate::Device;
+using gate::DeviceKind;
+using gate::NodeId;
+
+namespace
+{
+
+std::uint32_t
+satAdd(std::uint32_t a, std::uint32_t b)
+{
+    const std::uint64_t s =
+        static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b);
+    return s >= scoapUnreachable ? scoapUnreachable
+                                 : static_cast<std::uint32_t>(s);
+}
+
+std::uint32_t
+satAdd(std::uint32_t a, std::uint32_t b, std::uint32_t c)
+{
+    return satAdd(satAdd(a, b), c);
+}
+
+bool
+lower(std::uint32_t &slot, std::uint32_t candidate)
+{
+    if (candidate >= slot)
+        return false;
+    slot = candidate;
+    return true;
+}
+
+} // namespace
+
+std::uint32_t
+ScoapResult::difficulty(const FaultSite &site) const
+{
+    // Detect n stuck-at-v: force the opposite value, then observe.
+    return satAdd(control(site.node, !site.stuckAt1), co[site.node]);
+}
+
+ScoapResult
+computeScoap(const gate::Netlist &net,
+             const std::vector<NodeId> &observed)
+{
+    const std::size_t nn = net.nodeCount();
+    const std::vector<Device> &devs = net.deviceList();
+
+    ScoapResult r;
+    r.cc0.assign(nn, scoapUnreachable);
+    r.cc1.assign(nn, scoapUnreachable);
+    r.co.assign(nn, scoapUnreachable);
+
+    // Primary inputs (and undriven nodes, which only a tester could
+    // set) cost one assignment for either value.
+    for (NodeId node = 0; node < nn; ++node) {
+        if (net.isInputNode(node) || net.driverOf(node) < 0) {
+            r.cc0[node] = 1;
+            r.cc1[node] = 1;
+        }
+    }
+
+    // Forward controllability relaxation. Values only decrease, so
+    // the fixpoint exists and is reached in at most one round per
+    // node on the longest cost-improving path; the bound below is a
+    // safety net for the cyclic regions.
+    const std::size_t round_limit = 16 + 2 * devs.size();
+    bool changed = true;
+    while (changed) {
+        spm_assert(++r.controlRounds <= round_limit,
+                   "SCOAP controllability failed to converge");
+        changed = false;
+        for (const Device &d : devs) {
+            const std::uint32_t a0 = r.cc0[d.inA];
+            const std::uint32_t a1 = r.cc1[d.inA];
+            const NodeId nb = d.inB == gate::invalidNode ? d.inA : d.inB;
+            const std::uint32_t b0 = r.cc0[nb];
+            const std::uint32_t b1 = r.cc1[nb];
+            std::uint32_t o0 = scoapUnreachable;
+            std::uint32_t o1 = scoapUnreachable;
+            switch (d.kind) {
+            case DeviceKind::Inverter:
+                o0 = satAdd(a1, 1);
+                o1 = satAdd(a0, 1);
+                break;
+            case DeviceKind::Nand2:
+                o0 = satAdd(a1, b1, 1);
+                o1 = satAdd(std::min(a0, b0), 1);
+                break;
+            case DeviceKind::Nor2:
+                o1 = satAdd(a0, b0, 1);
+                o0 = satAdd(std::min(a1, b1), 1);
+                break;
+            case DeviceKind::And2:
+                o1 = satAdd(a1, b1, 1);
+                o0 = satAdd(std::min(a0, b0), 1);
+                break;
+            case DeviceKind::Or2:
+                o0 = satAdd(a0, b0, 1);
+                o1 = satAdd(std::min(a1, b1), 1);
+                break;
+            case DeviceKind::Xor2:
+                o1 = satAdd(std::min(satAdd(a1, b0), satAdd(a0, b1)), 1);
+                o0 = satAdd(std::min(satAdd(a0, b0), satAdd(a1, b1)), 1);
+                break;
+            case DeviceKind::Xnor2:
+                o0 = satAdd(std::min(satAdd(a1, b0), satAdd(a0, b1)), 1);
+                o1 = satAdd(std::min(satAdd(a0, b0), satAdd(a1, b1)), 1);
+                break;
+            case DeviceKind::PassGate:
+                // Data passes only while the clock is high.
+                o0 = satAdd(a0, r.cc1[d.ctl], 1);
+                o1 = satAdd(a1, r.cc1[d.ctl], 1);
+                break;
+            }
+            changed |= lower(r.cc0[d.out], o0);
+            changed |= lower(r.cc1[d.out], o1);
+        }
+    }
+
+    // Backward observability relaxation from the observed outputs.
+    for (NodeId node : observed) {
+        spm_assert(node < nn, "observed node out of range");
+        r.co[node] = 0;
+    }
+    changed = true;
+    while (changed) {
+        spm_assert(++r.observeRounds <= round_limit,
+                   "SCOAP observability failed to converge");
+        changed = false;
+        for (const Device &d : devs) {
+            const std::uint32_t co_out = r.co[d.out];
+            if (co_out >= scoapUnreachable)
+                continue;
+            switch (d.kind) {
+            case DeviceKind::Inverter:
+                changed |= lower(r.co[d.inA], satAdd(co_out, 1));
+                break;
+            case DeviceKind::Nand2:
+            case DeviceKind::And2:
+                // Propagating through requires the other input at its
+                // non-controlling value 1.
+                changed |= lower(r.co[d.inA],
+                                 satAdd(co_out, r.cc1[d.inB], 1));
+                changed |= lower(r.co[d.inB],
+                                 satAdd(co_out, r.cc1[d.inA], 1));
+                break;
+            case DeviceKind::Nor2:
+            case DeviceKind::Or2:
+                changed |= lower(r.co[d.inA],
+                                 satAdd(co_out, r.cc0[d.inB], 1));
+                changed |= lower(r.co[d.inB],
+                                 satAdd(co_out, r.cc0[d.inA], 1));
+                break;
+            case DeviceKind::Xor2:
+            case DeviceKind::Xnor2:
+                // Either value of the other input propagates.
+                changed |= lower(
+                    r.co[d.inA],
+                    satAdd(co_out,
+                           std::min(r.cc0[d.inB], r.cc1[d.inB]), 1));
+                changed |= lower(
+                    r.co[d.inB],
+                    satAdd(co_out,
+                           std::min(r.cc0[d.inA], r.cc1[d.inA]), 1));
+                break;
+            case DeviceKind::PassGate:
+                // The source is visible while the clock is high; the
+                // clock itself is visible when the stored and passed
+                // values can be made to differ (approximated by the
+                // cheaper source value).
+                changed |= lower(r.co[d.inA],
+                                 satAdd(co_out, r.cc1[d.ctl], 1));
+                changed |= lower(
+                    r.co[d.ctl],
+                    satAdd(co_out,
+                           std::min(r.cc0[d.inA], r.cc1[d.inA]), 1));
+                break;
+            }
+        }
+    }
+
+    return r;
+}
+
+} // namespace spm::fault

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SCOAP testability analysis (Goldstein's controllability /
+ * observability measures) over the gate-level netlist.
+ *
+ * For every node three scores are computed:
+ *
+ *   CC0 / CC1  combinational 0- / 1-controllability: the least number
+ *              of node assignments needed to force the node to 0 / 1
+ *              from the primary inputs (inputs cost 1);
+ *   CO         combinational observability: the least number of node
+ *              assignments needed to propagate the node's value to an
+ *              observed output (observed outputs cost 0).
+ *
+ * The scores are relaxed to a fixpoint (minimum over all computation
+ * paths) rather than evaluated in one topological sweep, because the
+ * chip's recirculating shift registers close cycles through pass
+ * transistors. Pass transistors contribute their clock's
+ * 1-controllability on both the controllability and observability
+ * paths: data only moves while the clock is high.
+ *
+ * A stuck-at fault's detection difficulty is the classic sum
+ *   difficulty(n stuck-at-v) = CC(!v at n) + CO(n)
+ * (force the opposite value, then observe it), saturating at
+ * scoapUnreachable when either term is unreachable. The fault grader
+ * ranks undetected faults by this score and orders its pattern pool
+ * evaluation with it.
+ */
+
+#ifndef SPM_FAULT_SCOAP_HH
+#define SPM_FAULT_SCOAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/collapse.hh"
+#include "gate/netlist.hh"
+
+namespace spm::fault
+{
+
+/** Score meaning "no computed way to control / observe the node". */
+inline constexpr std::uint32_t scoapUnreachable = 0x3FFFFFFF;
+
+/** SCOAP scores for every node of one netlist. */
+struct ScoapResult
+{
+    std::vector<std::uint32_t> cc0; ///< 0-controllability per node
+    std::vector<std::uint32_t> cc1; ///< 1-controllability per node
+    std::vector<std::uint32_t> co;  ///< observability per node
+
+    /** Relaxation rounds each fixpoint took (diagnostics). */
+    std::size_t controlRounds = 0;
+    std::size_t observeRounds = 0;
+
+    /** CC of value @p v at @p node. */
+    std::uint32_t control(gate::NodeId node, bool v) const
+    {
+        return v ? cc1[node] : cc0[node];
+    }
+
+    /** Detection difficulty of @p site (saturating). */
+    std::uint32_t difficulty(const FaultSite &site) const;
+};
+
+/**
+ * Compute SCOAP scores for @p net with @p observed as the zero-cost
+ * observation points.
+ */
+ScoapResult computeScoap(const gate::Netlist &net,
+                         const std::vector<gate::NodeId> &observed);
+
+} // namespace spm::fault
+
+#endif // SPM_FAULT_SCOAP_HH

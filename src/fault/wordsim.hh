@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Word-parallel (64-wide) stuck-at fault simulation.
+ *
+ * Serial fault grading re-runs the full match protocol once per
+ * fault. This module instead runs 64 faulty chips at once: every
+ * netlist node carries two 64-bit planes (bit k of `one` set when
+ * lane k's node is H, bit k of `zero` when it is L, neither when X),
+ * so one pass of bitwise gate evaluations advances 64 fault machines
+ * together -- the classic parallel-pattern trick turned sideways into
+ * parallel-fault form.
+ *
+ * Exactness is the whole point: the planes implement the same
+ * three-valued algebra as gate/logic.hh, the settle loop mirrors
+ * gate/levelized.cc (flat dirty-gated topological pass plus
+ * event-driven relaxation of pass transistors and cyclic statics),
+ * and the stimulus is not re-derived but *replayed* from an
+ * InputTrace captured off a real fault-free protocol run via
+ * gate::NetTap. Stuck-at faults become per-lane force masks applied
+ * after every write to the faulty node, which is precisely
+ * Netlist::forceStuckAt's ignore-all-writes contract. The fault
+ * grader cross-checks lane verdicts against serial single-fault runs
+ * and requires 100% agreement.
+ */
+
+#ifndef SPM_FAULT_WORDSIM_HH
+#define SPM_FAULT_WORDSIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/collapse.hh"
+#include "gate/netlist.hh"
+
+namespace spm::fault
+{
+
+/** One replayable stimulus event. */
+struct TraceOp
+{
+    enum class Kind : std::uint8_t
+    {
+        SetInput, ///< external Netlist::setInput(node, v)
+        Settle,   ///< a Netlist::settle() boundary
+        Observe,  ///< protocol read of the result node (text position)
+    };
+
+    Kind kind = Kind::Settle;
+    gate::NodeId node = gate::invalidNode; ///< SetInput only
+    gate::LogicValue v = gate::LogicValue::X; ///< SetInput only
+    std::uint32_t index = 0; ///< Observe only: text position
+};
+
+/**
+ * An exact record of one protocol run against one chip: the settled
+ * node values at capture start (right after construction, before any
+ * fault is lowered) plus every stimulus event in order. Because the
+ * feed schedule is data-independent, the fault-free trace is also
+ * the stimulus every faulty twin of the chip receives.
+ */
+struct InputTrace
+{
+    std::vector<gate::LogicValue> initial; ///< per-node snapshot
+    std::vector<TraceOp> ops;
+    gate::NodeId resultNode = gate::invalidNode;
+    bool resultInverted = false;
+    std::size_t patternLen = 0; ///< for the i >= len-1 result masking
+    std::size_t observations = 0;
+    bool sawDecay = false; ///< retention failure during capture
+};
+
+/**
+ * The gate::NetTap that fills an InputTrace. Install with
+ * Netlist::setTap() right after snapshotting via begin(); Observe
+ * events come from the protocol (GateLevelMatcher::setResultObserver)
+ * through observe(), not through the netlist.
+ */
+class TraceRecorder : public gate::NetTap
+{
+  public:
+    explicit TraceRecorder(InputTrace &trace) : tr(trace) {}
+
+    /** Snapshot @p net's settled state and the observation contract. */
+    void begin(const gate::Netlist &net, gate::NodeId result_node,
+               bool result_inverted, std::size_t pattern_len);
+
+    /** Record a protocol observation of the result node. */
+    void observe(std::size_t index);
+
+    void onSetInput(gate::NodeId node, gate::LogicValue v) override;
+    void onSettle() override;
+    void onDecay(gate::NodeId node) override;
+
+  private:
+    InputTrace &tr;
+};
+
+/**
+ * The 64-wide simulator for one netlist structure. Construction
+ * compiles the evaluation order (once per structure); run() replays a
+ * trace with up to 64 faults forced, one per lane.
+ */
+class WordFaultSim
+{
+  public:
+    explicit WordFaultSim(const gate::Netlist &net);
+
+    struct BatchResult
+    {
+        /** Lane mask: lane k set when fault k was detected. */
+        std::uint64_t detected = 0;
+        /** Per lane, the first diverging observation index, or -1. */
+        std::vector<std::int32_t> firstDiff;
+    };
+
+    /**
+     * Replay @p trace with @p faults forced (lane k gets faults[k];
+     * at most 64). @p golden_masked holds the fault-free masked
+     * result bit per Observe op, in op order -- exactly the values
+     * the protocol's match() returned. A lane is detected when any
+     * of its masked observations differs from golden. An empty fault
+     * list is the replay-fidelity probe: all 64 lanes run fault-free
+     * and any detection is a simulator defect.
+     */
+    BatchResult run(const InputTrace &trace,
+                    const std::vector<FaultSite> &faults,
+                    const std::vector<std::uint8_t> &golden_masked);
+
+    /** Word-wide device evaluations performed so far (effort). */
+    std::uint64_t wordEvals() const { return evals; }
+
+  private:
+    bool writeNode(gate::NodeId node, std::uint64_t one,
+                   std::uint64_t zero);
+    bool evalOrdered(std::uint32_t dev_idx);
+    bool evalFallback(std::uint32_t dev_idx);
+    void settleWord();
+
+    const gate::Netlist &net;
+    std::size_t nodeCount;
+
+    // Compiled structure (mirrors gate/levelized.cc).
+    std::vector<std::uint32_t> topo;      ///< ordered static gates
+    std::vector<std::uint8_t> isFallback; ///< pass gates, cyclic statics
+    std::vector<std::vector<std::uint32_t>> fallbackFanout;
+
+    // Per-run state.
+    std::vector<std::uint64_t> one, zero;       ///< value planes
+    std::vector<std::uint64_t> force1, force0;  ///< stuck lane masks
+    std::vector<std::uint64_t> forceAny;        ///< force1 | force0
+    std::vector<gate::NodeId> forcedNodes;
+    std::vector<std::uint8_t> dirty; ///< per node
+    std::vector<gate::NodeId> touched;
+    std::vector<std::uint32_t> worklist; ///< fallback devices
+
+    std::uint64_t evals = 0;
+};
+
+} // namespace spm::fault
+
+#endif // SPM_FAULT_WORDSIM_HH

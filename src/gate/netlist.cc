@@ -134,6 +134,8 @@ Netlist::setInput(NodeId node, LogicValue v, Picoseconds now)
     spm_assert(node < nodes.size(), "bad node id");
     spm_assert(nodes[node].isInput, "setInput on non-input node '",
                nodes[node].name, "'");
+    if (tap)
+        tap->onSetInput(node, v);
     nodes[node].lastRefresh = now;
     if (nodes[node].stuck || nodes[node].value == v)
         return;
@@ -187,6 +189,8 @@ Netlist::evaluateDevice(std::size_t dev_idx, Picoseconds now)
 void
 Netlist::settle(Picoseconds now)
 {
+    if (tap)
+        tap->onSettle();
     if (fastPath) {
         fastPath->settle(now);
         return;
@@ -223,6 +227,8 @@ Netlist::decayCharge(Picoseconds now, Picoseconds retention_ps)
         if (nodes[drv.ctl].value == LogicValue::H)
             continue;
         if (now > n.lastRefresh && now - n.lastRefresh > retention_ps) {
+            if (tap)
+                tap->onDecay(id);
             n.value = LogicValue::X;
             scheduleFanout(id);
             ++decayed;
@@ -254,6 +260,34 @@ Netlist::nodeName(NodeId node) const
 {
     spm_assert(node < nodes.size(), "bad node id");
     return nodes[node].name;
+}
+
+std::int32_t
+Netlist::driverOf(NodeId node) const
+{
+    spm_assert(node < nodes.size(), "bad node id");
+    return nodes[node].driver;
+}
+
+std::size_t
+Netlist::readerCount(NodeId node) const
+{
+    spm_assert(node < nodes.size(), "bad node id");
+    return fanout[node].size();
+}
+
+bool
+Netlist::isInputNode(NodeId node) const
+{
+    spm_assert(node < nodes.size(), "bad node id");
+    return nodes[node].isInput;
+}
+
+bool
+Netlist::isDynamicNode(NodeId node) const
+{
+    spm_assert(node < nodes.size(), "bad node id");
+    return nodes[node].dynamic;
 }
 
 unsigned

@@ -31,6 +31,28 @@ class LevelizedNetlist;
 inline constexpr Picoseconds defaultRetentionPs = 1'000'000'000;
 
 /**
+ * Observer of the netlist's external stimulus stream. The fault
+ * grader (fault/wordsim.hh) installs one to capture an exact,
+ * replayable trace of a protocol run: every external input write,
+ * every settle boundary, and any dynamic-charge decay. Taps see
+ * events in execution order, before the event takes effect.
+ */
+class NetTap
+{
+  public:
+    virtual ~NetTap() = default;
+
+    /** An external setInput() of @p v on @p node (even if unchanged). */
+    virtual void onSetInput(NodeId node, LogicValue v) = 0;
+
+    /** A settle() boundary (fires once, also for the levelized path). */
+    virtual void onSettle() = 0;
+
+    /** Node @p node lost its dynamic charge to X in decayCharge(). */
+    virtual void onDecay(NodeId node) = 0;
+};
+
+/**
  * A flat netlist of nodes and devices with event-driven settling.
  *
  * Construction phase: create nodes and attach devices. Each node may
@@ -142,6 +164,24 @@ class Netlist
     /** All devices, for layout generation and reporting. */
     const std::vector<Device> &deviceList() const { return devices; }
 
+    /** Device index driving @p node, or -1 (external/undriven). */
+    std::int32_t driverOf(NodeId node) const;
+
+    /** Devices reading @p node (as inA, inB or ctl). */
+    std::size_t readerCount(NodeId node) const;
+
+    /** Whether @p node was marked as an external input. */
+    bool isInputNode(NodeId node) const;
+
+    /** Whether @p node is the output of a pass transistor. */
+    bool isDynamicNode(NodeId node) const;
+
+    /**
+     * Attach (or, with nullptr, detach) a stimulus tap. At most one
+     * tap may be attached; it must outlive the attachment.
+     */
+    void setTap(NetTap *t) { tap = t; }
+
     const std::string &name() const { return netName; }
 
   private:
@@ -174,6 +214,7 @@ class Netlist
     std::vector<std::uint32_t> worklist;
     std::uint64_t evals = 0;
     LevelizedNetlist *fastPath = nullptr;
+    NetTap *tap = nullptr;
 };
 
 } // namespace spm::gate

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for structural stuck-at fault collapsing: the equivalence and
+ * dominance rules on hand-built tricky topologies (fanout branch
+ * stems, XOR/XNOR, reconvergent fanout, inverter chains), and the
+ * lockstep exactness check -- on the full standard-cell chip, every
+ * member of an equivalence class must carry the same word-simulated
+ * verdict, which makes collapsed-class coverage identical to
+ * uncollapsed coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/gatechip.hh"
+#include "fault/collapse.hh"
+#include "fault/grade.hh"
+#include "fault/wordsim.hh"
+#include "gate/netlist.hh"
+#include "util/rng.hh"
+
+namespace spm::fault
+{
+namespace
+{
+
+using gate::DeviceKind;
+using gate::Netlist;
+using gate::NodeId;
+
+/** Class id of a (node, stuck-at) site. */
+std::uint32_t
+classOf(const CollapseResult &cr, NodeId node, bool sa1)
+{
+    return cr.classOf[FaultSite{node, sa1}.index()];
+}
+
+TEST(Collapse, InverterChainCollapsesEndToEnd)
+{
+    Netlist net("chain");
+    const NodeId in = net.addNode("in");
+    net.markInput(in);
+    NodeId prev = in;
+    std::vector<NodeId> all{in};
+    for (int i = 0; i < 3; ++i) {
+        const NodeId out = net.addNode("n" + std::to_string(i));
+        net.addInverter(prev, out);
+        all.push_back(out);
+        prev = out;
+    }
+
+    const CollapseResult cr = collapseFaults(net, {prev});
+    EXPECT_EQ(cr.totalSites, 8u);
+    // Both polarities merge through every stage: two classes total,
+    // alternating polarity along the chain.
+    EXPECT_EQ(cr.classCount, 2u);
+    EXPECT_DOUBLE_EQ(cr.simRatio(), 4.0);
+    EXPECT_EQ(classOf(cr, in, false), classOf(cr, all[1], true));
+    EXPECT_EQ(classOf(cr, in, false), classOf(cr, all[2], false));
+    EXPECT_EQ(classOf(cr, in, true), classOf(cr, all[3], false));
+    EXPECT_NE(classOf(cr, in, false), classOf(cr, in, true));
+}
+
+TEST(Collapse, FanoutStemBlocksEquivalence)
+{
+    // a drives two inverters: a's faults are distinguishable from
+    // either branch's (a test can observe the other branch), so no
+    // rule may fire on the stem.
+    Netlist net("fanout");
+    const NodeId a = net.addNode("a");
+    net.markInput(a);
+    const NodeId o1 = net.addNode("o1");
+    const NodeId o2 = net.addNode("o2");
+    net.addInverter(a, o1);
+    net.addInverter(a, o2);
+
+    const CollapseResult cr = collapseFaults(net, {o1, o2});
+    EXPECT_EQ(cr.totalSites, 6u);
+    EXPECT_EQ(cr.classCount, 6u);
+    EXPECT_EQ(cr.primeCount, 6u);
+}
+
+TEST(Collapse, NandMergesControllingInputsAndDominatesOutput)
+{
+    Netlist net("nand");
+    const NodeId a = net.addNode("a");
+    const NodeId b = net.addNode("b");
+    net.markInput(a);
+    net.markInput(b);
+    const NodeId out = net.addNode("out");
+    net.addGate(DeviceKind::Nand2, a, b, out);
+
+    const CollapseResult cr = collapseFaults(net, {out});
+    // a/0 == b/0 == out/1 (controlling input forces the output).
+    EXPECT_EQ(classOf(cr, a, false), classOf(cr, b, false));
+    EXPECT_EQ(classOf(cr, a, false), classOf(cr, out, true));
+    EXPECT_EQ(cr.classCount, 4u);
+    // out/0 is dominated by the input s-a-1 faults: dropped from the
+    // prime (test-generation) set but still simulated.
+    EXPECT_EQ(cr.primeCount, 3u);
+    EXPECT_TRUE((cr.dominated[FaultSite{out, false}.index()]));
+    EXPECT_FALSE((cr.dominated[FaultSite{out, true}.index()]));
+}
+
+TEST(Collapse, XorAndXnorCollapseNothing)
+{
+    for (const DeviceKind kind : {DeviceKind::Xor2, DeviceKind::Xnor2}) {
+        Netlist net("xorish");
+        const NodeId a = net.addNode("a");
+        const NodeId b = net.addNode("b");
+        net.markInput(a);
+        net.markInput(b);
+        const NodeId out = net.addNode("out");
+        net.addGate(kind, a, b, out);
+
+        const CollapseResult cr = collapseFaults(net, {out});
+        // No controlling value: every fault stays its own class and
+        // nothing is dominated.
+        EXPECT_EQ(cr.classCount, 6u);
+        EXPECT_EQ(cr.primeCount, 6u);
+    }
+}
+
+TEST(Collapse, ReconvergentFanoutOnlyMergesTheFreeBranch)
+{
+    // a ---------+----> NAND(a, b) -> out
+    //            \--> inv -> b
+    // The stem a has fanout 2: neither the inverter nor the NAND may
+    // merge through it. b is fanout-free, so only b/0 == out/1 fires.
+    Netlist net("reconv");
+    const NodeId a = net.addNode("a");
+    net.markInput(a);
+    const NodeId b = net.addNode("b");
+    net.addInverter(a, b);
+    const NodeId out = net.addNode("out");
+    net.addGate(DeviceKind::Nand2, a, b, out);
+
+    const CollapseResult cr = collapseFaults(net, {out});
+    EXPECT_EQ(cr.totalSites, 6u);
+    EXPECT_EQ(cr.classCount, 5u);
+    EXPECT_EQ(classOf(cr, b, false), classOf(cr, out, true));
+    EXPECT_NE(classOf(cr, a, false), classOf(cr, out, true));
+    EXPECT_NE(classOf(cr, a, false), classOf(cr, b, true));
+}
+
+TEST(Collapse, ObservedInputNeverMerges)
+{
+    // The tester probes "in" directly: its faults are distinguishable
+    // from the inverter output's by construction.
+    Netlist net("observed");
+    const NodeId in = net.addNode("in");
+    net.markInput(in);
+    const NodeId out = net.addNode("out");
+    net.addInverter(in, out);
+
+    const CollapseResult cr = collapseFaults(net, {in, out});
+    EXPECT_EQ(cr.classCount, 4u);
+}
+
+TEST(Collapse, PassGatesCollapseNothing)
+{
+    Netlist net("dynamic");
+    const NodeId in = net.addNode("in");
+    const NodeId ctl = net.addNode("ctl");
+    net.markInput(in);
+    net.markInput(ctl);
+    const NodeId out = net.addNode("out");
+    net.addPassGate(in, ctl, out);
+
+    const CollapseResult cr = collapseFaults(net, {out});
+    EXPECT_EQ(cr.classCount, 6u);
+    EXPECT_EQ(cr.primeCount, 6u);
+}
+
+TEST(Collapse, ClassMembersPartitionTheUniverse)
+{
+    core::GateChip chip(4, 2);
+    const CollapseResult cr =
+        collapseFaults(chip.netlist(), {chip.resultNode()});
+    ASSERT_GE(cr.simRatio(), 1.5);
+
+    std::vector<std::uint8_t> seen(cr.totalSites, 0);
+    for (std::uint32_t c = 0; c < cr.classCount; ++c) {
+        const std::vector<std::uint32_t> members = cr.classMembers(c);
+        ASSERT_FALSE(members.empty());
+        bool has_rep = false;
+        for (const std::uint32_t s : members) {
+            EXPECT_FALSE(seen[s]);
+            seen[s] = 1;
+            EXPECT_EQ(cr.classOf[s], c);
+            has_rep |= s == cr.representative[c];
+        }
+        EXPECT_TRUE(has_rep);
+    }
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), 1),
+              static_cast<long>(cr.totalSites));
+}
+
+/**
+ * The lockstep exactness check on the standard-cell chip: simulate
+ * the ENTIRE uncollapsed universe word-parallel against a captured
+ * workload and require every member of an equivalence class to carry
+ * the representative's verdict. Collapsed-class coverage then equals
+ * uncollapsed coverage by construction -- asserted at the end.
+ */
+TEST(Collapse, LockstepClassVerdictsOnStdcellChip)
+{
+    GradeConfig cfg;
+    cfg.cells = 4;
+    cfg.textLen = 24;
+    cfg.workloads = 1;
+    cfg.crossCheckSamples = 0;
+
+    core::GateChip probe(cfg.cells, cfg.alphabetBits);
+    const CollapseResult cr =
+        collapseFaults(probe.netlist(), {probe.resultNode()});
+
+    WorkloadGen gen(cfg.seed, cfg.alphabetBits);
+    std::vector<Symbol> pattern =
+        gen.randomPattern(cfg.patternLen, cfg.wildcardProb);
+    std::vector<Symbol> text =
+        gen.textWithPlants(cfg.textLen, pattern, 8);
+    const GradedWorkload w =
+        captureWorkload(cfg, std::move(pattern), std::move(text));
+
+    // Verdict for every site of the universe, 64 lanes at a time.
+    std::vector<std::uint8_t> verdict(cr.totalSites, 0);
+    WordFaultSim sim(probe.netlist());
+    std::vector<FaultSite> batch;
+    std::vector<std::uint32_t> lanes;
+    auto flush = [&] {
+        const WordFaultSim::BatchResult r =
+            sim.run(w.trace, batch, w.goldenPerOp);
+        for (std::size_t k = 0; k < batch.size(); ++k)
+            verdict[lanes[k]] = (r.detected >> k) & 1;
+        batch.clear();
+        lanes.clear();
+    };
+    for (std::uint32_t s = 0; s < cr.totalSites; ++s) {
+        batch.push_back(FaultSite::fromIndex(s));
+        lanes.push_back(s);
+        if (batch.size() == 64)
+            flush();
+    }
+    if (!batch.empty())
+        flush();
+
+    std::size_t detected_sites = 0;
+    std::size_t detected_classes = 0;
+    for (std::uint32_t c = 0; c < cr.classCount; ++c) {
+        const std::vector<std::uint32_t> members = cr.classMembers(c);
+        const std::uint8_t rep_verdict = verdict[cr.representative[c]];
+        for (const std::uint32_t s : members)
+            ASSERT_EQ(verdict[s], rep_verdict)
+                << FaultSite::fromIndex(s).describe(probe.netlist())
+                << " disagrees with its class representative "
+                << FaultSite::fromIndex(cr.representative[c])
+                       .describe(probe.netlist());
+        detected_classes += rep_verdict;
+        detected_sites += rep_verdict ? members.size() : 0;
+    }
+    ASSERT_GT(detected_classes, 0u);
+    // Grading representatives and expanding through the classes must
+    // give exactly the coverage of grading every site directly.
+    const std::size_t direct = static_cast<std::size_t>(
+        std::count(verdict.begin(), verdict.end(), 1));
+    EXPECT_EQ(detected_sites, direct);
+}
+
+} // namespace
+} // namespace spm::fault

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for SCOAP testability scoring: the textbook controllability
+ * and observability values on hand-built gates, saturation on
+ * unobservable logic, pass-transistor clock costs, and the difficulty
+ * ordering the fault grader relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gatechip.hh"
+#include "fault/scoap.hh"
+#include "gate/netlist.hh"
+
+namespace spm::fault
+{
+namespace
+{
+
+using gate::DeviceKind;
+using gate::Netlist;
+using gate::NodeId;
+
+TEST(Scoap, PrimaryInputsCostOne)
+{
+    Netlist net("inputs");
+    const NodeId a = net.addNode("a");
+    net.markInput(a);
+    const ScoapResult s = computeScoap(net, {a});
+    EXPECT_EQ(s.cc0[a], 1u);
+    EXPECT_EQ(s.cc1[a], 1u);
+    EXPECT_EQ(s.co[a], 0u);
+}
+
+TEST(Scoap, NandTextbookValues)
+{
+    Netlist net("nand");
+    const NodeId a = net.addNode("a");
+    const NodeId b = net.addNode("b");
+    net.markInput(a);
+    net.markInput(b);
+    const NodeId out = net.addNode("out");
+    net.addGate(DeviceKind::Nand2, a, b, out);
+
+    const ScoapResult s = computeScoap(net, {out});
+    // CC1(out) = min(CC0(a), CC0(b)) + 1; CC0(out) = CC1 both + 1.
+    EXPECT_EQ(s.cc1[out], 2u);
+    EXPECT_EQ(s.cc0[out], 3u);
+    // CO(a) = CO(out) + CC1(b) + 1: hold the other input at its
+    // non-controlling value.
+    EXPECT_EQ(s.co[out], 0u);
+    EXPECT_EQ(s.co[a], 2u);
+    EXPECT_EQ(s.co[b], 2u);
+}
+
+TEST(Scoap, XorHasNoCheapSide)
+{
+    Netlist net("xor");
+    const NodeId a = net.addNode("a");
+    const NodeId b = net.addNode("b");
+    net.markInput(a);
+    net.markInput(b);
+    const NodeId out = net.addNode("out");
+    net.addGate(DeviceKind::Xor2, a, b, out);
+
+    const ScoapResult s = computeScoap(net, {out});
+    // Both polarities need both inputs set: min over the two odd /
+    // even assignments, plus the gate's own +1.
+    EXPECT_EQ(s.cc1[out], 3u);
+    EXPECT_EQ(s.cc0[out], 3u);
+    // Observing an input costs controlling the other to either value.
+    EXPECT_EQ(s.co[a], 2u);
+}
+
+TEST(Scoap, InverterChainScoresGrowWithDepth)
+{
+    Netlist net("chain");
+    const NodeId in = net.addNode("in");
+    net.markInput(in);
+    NodeId prev = in;
+    std::vector<NodeId> stages{in};
+    for (int i = 0; i < 4; ++i) {
+        const NodeId out = net.addNode("n" + std::to_string(i));
+        net.addInverter(prev, out);
+        stages.push_back(out);
+        prev = out;
+    }
+
+    const ScoapResult s = computeScoap(net, {prev});
+    for (std::size_t i = 0; i + 1 < stages.size(); ++i) {
+        // Controllability grows toward the output, observability
+        // toward the input; their sum (fault difficulty) is flat on a
+        // fanout-free chain -- every stage is equally testable, which
+        // mirrors the equivalence collapse of the whole chain.
+        EXPECT_LT(s.cc0[stages[i]], s.cc0[stages[i + 1]]);
+        EXPECT_GT(s.co[stages[i]], s.co[stages[i + 1]]);
+        EXPECT_EQ(s.difficulty({stages[i], false}),
+                  s.difficulty({stages[i + 1], (i % 2) == 0}));
+    }
+}
+
+TEST(Scoap, UnobservedLogicSaturates)
+{
+    Netlist net("deadend");
+    const NodeId a = net.addNode("a");
+    net.markInput(a);
+    const NodeId out = net.addNode("out");
+    net.addInverter(a, out);
+
+    // Nothing is observed: every CO saturates and so does difficulty.
+    const ScoapResult s = computeScoap(net, {});
+    EXPECT_GE(s.co[out], scoapUnreachable);
+    EXPECT_GE(s.difficulty({out, false}), scoapUnreachable);
+    // Controllability is still finite.
+    EXPECT_EQ(s.cc0[out], 2u);
+}
+
+TEST(Scoap, PassGateChargesTheClock)
+{
+    Netlist net("dynamic");
+    const NodeId in = net.addNode("in");
+    const NodeId ctl = net.addNode("ctl");
+    net.markInput(in);
+    net.markInput(ctl);
+    const NodeId out = net.addNode("out");
+    net.addPassGate(in, ctl, out);
+
+    const ScoapResult s = computeScoap(net, {out});
+    // CC(out) = CC(in) + CC1(ctl) + 1: data moves only while the
+    // clock is high.
+    EXPECT_EQ(s.cc0[out], 3u);
+    EXPECT_EQ(s.cc1[out], 3u);
+    // Observing the input also needs the clock high.
+    EXPECT_EQ(s.co[in], 2u);
+}
+
+TEST(Scoap, ChipScoresAreFiniteAndRanked)
+{
+    core::GateChip chip(4, 2);
+    const ScoapResult s =
+        computeScoap(chip.netlist(), {chip.resultNode()});
+    ASSERT_EQ(s.cc0.size(), chip.netlist().nodeCount());
+
+    // The recirculating shift registers close cycles; the fixpoint
+    // must still make every node controllable.
+    for (gate::NodeId n = 0; n < chip.netlist().nodeCount(); ++n) {
+        EXPECT_LT(s.cc0[n], scoapUnreachable)
+            << chip.netlist().nodeName(n);
+        EXPECT_LT(s.cc1[n], scoapUnreachable)
+            << chip.netlist().nodeName(n);
+    }
+    // The observed result node is the easiest place to observe.
+    EXPECT_EQ(s.co[chip.resultNode()], 0u);
+}
+
+} // namespace
+} // namespace spm::fault
