@@ -4,7 +4,8 @@
 # so any finding is a hard failure), run the multi-threaded service
 # tests plus the quick conformance corpus under ThreadSanitizer, run a
 # time-boxed differential fuzz sweep and the mutation self-check with
-# the conformance_fuzz tool, and smoke the benchmark binaries.
+# the conformance_fuzz tool, drive a seeded chaos storm against the
+# sharded service, and smoke the benchmark binaries.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -36,10 +37,11 @@ echo "== tsan: configure =="
 cmake --preset tsan
 echo "== tsan: build =="
 cmake --build --preset tsan -j "${jobs}" \
-    --target service_sharded_test service_test conformance_corpus_test
+    --target service_sharded_test service_test service_chaos_test \
+    conformance_corpus_test
 echo "== tsan: test =="
 ctest --test-dir build-tsan --timeout 240 --output-on-failure \
-    -R 'service_sharded_test|service_test|conformance_corpus_test'
+    -R 'service_sharded_test|service_test|service_chaos_test|conformance_corpus_test'
 
 # Conformance legs on the plain build: a time-boxed differential fuzz
 # sweep across the full oracle registry, and the mutation self-check --
@@ -51,6 +53,25 @@ echo "== conformance: time-boxed fuzz =="
 build/tools/conformance_fuzz --cases 1000000 --seconds 10
 echo "== conformance: mutation self-check =="
 build/tools/conformance_fuzz --mutants
+
+# Chaos leg on the plain build: a seeded mixed storm (stalls, hangs,
+# throws, silent bit flips against the primaries) must end with every
+# request either recovered bit-exact or failed typed -- chaos_storm
+# exits non-zero on any silent corruption or lost request. A second
+# storm disables the per-chunk reference cross-check so only the
+# overlap comparison stands between boundary corruption and a wrong
+# answer: one boundary-bit flip per faulted slot (--corrupt-at 4 is
+# the first kept bit of slices 1..3 with the default pattern length 5)
+# must be detected and repaired, never served. The deep TSan coverage
+# of the same code paths comes from service_chaos_test in the tsan leg
+# above.
+echo "== chaos: mixed storm =="
+build/tools/chaos_storm --requests 16 --text-len 1024 \
+    --deadline-ms 100 --hang-ms 200 --quiet
+echo "== chaos: overlap-only detection =="
+build/tools/chaos_storm --requests 8 --text-len 1024 \
+    --no-cross-check --corrupt 1 --stall 0 --hang 0 --throw 0 \
+    --cap 1 --corrupt-at 4 --targets 1,2,3 --quiet
 
 # Smoke-run every benchmark binary: each prints its report with a
 # scaled-down sweep and one-iteration timings, so a crash or a shape
@@ -77,7 +98,8 @@ echo "== bench: regression gate vs committed baselines =="
 for pair in \
     "BENCH_E13.json bench_e13_throughput" \
     "BENCH_E15.json bench_e15_telemetry" \
-    "BENCH_E16.json bench_e16_faultgrade"; do
+    "BENCH_E16.json bench_e16_faultgrade" \
+    "BENCH_E17.json bench_e17_chaos"; do
     set -- ${pair}
     baseline="$1"
     bin="$2"
@@ -138,5 +160,5 @@ build/tools/trace_view --prom tests/golden/telemetry_snapshot.json |
 build/tools/trace_view --demo-trace > build/demo_trace.json
 build/tools/trace_view --check build/demo_trace.json
 
-echo "All checks passed (plain + asan-ubsan + tsan + bench smoke +"
-echo "bench-regression gate + fault grading + telemetry)."
+echo "All checks passed (plain + asan-ubsan + tsan + chaos storm +"
+echo "bench smoke + bench-regression gate + fault grading + telemetry)."

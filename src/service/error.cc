@@ -27,6 +27,8 @@ errorCodeName(ErrorCode code)
         return "cancelled";
     case ErrorCode::InvalidCheckpoint:
         return "invalid_checkpoint";
+    case ErrorCode::ShardFailed:
+        return "shard_failed";
     }
     return "?";
 }

@@ -31,6 +31,7 @@ enum class ErrorCode : unsigned char
     BackendFailed,    ///< every ladder rung failed or was exhausted
     Cancelled,        ///< the caller abandoned the streaming session
     InvalidCheckpoint,///< resume token inconsistent with the request
+    ShardFailed,      ///< a shard slice died/stalled beyond recovery
 };
 
 /** Stable printable name of an error code, e.g. "deadline_exceeded". */

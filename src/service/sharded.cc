@@ -1,12 +1,109 @@
 #include "service/sharded.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "telemetry/telem.hh"
 #include "util/logging.hh"
 
 namespace spm::service
 {
+
+namespace
+{
+
+/**
+ * Slice failures that are the request's fault, not the shard's: a
+ * retry on a spare would fail identically, so they propagate as-is
+ * and charge nothing against the slot's circuit breaker.
+ */
+bool
+isRequestFault(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::InvalidPattern:
+    case ErrorCode::AlphabetOverflow:
+    case ErrorCode::OversizedRequest:
+    case ErrorCode::QueueOverflow:
+    case ErrorCode::Shed:
+    case ErrorCode::InvalidCheckpoint:
+        return true;
+    default:
+        return false;
+    }
+}
+
+} // namespace
+
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+    case BreakerState::Closed:
+        return "closed";
+    case BreakerState::Open:
+        return "open";
+    case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    return "?";
+}
+
+const char *
+shardFaultKindName(ShardFaultKind kind)
+{
+    switch (kind) {
+    case ShardFaultKind::Exception:
+        return "exception";
+    case ShardFaultKind::Timeout:
+        return "timeout";
+    case ShardFaultKind::ServeError:
+        return "serve_error";
+    case ShardFaultKind::OverlapMismatch:
+        return "overlap_mismatch";
+    }
+    return "?";
+}
+
+std::string
+ShardError::toString() const
+{
+    return "slice " + std::to_string(slice) + " slot " +
+           std::to_string(slot) + " attempt " + std::to_string(attempt) +
+           " " + shardFaultKindName(kind) +
+           (detail.empty() ? "" : ": " + detail);
+}
+
+/**
+ * One slice of a sharded request: the piece (window including the k-1
+ * overlap), where the current attempt runs, and how it resolved.
+ * Written by the owning task under the batch mutex; a task whose
+ * epoch was bumped (abandoned on timeout) discards its late result.
+ */
+struct ShardedMatchService::SliceState
+{
+    MatchRequest piece;
+    std::size_t overlapLen = 0; ///< warm-up chars left of the slice start
+    std::size_t keepLen = 0;    ///< result bits this slice contributes
+    std::size_t rightExt = 0;   ///< extra chars past the slice end
+    std::uint32_t slot = 0;     ///< slot of the latest attempt
+    bool abandoned = false;     ///< timed out; straggler owns the lease
+    unsigned epoch = 0;
+    bool resolved = false;
+    bool threw = false;
+    std::string exceptionText;
+    MatchResponse resp;
+    Beat attemptBeats = 0; ///< beats summed across every attempt
+};
+
+/** Shared state of one serve() slice wave; tasks hold it by shared_ptr. */
+struct ShardedMatchService::Batch
+{
+    std::mutex bmu;
+    std::condition_variable resolvedCv;
+    std::vector<SliceState> slices;
+    std::size_t unresolved = 0;
+};
 
 ShardedMatchService::ShardedMatchService(ShardedConfig config)
     : ShardedMatchService(std::move(config), [](const ServiceConfig &c) {
@@ -17,17 +114,30 @@ ShardedMatchService::ShardedMatchService(ShardedConfig config)
 
 ShardedMatchService::ShardedMatchService(ShardedConfig config,
                                          const LadderFactory &factory)
-    : cfg(std::move(config))
+    : cfg(std::move(config)),
+      shardFailuresCtr(supMetrics.counter("shard_failures")),
+      shardTimeoutsCtr(supMetrics.counter("shard_timeouts")),
+      shardExceptionsCtr(supMetrics.counter("shard_exceptions")),
+      shardRetriesCtr(supMetrics.counter("shard_retries")),
+      spareServesCtr(supMetrics.counter("spare_serves")),
+      quarantinesCtr(supMetrics.counter("quarantines")),
+      probesCtr(supMetrics.counter("probes")),
+      overlapChecksCtr(supMetrics.counter("overlap_checks")),
+      overlapMismatchesCtr(supMetrics.counter("overlap_mismatches")),
+      flight(cfg.base.flightCapacity)
 {
     spm_assert(cfg.threads > 0, "sharded service needs at least one thread");
     spm_assert(cfg.minShardChars > 0, "minShardChars must be positive");
-    shards.reserve(cfg.threads);
-    for (unsigned i = 0; i < cfg.threads; ++i) {
+    const unsigned slots = cfg.threads + cfg.spareShards;
+    shards.reserve(slots);
+    for (unsigned i = 0; i < slots; ++i) {
         ServiceConfig shard_cfg = cfg.base;
         shard_cfg.shardId = i;
+        auto ladder = factory(shard_cfg);
         shards.push_back(std::make_unique<MatchService>(
-            std::move(shard_cfg), factory(cfg.base)));
+            std::move(shard_cfg), std::move(ladder)));
     }
+    slotHealth.resize(cfg.threads);
     startWorkers();
 }
 
@@ -64,27 +174,140 @@ ShardedMatchService::workerLoop()
             task = std::move(taskQueue.front());
             taskQueue.pop_front();
         }
-        task();
-        {
-            std::lock_guard<std::mutex> lock(mu);
-            --inFlight;
+        // Task boundary: nothing a task throws may unwind into the
+        // pool thread and terminate the process. Slice tasks convert
+        // their own exceptions to typed outcomes before this; the
+        // catch here is the independent last line of defense.
+        try {
+            task();
+        } catch (const std::exception &e) {
+            spm_warn("sharded worker task threw past its boundary: ",
+                     e.what());
+        } catch (...) {
+            spm_warn("sharded worker task threw a non-standard exception");
         }
-        batchDone.notify_all();
     }
 }
 
 void
-ShardedMatchService::runAll(std::vector<std::function<void()>> &tasks)
+ShardedMatchService::enqueue(std::vector<std::function<void()>> &tasks)
 {
     {
         std::lock_guard<std::mutex> lock(mu);
-        inFlight += tasks.size();
         for (std::function<void()> &t : tasks)
             taskQueue.push_back(std::move(t));
     }
     taskReady.notify_all();
-    std::unique_lock<std::mutex> lock(mu);
-    batchDone.wait(lock, [this] { return inFlight == 0; });
+}
+
+bool
+ShardedMatchService::awaitBatch(Batch &batch, std::uint32_t deadline_ms)
+{
+    std::unique_lock<std::mutex> lock(batch.bmu);
+    const auto all_resolved = [&batch] { return batch.unresolved == 0; };
+    if (deadline_ms == 0) {
+        batch.resolvedCv.wait(lock, all_resolved);
+        return true;
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+    return batch.resolvedCv.wait_until(lock, deadline, all_resolved);
+}
+
+MatchResponse
+ShardedMatchService::serveSliceOn(std::size_t slot,
+                                  const MatchRequest &piece,
+                                  std::string *exception_text)
+{
+    SPM_TSPAN("sharded.shard", telem::cat::sharded, 0,
+              static_cast<std::uint64_t>(slot));
+    try {
+        return shards[slot]->serve(piece);
+    } catch (const std::exception &e) {
+        *exception_text = e.what();
+    } catch (...) {
+        *exception_text = "non-standard exception";
+    }
+    MatchResponse r;
+    r.id = piece.id;
+    r.error = ServiceError::make(ErrorCode::ShardFailed,
+                                 "shard task threw: " + *exception_text);
+    return r;
+}
+
+void
+ShardedMatchService::noteSlotOutcome(std::uint32_t slot, bool ok)
+{
+    if (slot >= slotHealth.size())
+        return; // spares carry no breaker
+    bool quarantined = false;
+    {
+        std::lock_guard<std::mutex> lock(healthMu);
+        SlotHealth &h = slotHealth[slot];
+        if (ok) {
+            h.consecutiveFailures = 0;
+            h.state = BreakerState::Closed;
+        } else {
+            ++h.consecutiveFailures;
+            if (h.state == BreakerState::HalfOpen) {
+                // Failed probe: straight back to quarantine.
+                h.state = BreakerState::Open;
+                h.openedAtBatch = batchCounter;
+                quarantined = true;
+            } else if (cfg.quarantineAfter > 0 &&
+                       h.state == BreakerState::Closed &&
+                       h.consecutiveFailures >= cfg.quarantineAfter) {
+                h.state = BreakerState::Open;
+                h.openedAtBatch = batchCounter;
+                quarantined = true;
+            }
+        }
+    }
+    if (quarantined) {
+        quarantinesCtr.add();
+        telem::FlightEvent ev;
+        ev.kind = telem::FlightKind::Quarantine;
+        ev.shard = slot;
+        ev.note = "breaker opened on consecutive failures";
+        flight.record(std::move(ev));
+        spm_warn("sharded: slot ", slot, " quarantined");
+    }
+}
+
+std::vector<std::uint32_t>
+ShardedMatchService::assignableSlots()
+{
+    std::vector<std::uint32_t> out;
+    std::uint64_t probes = 0;
+    {
+        std::lock_guard<std::mutex> lock(healthMu);
+        ++batchCounter;
+        for (std::uint32_t s = 0; s < slotHealth.size(); ++s) {
+            SlotHealth &h = slotHealth[s];
+            if (h.busy)
+                continue; // leased to a (possibly abandoned) task
+            if (h.state == BreakerState::Open) {
+                if (cfg.probeAfterBatches > 0 &&
+                    batchCounter - h.openedAtBatch >= cfg.probeAfterBatches) {
+                    h.state = BreakerState::HalfOpen;
+                    ++probes;
+                } else {
+                    continue;
+                }
+            }
+            out.push_back(s);
+        }
+    }
+    if (probes > 0)
+        probesCtr.add(probes);
+    return out;
+}
+
+BreakerState
+ShardedMatchService::breakerState(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lock(healthMu);
+    return slotHealth.at(i).state;
 }
 
 std::size_t
@@ -108,61 +331,373 @@ ShardedMatchService::serve(const MatchRequest &req)
 {
     const std::size_t n = req.text.size();
     const std::size_t k = req.pattern.size();
-    const std::size_t nshards = shardCountFor(n, k);
-    nLastShards = nshards;
+    const std::size_t overlap = k > 0 ? k - 1 : 0;
+    lastErrors.clear();
 
-    if (nshards <= 1) {
-        MatchResponse r = shards.front()->serve(req);
-        lastCritical = r.beats;
-        lastTotal = r.beats;
-        return r;
+    SPM_TSPAN_NAMED(batch_span, "sharded.serve", telem::cat::sharded, 0,
+                    req.id);
+
+    // Route around quarantined and leased slots: the wafer-harvest
+    // move one level up. With every primary slot unavailable the
+    // request still gets served -- on a spare, or (spare-less)
+    // forced through slot 0 as an implicit probe.
+    std::vector<std::uint32_t> assignable = assignableSlots();
+    bool forced_spare = false;
+    if (assignable.empty()) {
+        if (cfg.spareShards > 0) {
+            assignable.push_back(cfg.threads +
+                                 (spareRotor++ % cfg.spareShards));
+            forced_spare = true;
+        } else {
+            assignable.push_back(0);
+        }
     }
+    const std::size_t nshards =
+        std::min(shardCountFor(n, k), assignable.size());
+    nLastShards = nshards;
 
     // Shard s answers result positions [starts[s], starts[s+1]); its
     // window reaches k-1 characters left of that so boundary matches
-    // see their full history.
+    // see their full history, and k-1 characters right of it so the
+    // first k-1 positions of the next slice are computed twice with
+    // full history -- the genuinely redundant region the overlap
+    // cross-check compares. (The left extension alone would not do:
+    // a slice's own first k-1 bits are warm-up, computed with
+    // truncated history, and are dropped, not cross-checked.)
     std::vector<std::size_t> starts(nshards + 1);
     for (std::size_t s = 0; s <= nshards; ++s)
         starts[s] = n * s / nshards;
 
-    std::vector<MatchResponse> sub(nshards);
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(nshards);
+    auto batch = std::make_shared<Batch>();
+    batch->slices.resize(nshards);
+    batch->unresolved = nshards;
     for (std::size_t s = 0; s < nshards; ++s) {
-        tasks.push_back([this, &req, &starts, &sub, s, k] {
-            SPM_TSPAN("sharded.shard", telem::cat::sharded, 0,
-                      static_cast<std::uint64_t>(s));
-            const std::size_t start = starts[s];
-            const std::size_t ws = start >= k - 1 ? start - (k - 1) : 0;
-            MatchRequest piece;
-            piece.id = req.id;
-            piece.pattern = req.pattern;
-            piece.deadlineBeats = req.deadlineBeats;
-            piece.text.assign(req.text.begin() + ws,
-                              req.text.begin() + starts[s + 1]);
-            sub[s] = shards[s]->serve(piece);
-            if (sub[s].ok()) {
-                // Drop the overlap: those bits belong to shard s-1.
-                sub[s].result.erase(sub[s].result.begin(),
-                                    sub[s].result.begin() + (start - ws));
-            }
-        });
+        SliceState &st = batch->slices[s];
+        const std::size_t start = starts[s];
+        const std::size_t ws = start >= overlap ? start - overlap : 0;
+        const std::size_t ext =
+            cfg.overlapCheck && nshards > 1
+                ? std::min(overlap, n - starts[s + 1])
+                : 0;
+        st.piece.id = req.id;
+        st.piece.pattern = req.pattern;
+        st.piece.deadlineBeats = req.deadlineBeats;
+        st.piece.text.assign(req.text.begin() + ws,
+                             req.text.begin() + starts[s + 1] + ext);
+        st.overlapLen = start - ws;
+        st.keepLen = starts[s + 1] - start;
+        st.rightExt = ext;
+        st.slot = assignable[s];
     }
-    SPM_TSPAN_NAMED(batch_span, "sharded.serve", telem::cat::sharded, 0,
-                    req.id);
-    runAll(tasks);
 
+    if (nshards == 1) {
+        // One slice: serve inline on the calling thread (no handoff
+        // latency; the cooperative watchdog already bounds the work).
+        SliceState &st = batch->slices[0];
+        {
+            std::lock_guard<std::mutex> lock(healthMu);
+            if (st.slot < slotHealth.size())
+                slotHealth[st.slot].busy = true;
+        }
+        st.resp = serveSliceOn(st.slot, st.piece, &st.exceptionText);
+        st.threw = !st.exceptionText.empty();
+        st.resolved = true;
+        st.attemptBeats = st.resp.beats;
+        batch->unresolved = 0;
+        {
+            std::lock_guard<std::mutex> lock(healthMu);
+            if (st.slot < slotHealth.size())
+                slotHealth[st.slot].busy = false;
+        }
+        if (forced_spare)
+            spareServesCtr.add();
+    } else {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(nshards);
+        for (std::size_t s = 0; s < nshards; ++s) {
+            const std::uint32_t slot = batch->slices[s].slot;
+            {
+                std::lock_guard<std::mutex> lock(healthMu);
+                slotHealth[slot].busy = true;
+            }
+            tasks.push_back([this, batch, s, slot] {
+                SliceState &st = batch->slices[s];
+                unsigned my_epoch;
+                {
+                    // The epoch snapshot races with the supervisor's
+                    // abandonment bump unless taken under the batch
+                    // lock; a task whose slice was abandoned before it
+                    // even started has nothing to serve -- just free
+                    // the lease it inherited.
+                    std::lock_guard<std::mutex> lock(batch->bmu);
+                    if (st.resolved) {
+                        std::lock_guard<std::mutex> hl(healthMu);
+                        slotHealth[slot].busy = false;
+                        return;
+                    }
+                    my_epoch = st.epoch;
+                }
+                std::string exc;
+                MatchResponse r = serveSliceOn(slot, st.piece, &exc);
+                bool owned = false;
+                {
+                    std::lock_guard<std::mutex> lock(batch->bmu);
+                    if (st.epoch == my_epoch && !st.resolved) {
+                        st.resp = std::move(r);
+                        st.threw = !exc.empty();
+                        st.exceptionText = std::move(exc);
+                        st.attemptBeats += st.resp.beats;
+                        st.resolved = true;
+                        --batch->unresolved;
+                        owned = true;
+                    }
+                }
+                batch->resolvedCv.notify_all();
+                // A slice the supervisor accepted has its lease
+                // released by the supervisor (synchronously, so the
+                // next batch sees the slot free); an abandoned
+                // straggler keeps the lease until here, so no new
+                // task enters this slot's MatchService concurrently.
+                if (!owned) {
+                    std::lock_guard<std::mutex> lock(healthMu);
+                    slotHealth[slot].busy = false;
+                }
+            });
+        }
+        enqueue(tasks);
+        if (!awaitBatch(*batch, cfg.batchDeadlineMs)) {
+            // Abandon the stragglers: bump their epoch so a late
+            // write is discarded, mark them timed out, and let the
+            // retry loop re-execute them on spares. The wedged worker
+            // keeps its slot lease until it actually finishes.
+            std::lock_guard<std::mutex> lock(batch->bmu);
+            for (std::size_t s = 0; s < nshards; ++s) {
+                SliceState &st = batch->slices[s];
+                if (st.resolved)
+                    continue;
+                ++st.epoch;
+                st.abandoned = true;
+                st.resolved = true;
+                st.threw = false;
+                st.resp = MatchResponse{};
+                st.resp.id = req.id;
+                st.resp.error = ServiceError::make(
+                    ErrorCode::ShardFailed,
+                    "slice timed out after " +
+                        std::to_string(cfg.batchDeadlineMs) + " ms");
+                --batch->unresolved;
+                shardTimeoutsCtr.add();
+                ShardError se;
+                se.slice = s;
+                se.slot = st.slot;
+                se.kind = ShardFaultKind::Timeout;
+                se.detail = st.resp.error.detail;
+                lastErrors.push_back(std::move(se));
+                noteSlotOutcome(st.slot, false);
+            }
+        }
+        // Release the leases of slices whose worker answered in time,
+        // before the caller can start another batch -- the worker only
+        // has bookkeeping left, so the slot is genuinely free. An
+        // abandoned slice's lease stays with its straggler.
+        {
+            std::lock_guard<std::mutex> lock(healthMu);
+            for (std::size_t s = 0; s < nshards; ++s) {
+                const SliceState &st = batch->slices[s];
+                if (!st.abandoned && st.slot < slotHealth.size())
+                    slotHealth[st.slot].busy = false;
+            }
+        }
+    }
+
+    // --- Recovery: retry failed slices on spare slots ----------------
+    const auto sliceCaseId = [&](const SliceState &st) {
+        return telem::literalCaseId(cfg.base.alphabetBits, req.pattern,
+                                    st.piece.text);
+    };
+    const auto retryOnSpare = [&](std::size_t s, SliceState &st,
+                                  unsigned attempt,
+                                  const std::string &why) -> bool {
+        if (cfg.spareShards == 0)
+            return false;
+        const std::uint32_t spare =
+            cfg.threads + (spareRotor++ % cfg.spareShards);
+        shardRetriesCtr.add();
+        spareServesCtr.add();
+        telem::FlightEvent ev;
+        ev.kind = telem::FlightKind::ShardFailover;
+        ev.shard = st.slot;
+        ev.requestId = req.id;
+        ev.offset = s;
+        ev.caseId = sliceCaseId(st);
+        ev.note = why + "; retrying slice " + std::to_string(s) +
+                  " on spare slot " + std::to_string(spare);
+        flight.record(std::move(ev));
+        st.exceptionText.clear();
+        st.resp = serveSliceOn(spare, st.piece, &st.exceptionText);
+        st.threw = !st.exceptionText.empty();
+        st.attemptBeats += st.resp.beats;
+        st.slot = spare;
+        if (st.threw || !st.resp.ok()) {
+            ShardError se;
+            se.slice = s;
+            se.slot = spare;
+            se.attempt = attempt;
+            se.kind = st.threw ? ShardFaultKind::Exception
+                               : ShardFaultKind::ServeError;
+            se.detail = st.threw ? st.exceptionText
+                                 : st.resp.error.toString();
+            lastErrors.push_back(std::move(se));
+        }
+        return true;
+    };
+
+    for (std::size_t s = 0; s < nshards; ++s) {
+        SliceState &st = batch->slices[s];
+        if (!st.threw && st.resp.ok()) {
+            noteSlotOutcome(st.slot, true);
+            continue;
+        }
+        if (!st.threw && isRequestFault(st.resp.error.code))
+            continue; // the request's fault; a retry would not help
+        // An operational shard fault: exception, timeout, or a
+        // retryable serve error. Charge the slot and fail over.
+        if (st.threw) {
+            shardExceptionsCtr.add();
+            ShardError se;
+            se.slice = s;
+            se.slot = st.slot;
+            se.kind = ShardFaultKind::Exception;
+            se.detail = st.exceptionText;
+            lastErrors.push_back(std::move(se));
+            noteSlotOutcome(st.slot, false);
+        } else if (st.resp.error.code != ErrorCode::ShardFailed) {
+            // (Timeouts were recorded and charged at abandonment.)
+            ShardError se;
+            se.slice = s;
+            se.slot = st.slot;
+            se.kind = ShardFaultKind::ServeError;
+            se.detail = st.resp.error.toString();
+            lastErrors.push_back(std::move(se));
+            noteSlotOutcome(st.slot, false);
+        }
+        shardFailuresCtr.add();
+        const std::string why = st.threw
+                                    ? "exception: " + st.exceptionText
+                                    : st.resp.error.toString();
+        for (unsigned attempt = 1; attempt <= cfg.maxSliceRetries;
+             ++attempt) {
+            if (!retryOnSpare(s, st, attempt,
+                              attempt == 1 ? why : "retry failed"))
+                break;
+            if (!st.threw &&
+                (st.resp.ok() || isRequestFault(st.resp.error.code)))
+                break;
+        }
+        if (st.threw ||
+            (!st.resp.ok() && !isRequestFault(st.resp.error.code))) {
+            // Unrecovered: surface as the typed shard error.
+            const std::string detail =
+                st.threw ? "shard task threw: " + st.exceptionText
+                         : st.resp.error.toString();
+            st.resp.error = ServiceError::make(
+                ErrorCode::ShardFailed,
+                "slice " + std::to_string(s) + " unrecovered after " +
+                    std::to_string(cfg.maxSliceRetries) +
+                    " retries: " + detail);
+            st.resp.result.clear();
+        }
+    }
+
+    // --- Overlap cross-check: a free end-to-end integrity check ------
+    // Neighbor shards computed the k-1 overlap twice; disagreement
+    // means one of them corrupted bits past its own ladder cross-check
+    // (or with that check off). Re-execute both suspects on spares; an
+    // unresolved disagreement fails the request typed rather than
+    // stitching unverified bits.
+    if (cfg.overlapCheck && nshards > 1 && overlap > 0) {
+        std::size_t repairs = 0;
+        const std::size_t max_repairs =
+            nshards * (static_cast<std::size_t>(cfg.maxSliceRetries) + 1);
+        for (std::size_t s = 1; s < nshards; ++s) {
+            SliceState &cur = batch->slices[s];
+            SliceState &left = batch->slices[s - 1];
+            if (!cur.resp.ok() || !left.resp.ok() || left.rightExt == 0)
+                continue;
+            overlapChecksCtr.add();
+            // Global positions [starts[s], starts[s] + ext) were
+            // computed twice with full history: as the left slice's
+            // right extension and as the current slice's first kept
+            // bits. Any disagreement is a real fault, not warm-up.
+            const std::size_t ext = left.rightExt;
+            const std::size_t left_base = left.overlapLen + left.keepLen;
+            const auto pairAgrees = [&] {
+                for (std::size_t j = 0; j < ext; ++j)
+                    if (cur.resp.result[cur.overlapLen + j] !=
+                        left.resp.result[left_base + j])
+                        return false;
+                return true;
+            };
+            if (pairAgrees())
+                continue;
+            overlapMismatchesCtr.add();
+            ShardError se;
+            se.slice = s;
+            se.slot = cur.slot;
+            se.kind = ShardFaultKind::OverlapMismatch;
+            se.detail = "overlap bits disagree with slice " +
+                        std::to_string(s - 1);
+            lastErrors.push_back(std::move(se));
+            telem::FlightEvent ev;
+            ev.kind = telem::FlightKind::OverlapMismatch;
+            ev.shard = cur.slot;
+            ev.requestId = req.id;
+            ev.offset = starts[s];
+            ev.code = errorCodeName(ErrorCode::ShardFailed);
+            ev.caseId = sliceCaseId(cur);
+            ev.note = "slices " + std::to_string(s - 1) + "/" +
+                      std::to_string(s) + " disagree on " +
+                      std::to_string(ext) + " overlap bits";
+            flight.trip("overlap mismatch", std::move(ev));
+            const bool can_repair =
+                cfg.spareShards > 0 && repairs + 2 <= max_repairs;
+            bool repaired = false;
+            if (can_repair) {
+                repairs += 2;
+                retryOnSpare(s - 1, left, 1, "overlap mismatch suspect");
+                retryOnSpare(s, cur, 1, "overlap mismatch suspect");
+                repaired = !left.threw && left.resp.ok() && !cur.threw &&
+                           cur.resp.ok() && pairAgrees();
+            }
+            if (!repaired) {
+                cur.resp.error = ServiceError::make(
+                    ErrorCode::ShardFailed,
+                    "overlap mismatch between slices " +
+                        std::to_string(s - 1) + " and " +
+                        std::to_string(s) + " unresolved");
+                cur.resp.result.clear();
+            } else if (s >= 2) {
+                // The repaired left slice must still agree with *its*
+                // left neighbor; rewind to re-check that pair.
+                s -= 2;
+            }
+        }
+    }
+
+    // --- Stitch ------------------------------------------------------
     MatchResponse out;
     out.id = req.id;
-    out.backend = sub[0].backend;
+    out.backend = batch->slices[0].resp.backend;
     lastCritical = 0;
     lastTotal = 0;
     for (std::size_t s = 0; s < nshards; ++s) {
-        const MatchResponse &r = sub[s];
+        const SliceState &st = batch->slices[s];
+        const MatchResponse &r = st.resp;
         if (!r.ok() && out.ok()) {
             out.error = r.error;
-            out.error.detail =
-                "shard " + std::to_string(s) + ": " + r.error.detail;
+            if (nshards > 1)
+                out.error.detail =
+                    "shard " + std::to_string(s) + ": " + r.error.detail;
         }
         if (r.backend != out.backend)
             out.backend += "+" + r.backend;
@@ -171,12 +706,16 @@ ShardedMatchService::serve(const MatchRequest &req)
         out.checkpoints += r.checkpoints;
         out.watchdogTrips += r.watchdogTrips;
         out.crossCheckFailures += r.crossCheckFailures;
-        lastTotal += r.beats;
+        lastTotal += st.attemptBeats;
         lastCritical = std::max(lastCritical, r.beats);
         out.busSeconds = std::max(out.busSeconds, r.busSeconds);
-        if (out.ok())
-            out.result.insert(out.result.end(), r.result.begin(),
-                              r.result.end());
+        if (out.ok()) {
+            // Keep only the slice's own positions: the warm-up prefix
+            // belongs to shard s-1, the right extension to shard s+1.
+            out.result.insert(
+                out.result.end(), r.result.begin() + st.overlapLen,
+                r.result.begin() + st.overlapLen + st.keepLen);
+        }
     }
     // The host waits for the slowest shard, not the sum.
     out.beats = lastCritical;
@@ -192,8 +731,20 @@ ShardedMatchService::metricsSnapshot() const
     telem::Snapshot snap;
     for (const auto &shard : shards)
         snap.merge(shard->metricsSnapshot());
+    std::size_t quarantined = 0;
+    {
+        std::lock_guard<std::mutex> lock(healthMu);
+        for (const SlotHealth &h : slotHealth)
+            if (h.state == BreakerState::Open)
+                ++quarantined;
+    }
     snap.setGauge("threads", static_cast<double>(threadCount()));
     snap.setGauge("last_shards", static_cast<double>(nLastShards));
+    snap.setGauge("spares", static_cast<double>(cfg.spareShards));
+    snap.setGauge("quarantined_now", static_cast<double>(quarantined));
+    const telem::Snapshot sup = supMetrics.snapshot();
+    for (const auto &[name, value] : sup.counters)
+        snap.setCounter("sharded." + name, value);
     return snap;
 }
 
@@ -202,15 +753,22 @@ ShardedMatchService::statsDump() const
 {
     std::string s;
     s += "sharded.threads = " + std::to_string(threadCount()) + "\n";
+    s += "sharded.spares = " + std::to_string(cfg.spareShards) + "\n";
     s += "sharded.last_shards = " + std::to_string(nLastShards) + "\n";
     s += "sharded.last_critical_beats = " + std::to_string(lastCritical) +
          "\n";
     s += "sharded.last_total_beats = " + std::to_string(lastTotal) + "\n";
+    const telem::Snapshot sup = supMetrics.snapshot();
+    for (const auto &[name, value] : sup.counters)
+        s += "sharded." + name + " = " + std::to_string(value) + "\n";
     for (std::size_t i = 0; i < shards.size(); ++i) {
         s += "sharded.shard" + std::to_string(i) + ".served = " +
              std::to_string(
                  shards[i]->stats().counter("served").value()) +
              "\n";
+        if (i < slotHealth.size())
+            s += "sharded.shard" + std::to_string(i) + ".breaker = " +
+                 breakerStateName(breakerState(i)) + "\n";
     }
     return s;
 }

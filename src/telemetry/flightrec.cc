@@ -18,6 +18,9 @@ flightKindName(FlightKind kind)
       case FlightKind::CrossCheckMismatch: return "crosscheck_mismatch";
       case FlightKind::LadderTransition: return "ladder_transition";
       case FlightKind::ConformanceFailure: return "conformance_failure";
+      case FlightKind::ShardFailover: return "shard_failover";
+      case FlightKind::OverlapMismatch: return "overlap_mismatch";
+      case FlightKind::Quarantine: return "quarantine";
       case FlightKind::Note: return "note";
     }
     return "unknown";

@@ -41,6 +41,9 @@ enum class FlightKind : std::uint8_t
     CrossCheckMismatch, ///< fast rung disagreed with the reference
     LadderTransition,   ///< degradation ladder changed rungs
     ConformanceFailure, ///< differential harness found a disagreement
+    ShardFailover,      ///< a shard slice was retried on a spare slot
+    OverlapMismatch,    ///< neighbor shards disagreed on the k-1 overlap
+    Quarantine,         ///< a shard slot's circuit breaker opened
     Note,               ///< free-form marker
 };
 

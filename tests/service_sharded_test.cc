@@ -284,6 +284,74 @@ TEST(ShardedService, TracedServeExportsValidChromeTrace)
 }
 #endif // SPM_TELEM_OFF
 
+TEST(ShardedService, EmptyTextServesEmptyResult)
+{
+    ShardedMatchService sharded(smallShardConfig(4, 2));
+    MatchRequest req;
+    req.id = 1;
+    req.pattern = {1, 2};
+    const MatchResponse resp = sharded.serve(req);
+    ASSERT_TRUE(resp.ok()) << resp.error.detail;
+    EXPECT_TRUE(resp.result.empty());
+    EXPECT_EQ(sharded.lastShards(), 1u);
+}
+
+TEST(ShardedService, PatternAsLongAsMinShardCharsRaisesSliceFloor)
+{
+    // floor_chars = max(minShardChars, k): with k > minShardChars the
+    // k-1 warm-up overlap spans more than half of every slice, the
+    // hardest stitch shape that still shards.
+    const BitWidth bits = 2;
+    ShardedMatchService sharded(smallShardConfig(4, bits));
+    core::ReferenceMatcher ref;
+    for (const std::size_t k : {24u, 30u, 50u}) {
+        const auto req = randomRequest(0xDE6 + k, bits, 200, k, 30);
+        ASSERT_EQ(req.pattern.size(), k);
+        const MatchResponse resp = sharded.serve(req);
+        ASSERT_TRUE(resp.ok()) << resp.error.detail;
+        EXPECT_GE(sharded.lastShards(), 2u) << "k=" << k;
+        EXPECT_EQ(resp.result, ref.match(req.text, req.pattern))
+            << "k=" << k << " over " << sharded.lastShards() << " shards";
+    }
+}
+
+TEST(ShardedService, OverlapSpanningAWholeSliceStitchesExactly)
+{
+    // k equal to the slice length: every slice's window is nearly
+    // half warm-up, and each right extension reaches the far end of
+    // the neighbor's first chunk.
+    const BitWidth bits = 2;
+    ShardedConfig cfg = smallShardConfig(4, bits);
+    cfg.minShardChars = 50;
+    ShardedMatchService sharded(cfg);
+    core::ReferenceMatcher ref;
+    const auto req = randomRequest(0xDE7, bits, 200, 50, 20);
+    ASSERT_EQ(sharded.shardCountFor(200, 50), 4u);
+    const MatchResponse resp = sharded.serve(req);
+    ASSERT_TRUE(resp.ok()) << resp.error.detail;
+    EXPECT_EQ(sharded.lastShards(), 4u);
+    EXPECT_EQ(resp.result, ref.match(req.text, req.pattern));
+}
+
+TEST(ShardedService, SingleCharacterShardsMatchReference)
+{
+    // minShardChars=1 with a tiny text: one character per shard, the
+    // degenerate extreme of the slicing arithmetic (warm-up overlap
+    // k-1 = 0 or 1, right extensions clamped at the text end).
+    const BitWidth bits = 2;
+    ShardedConfig cfg = smallShardConfig(4, bits);
+    cfg.minShardChars = 1;
+    ShardedMatchService sharded(cfg);
+    core::ReferenceMatcher ref;
+    for (const std::size_t k : {1u, 2u}) {
+        const auto req = randomRequest(0xDE8 + k, bits, 4, k, 0);
+        const MatchResponse resp = sharded.serve(req);
+        ASSERT_TRUE(resp.ok()) << resp.error.detail;
+        EXPECT_EQ(sharded.lastShards(), k == 1 ? 4u : 2u);
+        EXPECT_EQ(resp.result, ref.match(req.text, req.pattern)) << "k=" << k;
+    }
+}
+
 TEST(ShardedService, RepeatedServesAreDeterministic)
 {
     ShardedMatchService sharded(smallShardConfig(4, 2));
