@@ -133,6 +133,64 @@ wordParallelReport()
 }
 
 void
+wordparArenaReport()
+{
+    // The arena satellite: a reused matcher instance must stop paying
+    // the per-call plane/eq/result allocations. Measured as a burst
+    // of back-to-back calls on a mid-size text -- cold constructs a
+    // fresh matcher per call, warm reuses one -- plus a direct check
+    // that the arena footprint goes quiescent after the first call.
+    const std::size_t n = smokeMode() ? 4096 : 65536;
+    const int calls = smokeMode() ? 40 : 200;
+    const auto w = makeMatchWorkload(n, 8, 2, 0.12);
+
+    double cold_s = 1e300;
+    double warm_s = 1e300;
+    WordParallelMatcher warm;
+    warm.match(w.text, w.pattern); // size the arena
+    const std::size_t bytes_after_first = warm.arenaBytes();
+    for (int rep = 0; rep < 3; ++rep) {
+        cold_s = std::min(cold_s, secondsOf([&] {
+            for (int i = 0; i < calls; ++i) {
+                WordParallelMatcher cold;
+                auto r = cold.match(w.text, w.pattern);
+                benchmark::DoNotOptimize(r);
+            }
+        }));
+        warm_s = std::min(warm_s, secondsOf([&] {
+            for (int i = 0; i < calls; ++i) {
+                auto r = warm.match(w.text, w.pattern);
+                benchmark::DoNotOptimize(r);
+            }
+        }));
+    }
+    const double total = static_cast<double>(n) * calls;
+    const double cs_cold = total / cold_s;
+    const double cs_warm = total / warm_s;
+    const bool stable = warm.arenaBytes() == bytes_after_first;
+
+    Table table("Word-parallel arena reuse (burst of " +
+                std::to_string(calls) + " calls, n = " +
+                std::to_string(n) + ")");
+    table.setHeader({"mode", "Mchars/s", "arena stable"});
+    table.addRowOf("cold (fresh matcher/call)",
+                   Table::fixed(cs_cold / 1e6, 2), "-");
+    table.addRowOf("warm (reused arena)", Table::fixed(cs_warm / 1e6, 2),
+                   stable ? "yes" : "NO");
+    table.print();
+
+    jsonReport().set("wordpar.arena_cold_chars_per_sec", cs_cold);
+    jsonReport().set("wordpar.arena_warm_chars_per_sec", cs_warm);
+    jsonReport().set("wordpar.arena_warm_speedup", cs_warm / cs_cold);
+    jsonReport().set("wordpar.arena_stable", stable ? "yes" : "no");
+    std::printf("\nShape check: a warm matcher is %.2fx a cold one on "
+                "%d-call bursts,\nand its arena footprint is %s after "
+                "the first call.\n",
+                cs_warm / cs_cold, calls,
+                stable ? "quiescent" : "STILL GROWING");
+}
+
+void
 shardedReport()
 {
     const std::size_t n = smokeMode() ? 8192 : 262144;
@@ -247,6 +305,7 @@ printReport()
         "kernel evaluating 64 text positions per word, a sharded "
         "multi-threaded service, and a compiled gate-sim pass.");
     wordParallelReport();
+    wordparArenaReport();
     shardedReport();
     levelizedReport();
 }

@@ -54,6 +54,15 @@ build/tools/conformance_fuzz --cases 1000000 --seconds 10
 echo "== conformance: mutation self-check =="
 build/tools/conformance_fuzz --mutants
 
+# The SIMD kernel tiers under AddressSanitizer: a time-boxed
+# differential sweep focused on the simd-parallel oracles (best ISA
+# plus every forced-down tier), so out-of-bounds plane or mask
+# arithmetic in the vector paths trips ASan instead of shipping as a
+# rare wrong bit. Uses the asan-ubsan build from the matrix above.
+echo "== conformance: simd kernel fuzz under asan =="
+build-asan-ubsan/tools/conformance_fuzz --cases 1000000 --seconds 10 \
+    --focus simd-parallel --no-extensions --no-golden
+
 # Chaos leg on the plain build: a seeded mixed storm (stalls, hangs,
 # throws, silent bit flips against the primaries) must end with every
 # request either recovered bit-exact or failed typed -- chaos_storm
@@ -99,7 +108,8 @@ for pair in \
     "BENCH_E13.json bench_e13_throughput" \
     "BENCH_E15.json bench_e15_telemetry" \
     "BENCH_E16.json bench_e16_faultgrade" \
-    "BENCH_E17.json bench_e17_chaos"; do
+    "BENCH_E17.json bench_e17_chaos" \
+    "BENCH_E18.json bench_e18_simd"; do
     set -- ${pair}
     baseline="$1"
     bin="$2"

@@ -314,12 +314,31 @@ Failure::report() const
     return s;
 }
 
+/**
+ * The registry for one run: the full set, narrowed to the focus
+ * substring when one is configured. The reference (entry 0) always
+ * stays -- a focused run still needs the trusted answer.
+ */
+static std::vector<Oracle>
+oraclesFor(const HarnessConfig &cfg)
+{
+    std::vector<Oracle> oracles = makeAllOracles(cfg.withGate);
+    if (cfg.focus.empty())
+        return oracles;
+    std::vector<Oracle> kept;
+    for (std::size_t i = 0; i < oracles.size(); ++i)
+        if (i == 0 ||
+            oracles[i].name().find(cfg.focus) != std::string::npos)
+            kept.push_back(std::move(oracles[i]));
+    return kept;
+}
+
 RunReport
 runFuzz(const HarnessConfig &cfg)
 {
     const auto start = Clock::now();
     RunReport report;
-    std::vector<Oracle> oracles = makeAllOracles(cfg.withGate);
+    std::vector<Oracle> oracles = oraclesFor(cfg);
     const CaseGen gen(cfg.seed);
 
     for (std::uint64_t i = 0; i < cfg.cases; ++i) {
@@ -351,7 +370,7 @@ replayCase(const std::string &id, const HarnessConfig &cfg)
         report.seconds = secondsSince(start);
         return report;
     }
-    std::vector<Oracle> oracles = makeAllOracles(cfg.withGate);
+    std::vector<Oracle> oracles = oraclesFor(cfg);
     runOneCase(report, *c, id, 0, oracles, cfg, true);
     report.seconds = secondsSince(start);
     return report;
@@ -363,7 +382,7 @@ runCorpus(const std::string &path, const HarnessConfig &cfg)
     namespace fs = std::filesystem;
     const auto start = Clock::now();
     RunReport report;
-    std::vector<Oracle> oracles = makeAllOracles(cfg.withGate);
+    std::vector<Oracle> oracles = oraclesFor(cfg);
 
     std::vector<fs::path> files;
     if (fs::is_directory(path)) {

@@ -39,6 +39,13 @@ struct HarnessConfig
     double timeBudgetSec = 0;
     /** Include the gate-level oracles (slow; strided anyway). */
     bool withGate = true;
+    /**
+     * When non-empty, only oracles whose name contains this substring
+     * participate (the reference always stays as the trusted answer).
+     * How a targeted leg fuzzes one new kernel hard without paying
+     * for the whole registry -- e.g. focus "simd-parallel" or "batch".
+     */
+    std::string focus;
     /** Run the extension cross-checks on a stride of cases. */
     bool withExtensions = true;
     /** Run the golden-trace diffs on a stride of cases. */

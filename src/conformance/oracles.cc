@@ -4,12 +4,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/batch.hh"
 #include "core/behavioral.hh"
 #include "core/bitserial.hh"
 #include "core/cascade.hh"
 #include "core/gatechip.hh"
 #include "core/multipass.hh"
 #include "core/reference.hh"
+#include "core/simdpar.hh"
 #include "core/wordpar.hh"
 #include "service/sharded.hh"
 #include "util/strings.hh"
@@ -96,6 +98,93 @@ class ShardedOracleMatcher : public core::Matcher
         services;
 };
 
+/**
+ * The batch matcher behind the Matcher interface. The case text rides
+ * as lane 0 of a width-W pack whose other lanes are suffixes of the
+ * same text, so every case exercises the packed-segment boundaries at
+ * W different alignments. Lane 0 is what the differ checks against
+ * the reference; the suffix lanes are verified here against a width-1
+ * pass of the same kernel, so a cross-lane packing or extraction bug
+ * fails the oracle even when lane 0 happens to agree. With
+ * @p chunk > 0 every lane additionally goes through the carry path in
+ * chunk-sized pieces, which must be bit-identical to one-shot
+ * matching.
+ */
+class BatchOracleMatcher : public core::Matcher
+{
+  public:
+    BatchOracleMatcher(std::size_t width, std::size_t chunk)
+        : lanes(width), chunkChars(chunk)
+    {
+    }
+
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override
+    {
+        std::vector<std::vector<Symbol>> streams(lanes);
+        streams[0] = text;
+        for (std::size_t i = 1; i < lanes; ++i) {
+            const std::size_t start =
+                text.empty() ? 0 : i * text.size() / lanes;
+            streams[i].assign(
+                text.begin() + static_cast<std::ptrdiff_t>(start),
+                text.end());
+        }
+
+        std::vector<std::vector<bool>> got;
+        if (chunkChars == 0) {
+            got = engine.matchMany(streams, pattern);
+        } else {
+            std::vector<core::StreamCarry> carries(lanes);
+            got.assign(lanes, {});
+            bool more = true;
+            for (std::size_t off = 0; more; off += chunkChars) {
+                more = false;
+                std::vector<std::vector<Symbol>> chunks(lanes);
+                for (std::size_t i = 0; i < lanes; ++i) {
+                    const std::size_t n = streams[i].size();
+                    const std::size_t take =
+                        off >= n ? 0 : std::min(chunkChars, n - off);
+                    chunks[i].assign(
+                        streams[i].begin() +
+                            static_cast<std::ptrdiff_t>(off),
+                        streams[i].begin() +
+                            static_cast<std::ptrdiff_t>(off + take));
+                    if (off + take < n)
+                        more = true;
+                }
+                auto bits = engine.feedChunks(carries, chunks, pattern);
+                for (std::size_t i = 0; i < lanes; ++i)
+                    got[i].insert(got[i].end(), bits[i].begin(),
+                                  bits[i].end());
+            }
+        }
+
+        for (std::size_t i = 1; i < lanes; ++i) {
+            const auto alone = engine.matchMany(
+                std::vector<std::vector<Symbol>>{streams[i]}, pattern);
+            if (got[i] != alone[0])
+                throw std::runtime_error(
+                    name() + ": lane " + std::to_string(i) +
+                    " disagrees with its own unbatched answer");
+        }
+        return std::move(got[0]);
+    }
+
+    std::string name() const override
+    {
+        std::string s = "batch-w" + std::to_string(lanes);
+        if (chunkChars > 0)
+            s += "-chunk" + std::to_string(chunkChars);
+        return s;
+    }
+
+  private:
+    std::size_t lanes;
+    std::size_t chunkChars;
+    core::BatchMatcher engine;
+};
+
 /** A two-chip cascade resized to each case's pattern. */
 class CascadeOracleMatcher : public core::Matcher
 {
@@ -167,6 +256,26 @@ makeAllOracles(bool with_gate)
                             1 << 20, 1 << 12, 16, 1));
     oracles.push_back(entry(std::make_unique<core::WordParallelMatcher>(),
                             1 << 20, 1 << 12, 16, 1));
+    // The SIMD-widened kernel: the best tier at full limits, plus
+    // every supported tier below it forced explicitly, so an AVX2 box
+    // still diffs the SSE2 and scalar code paths on each sweep.
+    oracles.push_back(entry(std::make_unique<core::SimdParallelMatcher>(),
+                            1 << 20, 1 << 12, 16, 1));
+    for (const core::SimdIsa isa :
+         {core::SimdIsa::Scalar, core::SimdIsa::Sse2}) {
+        if (core::simdIsaSupported(isa) && isa < core::bestSimdIsa())
+            oracles.push_back(entry(
+                std::make_unique<core::SimdParallelMatcher>(isa),
+                1 << 18, 1 << 12, 16, 1));
+    }
+    // The batch layer over that kernel: two pack widths plus the
+    // chunked carry path (suffix lanes verified inside the oracle).
+    oracles.push_back(entry(std::make_unique<BatchOracleMatcher>(3, 0),
+                            1 << 14, 256, 16, 1));
+    oracles.push_back(entry(std::make_unique<BatchOracleMatcher>(64, 0),
+                            1 << 12, 256, 16, 2));
+    oracles.push_back(entry(std::make_unique<BatchOracleMatcher>(3, 7),
+                            1 << 12, 256, 16, 2));
     // Engine-simulated fidelities: ~2n beats of cell evaluations per
     // case; cap the text so a 100k-case sweep stays minutes, not hours.
     oracles.push_back(entry(std::make_unique<core::BehavioralMatcher>(),

@@ -8,7 +8,9 @@
  * identically at every design level; the registry is that claim made
  * executable. It holds the reference definition, the behavioral
  * array, the bit-serial pipeline, the multipass driver, the
- * word-parallel kernel, the gate-level chip (event-driven and
+ * word-parallel kernel, the SIMD kernel (best tier plus every
+ * supported tier forced down), the batch layer (multi-wide packing
+ * and the chunked carry path), the gate-level chip (event-driven and
  * levelized), the chip cascade, and the sharded service at 1, 2 and
  * 4 worker threads -- all oracles of each other.
  *
@@ -54,8 +56,9 @@ struct Oracle
 };
 
 /**
- * The full registry: all nine implementations (sharded at three
- * thread counts, so eleven configurations). Entry 0 is always the
+ * The full registry: every implementation, with the sharded service
+ * at three thread counts, the SIMD kernel at every supported tier and
+ * the batch layer at several pack shapes. Entry 0 is always the
  * reference matcher the differ trusts.
  */
 std::vector<Oracle> makeAllOracles(bool with_gate = true);

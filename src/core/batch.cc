@@ -1,0 +1,128 @@
+#include "core/batch.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace spm::core
+{
+
+BatchMatcher::BatchMatcher() = default;
+
+BatchMatcher::BatchMatcher(SimdIsa forced) : simd(forced) {}
+
+std::vector<std::vector<bool>>
+BatchMatcher::matchMany(const std::vector<std::vector<Symbol>> &streams,
+                        const std::vector<Symbol> &pattern)
+{
+    std::vector<const std::vector<Symbol> *> ptrs;
+    ptrs.reserve(streams.size());
+    for (const std::vector<Symbol> &s : streams)
+        ptrs.push_back(&s);
+    return matchMany(ptrs, pattern);
+}
+
+std::vector<std::vector<bool>>
+BatchMatcher::matchMany(
+    const std::vector<const std::vector<Symbol> *> &streams,
+    const std::vector<Symbol> &pattern)
+{
+    // A whole stream is one chunk fed to a fresh carry.
+    std::vector<StreamCarry> carries(streams.size());
+    return feedChunks(carries, streams, pattern);
+}
+
+std::vector<std::vector<bool>>
+BatchMatcher::feedChunks(std::vector<StreamCarry> &carries,
+                         const std::vector<std::vector<Symbol>> &chunks,
+                         const std::vector<Symbol> &pattern)
+{
+    std::vector<const std::vector<Symbol> *> ptrs;
+    ptrs.reserve(chunks.size());
+    for (const std::vector<Symbol> &c : chunks)
+        ptrs.push_back(&c);
+    return feedChunks(carries, ptrs, pattern);
+}
+
+std::vector<std::vector<bool>>
+BatchMatcher::feedChunks(
+    std::vector<StreamCarry> &carries,
+    const std::vector<const std::vector<Symbol> *> &chunks,
+    const std::vector<Symbol> &pattern)
+{
+    if (carries.size() != chunks.size())
+        throw std::invalid_argument(
+            "BatchMatcher: " + std::to_string(carries.size()) +
+            " carries for " + std::to_string(chunks.size()) + " chunks");
+    const std::size_t width = chunks.size();
+    const std::size_t k = pattern.size();
+    const std::size_t hist = k == 0 ? 0 : k - 1;
+    for (const StreamCarry &carry : carries)
+        if (carry.seen != 0 && carry.patternLen != k)
+            throw std::invalid_argument(
+                "BatchMatcher: carry fed with pattern length " +
+                std::to_string(carry.patternLen) +
+                " reused with length " + std::to_string(k));
+
+    // Pack carry tail + chunk per stream, end to end. The tail gives
+    // every kept position its full look-back window; positions still
+    // inside a stream's first k-1 characters are masked below, so the
+    // kernel's cross-stream reads there are harmless.
+    batchWidth = width;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < width; ++i)
+        total += carries[i].tail.size() + chunks[i]->size();
+    concat.clear();
+    concat.reserve(total);
+    segBase.resize(width);
+    segSkip.resize(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        const std::vector<Symbol> &tail = carries[i].tail;
+        const std::vector<Symbol> &chunk = *chunks[i];
+        segBase[i] = concat.size();
+        segSkip[i] = tail.size();
+        concat.insert(concat.end(), tail.begin(), tail.end());
+        concat.insert(concat.end(), chunk.begin(), chunk.end());
+    }
+    kernelChars = concat.size();
+    const std::vector<std::uint64_t> &packed =
+        simd.matchPacked(concat, pattern);
+
+    std::vector<std::vector<bool>> out(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        const std::vector<Symbol> &chunk = *chunks[i];
+        const std::size_t len = chunk.size();
+        const std::uint64_t before = carries[i].seen;
+        std::vector<bool> &bits = out[i];
+        bits.assign(len, false);
+        const std::size_t base = segBase[i] + segSkip[i];
+        for (std::size_t c = 0; c < len; ++c) {
+            if (before + c + 1 < k)
+                continue; // the stream hasn't seen k characters yet
+            const std::size_t g = base + c;
+            bits[c] = (packed[g / 64] >> (g % 64)) & 1u;
+        }
+
+        // Advance the carry: keep the last min(k-1, seen) characters.
+        StreamCarry &carry = carries[i];
+        carry.seen = before + len;
+        carry.patternLen = k;
+        const std::size_t need = static_cast<std::size_t>(
+            std::min<std::uint64_t>(hist, carry.seen));
+        if (len >= need) {
+            carry.tail.assign(
+                chunk.end() - static_cast<std::ptrdiff_t>(need),
+                chunk.end());
+        } else {
+            const std::size_t from_tail = need - len;
+            carry.tail.erase(carry.tail.begin(),
+                             carry.tail.end() -
+                                 static_cast<std::ptrdiff_t>(from_tail));
+            carry.tail.insert(carry.tail.end(), chunk.begin(),
+                              chunk.end());
+        }
+    }
+    return out;
+}
+
+} // namespace spm::core

@@ -123,6 +123,28 @@ HostBusModel::transferChar(Symbol sent, Symbol received)
     return false;
 }
 
+std::uint64_t
+HostBusModel::transferChunk(const Symbol *sent, const Symbol *received,
+                            std::size_t n)
+{
+    if (n == 0)
+        return 0;
+    nChars += n;
+    SPM_TCOUNT_GLOBAL("hostbus.chars_transferred",
+                      static_cast<std::uint64_t>(n));
+    if (!parity || sent == received)
+        return 0;
+    std::uint64_t errs = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (parityBit(sent[i], bits) != parityBit(received[i], bits))
+            ++errs;
+    if (errs != 0) {
+        nParityErrors += errs;
+        SPM_TCOUNT_GLOBAL("hostbus.parity_errors", errs);
+    }
+    return errs;
+}
+
 void
 HostBusModel::resetTransferStats()
 {

@@ -121,7 +121,20 @@ class HostBusModel
      */
     bool transferChar(Symbol sent, Symbol received);
 
-    /** Characters moved through transferChar() so far. */
+    /**
+     * Batched end-to-end transfer of @p n characters: the counter and
+     * telemetry charges of n transferChar() calls amortized into one
+     * update. When @p sent and @p received alias (a loopback
+     * transfer, the serving layer's common case) the per-character
+     * parity recomputation is skipped outright -- bit-identical
+     * outcome, since equal characters always parity-match.
+     *
+     * @return parity mismatches detected (0 when clean or unchecked)
+     */
+    std::uint64_t transferChunk(const Symbol *sent,
+                                const Symbol *received, std::size_t n);
+
+    /** Characters moved through transferChar()/transferChunk() so far. */
     std::uint64_t charsTransferred() const { return nChars; }
 
     /** Parity mismatches detected so far. */

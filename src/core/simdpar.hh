@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The SIMD-widened bit-sliced matcher kernel.
+ *
+ * src/core/wordpar realizes the paper's one-result-bit-per-character
+ * claim at 64 positions per machine word; this kernel widens the same
+ * bit-sliced recurrences to 128-bit (SSE2) and 256-bit (AVX2)
+ * registers, in the spirit of the packed short-pattern matchers of
+ * Faro & Kulekci ("Fast Packed String Matching for Short Patterns").
+ * Three things separate it from the word-parallel kernel:
+ *
+ *   transpose   for alphabets of at most 8 bits the text is narrowed
+ *               to bytes and transposed with compare + movemask, 32
+ *               characters per instruction, instead of one character
+ *               per loop iteration;
+ *   recurrence  patterns with k <= 64 (one result word of history)
+ *               take a fused single-pass recurrence: every plane word
+ *               is read once and all pattern-position factors are
+ *               combined in registers, instead of one sweep over the
+ *               result stream per pattern position. Longer patterns
+ *               use SIMD sweeps over the equality masks;
+ *   arena       all scratch (byte text, planes, equality masks, the
+ *               packed result) lives in a reusable member arena, so
+ *               steady-state match() calls allocate nothing.
+ *
+ * Instruction sets are selected at runtime (AVX2 when the CPU has it,
+ * else SSE2 on x86-64, else portable uint64), and every variant is
+ * bit-identical to core::ReferenceMatcher -- the conformance registry
+ * carries the best-ISA kernel and the forced-down variants as
+ * separate oracles. The SPM_SIMD_ISA environment variable ("scalar",
+ * "sse2", "avx2") caps the auto-detected choice for A/B runs.
+ */
+
+#ifndef SPM_CORE_SIMDPAR_HH
+#define SPM_CORE_SIMDPAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matcher.hh"
+
+namespace spm::core
+{
+
+/** Instruction-set tier the kernel dispatch can select. */
+enum class SimdIsa : unsigned char
+{
+    Scalar, ///< portable uint64 ops (the wordpar organization)
+    Sse2,   ///< 128-bit planes
+    Avx2,   ///< 256-bit planes
+};
+
+/** Printable name ("scalar", "sse2", "avx2"). */
+const char *simdIsaName(SimdIsa isa);
+
+/**
+ * The best tier this process may use: CPU detection capped by the
+ * SPM_SIMD_ISA environment variable. Computed once, then cached.
+ */
+SimdIsa bestSimdIsa();
+
+/** Whether @p isa is executable on this CPU. */
+bool simdIsaSupported(SimdIsa isa);
+
+/**
+ * SIMD evaluation of the Section 3.1 problem.
+ *
+ * Stateless between calls apart from the scratch arena, so one
+ * instance serves requests of any shape -- but, exactly like
+ * WordParallelMatcher, not from two threads concurrently; the sharded
+ * service and the batch front end give each worker its own instance.
+ */
+class SimdParallelMatcher : public Matcher
+{
+  public:
+    /** Dispatch on the best supported tier. */
+    SimdParallelMatcher();
+
+    /**
+     * Force a tier (capped at what the CPU supports); used by the
+     * conformance oracles and the A/B benches. A forced instance
+     * reports the tier in name() so differential reports distinguish
+     * the variants.
+     */
+    explicit SimdParallelMatcher(SimdIsa forced);
+
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override;
+
+    std::string name() const override;
+
+    /**
+     * The kernel proper: the packed result stream, 64 text positions
+     * per word, word w bit i corresponding to text position 64 w + i;
+     * same contract as WordParallelMatcher::matchPacked. The returned
+     * reference points into the arena and is valid until the next
+     * call on this instance.
+     */
+    const std::vector<std::uint64_t> &matchPacked(
+        const std::vector<Symbol> &text,
+        const std::vector<Symbol> &pattern);
+
+    /** Tier this instance dispatches to. */
+    SimdIsa isa() const { return tier; }
+
+    /** 64-bit-word-equivalent operations in the last matchPacked(). */
+    std::uint64_t lastWordOps() const { return wordOps; }
+
+    /** Bit planes built by the last matchPacked(). */
+    unsigned lastPlanes() const { return planesBuilt; }
+
+    /** Whether the last call took the fused short-pattern path. */
+    bool lastShortPath() const { return usedShortPath; }
+
+    /** High-water scratch footprint in bytes (proves arena reuse). */
+    std::size_t arenaBytes() const;
+
+  private:
+    SimdIsa tier;
+    bool forcedTier = false;
+
+    // --- the scratch arena (reused across calls) ---------------------
+    std::vector<std::uint8_t> byteText;    ///< narrowed text, padded
+    std::vector<std::uint64_t> planeArena; ///< planesBuilt x nw, flat
+    std::vector<std::uint64_t> eqArena;    ///< equality masks, flat
+    std::vector<std::pair<Symbol, std::size_t>> eqIndex;
+    std::vector<std::uint64_t> result;  ///< packed result words
+
+    std::uint64_t wordOps = 0;
+    unsigned planesBuilt = 0;
+    bool usedShortPath = false;
+};
+
+/**
+ * Expand a packed result stream (64 positions per word) into the
+ * Matcher-interface bit vector. Sparse-aware: words are scanned with
+ * count-trailing-zeros, so the cost is O(words + matches), not O(n).
+ */
+std::vector<bool> unpackResultBits(const std::vector<std::uint64_t> &packed,
+                                   std::size_t n);
+
+} // namespace spm::core
+
+#endif // SPM_CORE_SIMDPAR_HH

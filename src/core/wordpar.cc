@@ -1,6 +1,9 @@
 #include "core/wordpar.hh"
 
+#include <algorithm>
 #include <cstddef>
+
+#include "core/simdpar.hh"
 
 namespace spm::core
 {
@@ -28,7 +31,7 @@ widthOf(Symbol v)
 
 } // namespace
 
-std::vector<std::uint64_t>
+const std::vector<std::uint64_t> &
 WordParallelMatcher::matchPacked(const std::vector<Symbol> &text,
                                  const std::vector<Symbol> &pattern)
 {
@@ -38,9 +41,9 @@ WordParallelMatcher::matchPacked(const std::vector<Symbol> &text,
     wordOps = 0;
     planesBuilt = 0;
 
-    std::vector<std::uint64_t> r(nw, 0);
+    result.assign(nw, 0);
     if (k == 0 || n == 0 || k > n)
-        return r;
+        return result;
 
     // The planes must cover every bit that can distinguish a text
     // character from a pattern character.
@@ -56,28 +59,37 @@ WordParallelMatcher::matchPacked(const std::vector<Symbol> &text,
     // Transpose the text into bit planes: plane[b] bit i = bit b of
     // s_i. This is the only per-character loop in the kernel; all
     // later work is 64 positions per operation.
-    std::vector<std::vector<std::uint64_t>> plane(
-        planes, std::vector<std::uint64_t>(nw, 0));
+    const std::size_t planeWords = static_cast<std::size_t>(planes) * nw;
+    if (planeArena.size() < planeWords)
+        planeArena.resize(planeWords);
+    std::fill(planeArena.begin(),
+              planeArena.begin() + static_cast<std::ptrdiff_t>(planeWords),
+              0);
     for (std::size_t i = 0; i < n; ++i) {
         const Symbol c = text[i];
         const std::size_t w = i / bitsPerWord;
         const std::uint64_t bit = std::uint64_t(1) << (i % bitsPerWord);
         for (unsigned b = 0; b < planes; ++b)
             if ((c >> b) & 1u)
-                plane[b][w] |= bit;
+                planeArena[b * nw + w] |= bit;
     }
 
     // Equality masks are computed once per distinct pattern symbol
-    // and cached; patterns over small alphabets (the prototype's
-    // 2-bit characters) touch the text O(|Sigma|) times, not O(k).
-    std::vector<std::pair<Symbol, std::vector<std::uint64_t>>> eqCache;
-    auto eqFor = [&](Symbol c) -> const std::vector<std::uint64_t> & {
-        for (const auto &entry : eqCache)
+    // and cached in the arena; patterns over small alphabets (the
+    // prototype's 2-bit characters) touch the text O(|Sigma|) times,
+    // not O(k).
+    eqIndex.clear();
+    auto eqFor = [&](Symbol c) -> const std::uint64_t * {
+        for (const auto &entry : eqIndex)
             if (entry.first == c)
-                return entry.second;
-        std::vector<std::uint64_t> m(nw, ~std::uint64_t(0));
+                return eqArena.data() + entry.second;
+        const std::size_t off = eqIndex.size() * nw;
+        if (eqArena.size() < off + nw)
+            eqArena.resize(off + nw);
+        std::uint64_t *m = eqArena.data() + off;
+        std::fill(m, m + nw, ~std::uint64_t(0));
         for (unsigned b = 0; b < planes; ++b) {
-            const std::vector<std::uint64_t> &p = plane[b];
+            const std::uint64_t *p = planeArena.data() + b * nw;
             if ((c >> b) & 1u) {
                 for (std::size_t w = 0; w < nw; ++w)
                     m[w] &= p[w];
@@ -87,20 +99,20 @@ WordParallelMatcher::matchPacked(const std::vector<Symbol> &text,
             }
         }
         wordOps += static_cast<std::uint64_t>(planes) * nw;
-        eqCache.emplace_back(c, std::move(m));
-        return eqCache.back().second;
+        eqIndex.emplace_back(c, off);
+        return m;
     };
 
     // r = AND_j shiftUp(eq(p_j), k-1-j): one shifted AND per
     // non-wild pattern position, each covering 64 text positions per
     // word. Wild cards contribute an all-ones factor and are skipped.
-    for (std::uint64_t &w : r)
+    for (std::uint64_t &w : result)
         w = ~std::uint64_t(0);
     for (std::size_t j = 0; j < k; ++j) {
         const Symbol c = pattern[j];
         if (c == wildcardSymbol)
             continue;
-        const std::vector<std::uint64_t> &m = eqFor(c);
+        const std::uint64_t *m = eqFor(c);
         const std::size_t s = (k - 1) - j;
         const std::size_t ws = s / bitsPerWord;
         const unsigned bs = static_cast<unsigned>(s % bitsPerWord);
@@ -111,7 +123,7 @@ WordParallelMatcher::matchPacked(const std::vector<Symbol> &text,
                 if (bs != 0 && w > ws)
                     v |= m[w - ws - 1] >> (bitsPerWord - bs);
             }
-            r[w] &= v;
+            result[w] &= v;
         }
         wordOps += nw;
     }
@@ -120,24 +132,30 @@ WordParallelMatcher::matchPacked(const std::vector<Symbol> &text,
     // definition, as is the slack past the text in the last word.
     const std::size_t lead = k - 1;
     for (std::size_t w = 0; w < lead / bitsPerWord && w < nw; ++w)
-        r[w] = 0;
+        result[w] = 0;
     if (lead / bitsPerWord < nw && lead % bitsPerWord != 0)
-        r[lead / bitsPerWord] &=
-            ~std::uint64_t(0) << (lead % bitsPerWord);
+        result[lead / bitsPerWord] &= ~std::uint64_t(0)
+                                      << (lead % bitsPerWord);
     if (n % bitsPerWord != 0)
-        r[nw - 1] &= ~std::uint64_t(0) >> (bitsPerWord - n % bitsPerWord);
-    return r;
+        result[nw - 1] &=
+            ~std::uint64_t(0) >> (bitsPerWord - n % bitsPerWord);
+    return result;
 }
 
 std::vector<bool>
 WordParallelMatcher::match(const std::vector<Symbol> &text,
                            const std::vector<Symbol> &pattern)
 {
-    const std::vector<std::uint64_t> packed = matchPacked(text, pattern);
-    std::vector<bool> out(text.size(), false);
-    for (std::size_t i = 0; i < out.size(); ++i)
-        out[i] = (packed[i / bitsPerWord] >> (i % bitsPerWord)) & 1u;
-    return out;
+    return unpackResultBits(matchPacked(text, pattern), text.size());
+}
+
+std::size_t
+WordParallelMatcher::arenaBytes() const
+{
+    return (planeArena.capacity() + eqArena.capacity() +
+            result.capacity()) *
+               sizeof(std::uint64_t) +
+           eqIndex.capacity() * sizeof(eqIndex[0]);
 }
 
 } // namespace spm::core

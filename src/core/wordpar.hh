@@ -24,6 +24,7 @@
 #define SPM_CORE_WORDPAR_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/matcher.hh"
@@ -34,10 +35,12 @@ namespace spm::core
 /**
  * Word-parallel evaluation of the Section 3.1 problem.
  *
- * match() allocates per call and is stateless between calls, so one
- * matcher instance may be shared across requests of any shape (but
- * not across threads concurrently; the sharded service gives each
- * shard its own instance).
+ * Stateless between calls apart from the scratch arena (planes,
+ * equality masks, the packed result), which is retained and reused so
+ * steady-state match() calls allocate nothing. One matcher instance
+ * may be shared across requests of any shape, but not across threads
+ * concurrently; the sharded service gives each shard its own
+ * instance.
  */
 class WordParallelMatcher : public Matcher
 {
@@ -51,9 +54,11 @@ class WordParallelMatcher : public Matcher
      * The kernel proper: the packed result stream, 64 text positions
      * per word, word w bit i corresponding to text position 64 w + i.
      * Bits for incomplete substrings (i < k-1) are 0, as are the
-     * unused bits past the text length in the last word.
+     * unused bits past the text length in the last word. The returned
+     * reference points into the arena and is valid until the next
+     * call on this instance.
      */
-    std::vector<std::uint64_t> matchPacked(
+    const std::vector<std::uint64_t> &matchPacked(
         const std::vector<Symbol> &text,
         const std::vector<Symbol> &pattern);
 
@@ -63,9 +68,18 @@ class WordParallelMatcher : public Matcher
     /** Bit planes built by the last matchPacked(). */
     unsigned lastPlanes() const { return planesBuilt; }
 
+    /** High-water scratch footprint in bytes (proves arena reuse). */
+    std::size_t arenaBytes() const;
+
   private:
     std::uint64_t wordOps = 0;
     unsigned planesBuilt = 0;
+
+    // --- the scratch arena (reused across calls) ---------------------
+    std::vector<std::uint64_t> planeArena; ///< planesBuilt x nw, flat
+    std::vector<std::uint64_t> eqArena;    ///< equality masks, flat
+    std::vector<std::pair<Symbol, std::size_t>> eqIndex;
+    std::vector<std::uint64_t> result; ///< packed result words
 };
 
 } // namespace spm::core

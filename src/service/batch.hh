@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The batched request path.
+ *
+ * The streaming service (service.hh) optimizes one stream's latency
+ * and resilience; this front end optimizes fleet throughput -- the
+ * north-star serving shape where millions of short independent
+ * streams arrive together and the kernel's plane words are kept full
+ * by batch width, not by any single stream's length. Requests that
+ * share a pattern ride one core::BatchMatcher pass; requests with
+ * distinct patterns still share the call but cost one pass each.
+ *
+ * The front end keeps the serving-layer contract of its streaming
+ * sibling: every request is validated against the typed error
+ * taxonomy before it touches the kernel, the bus model charges every
+ * admitted character (batched, not per character), a sampled
+ * cross-check replays whole passes against the reference matcher, and
+ * batch width lands in a telemetry histogram so capacity planning can
+ * see the real distribution, not an average.
+ */
+
+#ifndef SPM_SERVICE_BATCH_HH
+#define SPM_SERVICE_BATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batch.hh"
+#include "service/service.hh"
+
+namespace spm::service
+{
+
+/** Configuration of the batched request path. */
+struct BatchServiceConfig
+{
+    /** Bounds, alphabet and bus shared with the streaming service. */
+    ServiceConfig base;
+    /** Most streams admitted into one serveBatch/feedGroup call. */
+    std::size_t maxBatchStreams = 4096;
+    /**
+     * Replay every Nth kernel pass through the reference matcher and
+     * compare bit for bit (0 disables). Sampling, not per-chunk: the
+     * batched path trades the streaming service's every-chunk audit
+     * for throughput and leans on the conformance harness instead.
+     */
+    unsigned crossCheckEvery = 0;
+};
+
+/**
+ * A set of streams fed chunk-group by chunk-group, all sharing one
+ * pattern. Host-side handle: the service holds no per-stream state,
+ * so groups scale to whatever the host can index.
+ */
+class BatchStreamGroup
+{
+  public:
+    std::size_t width() const { return carries.size(); }
+    const std::vector<Symbol> &groupPattern() const { return pattern; }
+
+  private:
+    friend class BatchMatchService;
+    std::vector<Symbol> pattern;
+    std::vector<core::StreamCarry> carries;
+};
+
+/** The batched match service. */
+class BatchMatchService
+{
+  public:
+    explicit BatchMatchService(BatchServiceConfig config);
+
+    /** Force the kernel tier (A/B runs and conformance oracles). */
+    BatchMatchService(BatchServiceConfig config, core::SimdIsa isa);
+
+    const BatchServiceConfig &config() const { return cfg; }
+
+    /**
+     * Serve many one-shot requests in as few kernel passes as their
+     * patterns allow. Responses are positionally parallel to
+     * @p batch; each is independently validated, so one malformed
+     * request rejects alone instead of failing the batch.
+     */
+    std::vector<MatchResponse> serveBatch(
+        const std::vector<MatchRequest> &batch);
+
+    /**
+     * Open a group of @p width streams matching @p pattern. The
+     * pattern is validated here, once, against the base config.
+     *
+     * @param err receives the typed validation error, Ok when valid
+     */
+    BatchStreamGroup openGroup(std::vector<Symbol> pattern,
+                               std::size_t width, ServiceError &err);
+
+    /** Result of one feedGroup() call. */
+    struct GroupFeedResult
+    {
+        /** Typed error; bits are valid only when code is Ok. */
+        ServiceError error;
+        /** Match bits for exactly the new chunk positions, per stream. */
+        std::vector<std::vector<bool>> bits;
+
+        bool ok() const { return error.code == ErrorCode::Ok; }
+    };
+
+    /**
+     * Feed chunks[i] to group stream i (empty chunks fine; widths
+     * must agree). One kernel pass for the whole group; results have
+     * whole-stream semantics, bit-identical to matching each stream
+     * unchunked.
+     */
+    GroupFeedResult feedGroup(BatchStreamGroup &group,
+                              const std::vector<std::vector<Symbol>> &chunks);
+
+    /** The wrapped batch matcher (kernel tier, last widths). */
+    const core::BatchMatcher &matcher() const { return engine; }
+
+    /**
+     * Lifetime metrics: counters batches, streams, streamChars,
+     * kernelPasses, rejected, crossChecks, crossCheckFailures;
+     * histogram batch_width (streams per kernel pass).
+     */
+    const telem::Registry &stats() const { return metrics; }
+
+    /** The counters and histogram as one snapshot (bare names). */
+    telem::Snapshot metricsSnapshot() const;
+
+    /** "batch.x = n" stat lines plus the bus transfer counters. */
+    std::string statsDump() const;
+
+  private:
+    /** One kernel pass + charging + sampled cross-check. */
+    std::vector<std::vector<bool>> runPass(
+        std::vector<core::StreamCarry> &carries,
+        const std::vector<const std::vector<Symbol> *> &chunks,
+        const std::vector<Symbol> &pattern, bool &checked,
+        std::uint64_t &mismatches);
+
+    BatchServiceConfig cfg;
+    core::BatchMatcher engine;
+
+    telem::Registry metrics{1};
+    telem::Counter &batchesCtr;
+    telem::Counter &streamsCtr;
+    telem::Counter &streamCharsCtr;
+    telem::Counter &kernelPassesCtr;
+    telem::Counter &rejectedCtr;
+    telem::Counter &crossChecksCtr;
+    telem::Counter &crossCheckFailuresCtr;
+    telem::Histogram &batchWidthHist;
+};
+
+} // namespace spm::service
+
+#endif // SPM_SERVICE_BATCH_HH

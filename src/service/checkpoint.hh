@@ -58,6 +58,13 @@ class ReplayJournal
     /** Append "seq=<n> <event>" to the journal. */
     void record(const std::string &event);
 
+    /**
+     * True when record() stores events. Hot paths check this before
+     * building an event string (journal lines concatenate ids and
+     * checkpoint digests; a disabled journal must not pay for them).
+     */
+    bool enabled() const { return active; }
+
     const std::vector<std::string> &events() const { return entries; }
     std::size_t size() const { return entries.size(); }
     void clear();

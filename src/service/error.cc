@@ -29,6 +29,8 @@ errorCodeName(ErrorCode code)
         return "invalid_checkpoint";
     case ErrorCode::ShardFailed:
         return "shard_failed";
+    case ErrorCode::BatchMismatch:
+        return "batch_mismatch";
     }
     return "?";
 }

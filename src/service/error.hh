@@ -32,6 +32,7 @@ enum class ErrorCode : unsigned char
     Cancelled,        ///< the caller abandoned the streaming session
     InvalidCheckpoint,///< resume token inconsistent with the request
     ShardFailed,      ///< a shard slice died/stalled beyond recovery
+    BatchMismatch,    ///< chunk group shape inconsistent with the group
 };
 
 /** Stable printable name of an error code, e.g. "deadline_exceeded". */

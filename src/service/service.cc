@@ -41,11 +41,13 @@ StreamSession::StreamSession(MatchService &svc, MatchRequest req,
         response.resumed = true;
         response.beats = cp.beats;
         service.resumesCtr.add();
-        service.log.record("req=" + std::to_string(request.id) +
-                           " resume offset=" + std::to_string(cp.offset) +
-                           " rung=" + std::to_string(cp.rung) +
-                           " ckpt=" + std::to_string(cp.digest()));
-    } else {
+        if (service.log.enabled())
+            service.log.record(
+                "req=" + std::to_string(request.id) + " resume offset=" +
+                std::to_string(cp.offset) + " rung=" +
+                std::to_string(cp.rung) + " ckpt=" +
+                std::to_string(cp.digest()));
+    } else if (service.log.enabled()) {
         service.log.record("req=" + std::to_string(request.id) +
                            " start n=" +
                            std::to_string(request.text.size()) + " k=" +
@@ -53,6 +55,7 @@ StreamSession::StreamSession(MatchService &svc, MatchRequest req,
                            " ladder=" +
                            joinNames(service.ladderNames()));
     }
+    cp.emitted.reserve(request.text.size());
 }
 
 void
@@ -60,8 +63,10 @@ StreamSession::fail(ErrorCode code, const std::string &detail)
 {
     response.error = ServiceError::make(code, detail);
     finished = true;
-    service.log.record("req=" + std::to_string(request.id) +
-                       " fail code=" + errorCodeName(code) + " " + detail);
+    if (service.log.enabled())
+        service.log.record("req=" + std::to_string(request.id) +
+                           " fail code=" + errorCodeName(code) + " " +
+                           detail);
 }
 
 Beat
@@ -94,9 +99,11 @@ StreamSession::step()
             ? "none"
             : service.ladder[cp.rung]->name();
         finished = true;
-        service.log.record("req=" + std::to_string(request.id) +
-                           " done ok backend=" + response.backend +
-                           " beats=" + std::to_string(response.beats));
+        if (service.log.enabled())
+            service.log.record("req=" + std::to_string(request.id) +
+                               " done ok backend=" + response.backend +
+                               " beats=" +
+                               std::to_string(response.beats));
         return false;
     }
 
@@ -105,8 +112,10 @@ StreamSession::step()
         std::min(cfg.chunkChars, n - cp.offset);
 
     // The window re-presents the k-1 checkpointed tail characters so
-    // the first result bit of this chunk sees its full substring.
-    std::vector<Symbol> window = cp.tail;
+    // the first result bit of this chunk sees its full substring. The
+    // buffer is a session member: its capacity survives across chunks
+    // so the steady state allocates nothing per chunk.
+    window.assign(cp.tail.begin(), cp.tail.end());
     window.insert(window.end(),
                   request.text.begin() +
                       static_cast<std::ptrdiff_t>(cp.offset),
@@ -137,9 +146,10 @@ StreamSession::step()
     while (rung < service.ladder.size()) {
         ServiceBackend &backend = *service.ladder[rung];
         if (!backend.supports(request.pattern)) {
-            service.log.record("req=" + std::to_string(request.id) +
-                               " skip rung=" + backend.name() +
-                               " reason=unsupported");
+            if (service.log.enabled())
+                service.log.record("req=" + std::to_string(request.id) +
+                                   " skip rung=" + backend.name() +
+                                   " reason=unsupported");
             cp.rung = ++rung;
             continue;
         }
@@ -180,10 +190,12 @@ StreamSession::step()
                              telem::cat::service, response.beats,
                              request.id);
             }
-            service.log.record(
-                "req=" + std::to_string(request.id) + " cancel rung=" +
-                backend.name() + " offset=" + std::to_string(cp.offset) +
-                " " + (wr.note.empty() ? "failed" : wr.note));
+            if (service.log.enabled())
+                service.log.record(
+                    "req=" + std::to_string(request.id) +
+                    " cancel rung=" + backend.name() + " offset=" +
+                    std::to_string(cp.offset) + " " +
+                    (wr.note.empty() ? "failed" : wr.note));
             ++response.degradations;
             service.degradationsCtr.add();
             telem::FlightEvent fall =
@@ -218,12 +230,13 @@ StreamSession::step()
                     std::to_string(faults) + "/" +
                     std::to_string(cfg.rungFaultBudget);
                 service.flight.record(std::move(mismatch));
-                service.log.record(
-                    "req=" + std::to_string(request.id) +
-                    " crosscheck-mismatch rung=" + backend.name() +
-                    " offset=" + std::to_string(cp.offset) +
-                    " faults=" + std::to_string(faults) + "/" +
-                    std::to_string(cfg.rungFaultBudget));
+                if (service.log.enabled())
+                    service.log.record(
+                        "req=" + std::to_string(request.id) +
+                        " crosscheck-mismatch rung=" + backend.name() +
+                        " offset=" + std::to_string(cp.offset) +
+                        " faults=" + std::to_string(faults) + "/" +
+                        std::to_string(cfg.rungFaultBudget));
                 if (faults > cfg.rungFaultBudget) {
                     last_fail_watchdog = false;
                     ++response.degradations;
@@ -250,12 +263,12 @@ StreamSession::step()
             }
         }
 
-        // Commit: pace the chunk over the bus (parity checked end to
-        // end), append the new result bits, cut a checkpoint.
-        for (std::size_t i = 0; i < chunk; ++i) {
-            const Symbol c = request.text[cp.offset + i];
-            service.cfg.bus.transferChar(c, c);
-        }
+        // Commit: pace the chunk over the bus as one batched handoff
+        // (parity checked end to end; same counters as the per-char
+        // path), append the new result bits, cut a checkpoint.
+        service.cfg.bus.transferChunk(request.text.data() + cp.offset,
+                                      request.text.data() + cp.offset,
+                                      chunk);
         const std::size_t skip = window.size() - chunk;
         for (std::size_t j = skip; j < window.size(); ++j)
             cp.emitted.push_back(wr.bits[j]);
@@ -278,12 +291,13 @@ StreamSession::step()
         chunk_span.setBeat(response.beats);
         service.flight.record(
             flightEvent(telem::FlightKind::ChunkCommit));
-        service.log.record(
-            "req=" + std::to_string(request.id) + " chunk offset=" +
-            std::to_string(cp.offset) + "/" + std::to_string(n) +
-            " rung=" + backend.name() + " beats=" +
-            std::to_string(wr.beats) + " ckpt=" +
-            std::to_string(cp.digest()));
+        if (service.log.enabled())
+            service.log.record(
+                "req=" + std::to_string(request.id) + " chunk offset=" +
+                std::to_string(cp.offset) + "/" + std::to_string(n) +
+                " rung=" + backend.name() + " beats=" +
+                std::to_string(wr.beats) + " ckpt=" +
+                std::to_string(cp.digest()));
         // Even when this was the last chunk, one more step() call
         // publishes the response; callers loop on the return value.
         return true;
@@ -374,6 +388,12 @@ MatchService::ladderNames() const
 std::optional<ServiceError>
 MatchService::validate(const MatchRequest &req) const
 {
+    return validateRequest(cfg, req);
+}
+
+std::optional<ServiceError>
+validateRequest(const ServiceConfig &cfg, const MatchRequest &req)
+{
     if (req.pattern.empty())
         return ServiceError::make(ErrorCode::InvalidPattern,
                                   "empty pattern");
@@ -458,8 +478,9 @@ MatchService::submit(MatchRequest req)
         // Invalid requests never consume queue space; the rejection
         // is typed just like an admission rejection.
         out.error = *err;
-        log.record("req=" + std::to_string(req.id) +
-                   " rejected at validation: " + err->toString());
+        if (log.enabled())
+            log.record("req=" + std::to_string(req.id) +
+                       " rejected at validation: " + err->toString());
         return out;
     }
 
@@ -471,7 +492,9 @@ MatchService::submit(MatchRequest req)
             shed_resp.id = adm.shed->id;
             shed_resp.error = ServiceError::make(
                 ErrorCode::Shed, "evicted under shed-oldest policy");
-            log.record("req=" + std::to_string(shed_resp.id) + " shed");
+            if (log.enabled())
+                log.record("req=" + std::to_string(shed_resp.id) +
+                           " shed");
             servedCtr.add();
             failedCtr.add();
             out.shedResponse = std::move(shed_resp);

@@ -125,6 +125,8 @@ class StreamSession
     MatchRequest request;
     Checkpoint cp;
     MatchResponse response;
+    /** Chunk window scratch, reused across step() calls. */
+    std::vector<Symbol> window;
     /** Cross-check failures charged against each rung this request. */
     std::vector<unsigned> rungFaults;
     bool finished = false;
@@ -242,6 +244,14 @@ class MatchService
  */
 std::vector<std::unique_ptr<ServiceBackend>> makeDefaultLadder(
     const ServiceConfig &config);
+
+/**
+ * The request admission rules, shared by every front end (streaming,
+ * sharded, batched): typed validation of pattern shape, size bounds
+ * and alphabet membership against @p cfg; nullopt when admissible.
+ */
+std::optional<ServiceError> validateRequest(const ServiceConfig &cfg,
+                                            const MatchRequest &req);
 
 } // namespace spm::service
 

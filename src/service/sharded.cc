@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <chrono>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "telemetry/telem.hh"
 #include "util/logging.hh"
 
@@ -11,6 +16,29 @@ namespace spm::service
 
 namespace
 {
+
+/**
+ * Pin the calling thread to one core (round-robin over the cores the
+ * machine has). Linux-only; a best-effort no-op elsewhere or when the
+ * scheduler refuses. Pinning removes the migration jitter that shows
+ * up as long-tail queue_wait_beats on a loaded host.
+ */
+void
+pinToCore(unsigned worker_index)
+{
+#if defined(__linux__)
+    const unsigned cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(worker_index % cores, &set);
+    if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0)
+        spm_warn("sharded: could not pin worker ", worker_index,
+                 " to a core; continuing unpinned");
+#else
+    (void)worker_index;
+#endif
+}
 
 /**
  * Slice failures that are the request's fault, not the shard's: a
@@ -124,6 +152,8 @@ ShardedMatchService::ShardedMatchService(ShardedConfig config,
       probesCtr(supMetrics.counter("probes")),
       overlapChecksCtr(supMetrics.counter("overlap_checks")),
       overlapMismatchesCtr(supMetrics.counter("overlap_mismatches")),
+      queueWaitHist(
+          supMetrics.histogram("queue_wait_beats", 0.0, 65536.0, 16)),
       flight(cfg.base.flightCapacity)
 {
     spm_assert(cfg.threads > 0, "sharded service needs at least one thread");
@@ -157,12 +187,14 @@ ShardedMatchService::startWorkers()
 {
     workers.reserve(cfg.threads);
     for (unsigned i = 0; i < cfg.threads; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 void
-ShardedMatchService::workerLoop()
+ShardedMatchService::workerLoop(unsigned worker_index)
 {
+    if (cfg.pinThreads)
+        pinToCore(worker_index);
     for (;;) {
         std::function<void()> task;
         {
@@ -192,10 +224,27 @@ ShardedMatchService::workerLoop()
 void
 ShardedMatchService::enqueue(std::vector<std::function<void()>> &tasks)
 {
+    // One lock acquisition and one wakeup for the whole wave (the
+    // batched handoff), with each task wrapped so its handoff latency
+    // -- enqueue to the moment a worker starts it -- lands in
+    // queue_wait_beats, converted from wall nanoseconds at the
+    // prototype beat period.
+    const auto enqueued_at = std::chrono::steady_clock::now();
     {
         std::lock_guard<std::mutex> lock(mu);
         for (std::function<void()> &t : tasks)
-            taskQueue.push_back(std::move(t));
+            taskQueue.push_back(
+                [this, enqueued_at, task = std::move(t)] {
+                    const double wait_ns =
+                        std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() -
+                            enqueued_at)
+                            .count();
+                    SPM_THIST(queueWaitHist,
+                              wait_ns * 1000.0 /
+                                  static_cast<double>(prototypeBeatPs));
+                    task();
+                });
     }
     taskReady.notify_all();
 }
@@ -745,6 +794,8 @@ ShardedMatchService::metricsSnapshot() const
     const telem::Snapshot sup = supMetrics.snapshot();
     for (const auto &[name, value] : sup.counters)
         snap.setCounter("sharded." + name, value);
+    for (const auto &[name, hist] : sup.histograms)
+        snap.setHistogram("sharded." + name, hist);
     return snap;
 }
 
@@ -761,6 +812,9 @@ ShardedMatchService::statsDump() const
     const telem::Snapshot sup = supMetrics.snapshot();
     for (const auto &[name, value] : sup.counters)
         s += "sharded." + name + " = " + std::to_string(value) + "\n";
+    for (const auto &[name, hist] : sup.histograms)
+        s += "sharded." + name + ".samples = " +
+             std::to_string(hist.samples()) + "\n";
     for (std::size_t i = 0; i < shards.size(); ++i) {
         s += "sharded.shard" + std::to_string(i) + ".served = " +
              std::to_string(

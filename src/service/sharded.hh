@@ -127,6 +127,13 @@ struct ShardedConfig
      * both suspects on spares. Off = minimal windows, no redundancy.
      */
     bool overlapCheck = true;
+    /**
+     * Pin worker i to core i mod hardware_concurrency() (Linux
+     * affinity; elsewhere a no-op). Off by default: pinning helps a
+     * dedicated benchmark host and hurts a shared one, so the benches
+     * opt in explicitly.
+     */
+    bool pinThreads = false;
 };
 
 /** Circuit-breaker state of one shard slot. */
@@ -249,7 +256,9 @@ class ShardedMatchService
      * sharded-layer gauges (threads, spares, last_shards,
      * quarantined_now) and supervision counters (shard_failures,
      * shard_timeouts, shard_exceptions, shard_retries, spare_serves,
-     * quarantines, probes, overlap_checks, overlap_mismatches).
+     * quarantines, probes, overlap_checks, overlap_mismatches) and
+     * the queue_wait_beats histogram (enqueue-to-dequeue handoff
+     * latency per slice task, in beats).
      */
     telem::Snapshot metricsSnapshot() const;
 
@@ -270,8 +279,11 @@ class ShardedMatchService
     struct SliceState;
 
     void startWorkers();
-    void workerLoop();
-    /** Queue @p tasks on the pool (does not wait). */
+    void workerLoop(unsigned worker_index);
+    /**
+     * Queue @p tasks on the pool (does not wait). Each task's
+     * enqueue-to-dequeue wait lands in queue_wait_beats.
+     */
     void enqueue(std::vector<std::function<void()>> &tasks);
     /**
      * Wait until every slice of @p batch resolved, or @p deadline_ms
@@ -328,6 +340,7 @@ class ShardedMatchService
     telem::Counter &probesCtr;
     telem::Counter &overlapChecksCtr;
     telem::Counter &overlapMismatchesCtr;
+    telem::Histogram &queueWaitHist;
     telem::FlightRecorder flight;
 };
 

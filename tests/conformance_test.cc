@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "conformance/casegen.hh"
@@ -19,6 +20,7 @@
 #include "conformance/oracles.hh"
 #include "conformance/shrink.hh"
 #include "core/reference.hh"
+#include "core/simdpar.hh"
 #include "tests/helpers.hh"
 
 namespace spm::conformance
@@ -350,13 +352,29 @@ TEST(Mutation, SelfCheckCatchesEverySeededBug)
     EXPECT_EQ(r.survivors(), 0u);
 }
 
-TEST(Oracles, RegistryNamesTheNineImplementations)
+TEST(Oracles, RegistryNamesEveryImplementation)
 {
     const std::vector<std::string> names = allOracleNames(true);
-    EXPECT_EQ(names.size(), 11u); // 9 implementations, sharded x3
+    // 9 base implementations (sharded x3 = 11 configurations), plus
+    // the SIMD kernel at the best tier and every supported tier below
+    // it, plus three batch pack shapes.
+    std::size_t below_best = 0;
+    for (const core::SimdIsa isa :
+         {core::SimdIsa::Scalar, core::SimdIsa::Sse2})
+        if (core::simdIsaSupported(isa) && isa < core::bestSimdIsa())
+            ++below_best;
+    EXPECT_EQ(names.size(), 11u + 1u + below_best + 3u);
     EXPECT_EQ(names.front(), "reference");
+    const auto has = [&](const std::string &n) {
+        return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    EXPECT_TRUE(has("simd-parallel"));
+    EXPECT_TRUE(has("batch-w3"));
+    EXPECT_TRUE(has("batch-w64"));
+    EXPECT_TRUE(has("batch-w3-chunk7"));
+    // The gate switch removes exactly the two gate-level oracles.
     const std::vector<std::string> nogate = allOracleNames(false);
-    EXPECT_EQ(nogate.size(), 9u);
+    EXPECT_EQ(names.size(), nogate.size() + 2u);
 }
 
 } // namespace

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Property tests for the multi-stream batch matcher: packed
+ * multi-stream matching is bit-identical to per-stream reference
+ * matching at widths 1, 3, 64 and 1000; chunked feeding through
+ * StreamCarry is bit-identical to one-shot matching under randomized
+ * chunk boundaries; and the carry/shape misuse contracts throw
+ * instead of corrupting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/batch.hh"
+#include "core/reference.hh"
+#include "tests/helpers.hh"
+#include "util/rng.hh"
+
+namespace spm::core
+{
+namespace
+{
+
+/** Deterministic random streams over a small alphabet. */
+std::vector<std::vector<Symbol>>
+makeStreams(Rng &rng, std::size_t width, std::size_t max_len,
+            Symbol sigma)
+{
+    std::vector<std::vector<Symbol>> streams(width);
+    for (auto &s : streams) {
+        // Includes empty streams and streams shorter than the pattern.
+        s.resize(rng.nextBelow(max_len + 1));
+        for (auto &c : s)
+            c = static_cast<Symbol>(rng.nextBelow(sigma));
+    }
+    return streams;
+}
+
+std::vector<Symbol>
+makePattern(Rng &rng, std::size_t k, Symbol sigma, unsigned wild_pct)
+{
+    std::vector<Symbol> pattern(k);
+    for (auto &c : pattern)
+        c = rng.nextBelow(100) < wild_pct
+                ? wildcardSymbol
+                : static_cast<Symbol>(rng.nextBelow(sigma));
+    return pattern;
+}
+
+TEST(BatchMatcher, MatchManyEqualsPerStreamReferenceAcrossWidths)
+{
+    Rng rng(0xBA7C4);
+    ReferenceMatcher ref;
+    BatchMatcher bm;
+    for (const std::size_t width :
+         {std::size_t(1), std::size_t(3), std::size_t(64),
+          std::size_t(1000)}) {
+        const int iters = width >= 1000 ? 2 : (width >= 64 ? 6 : 30);
+        for (int iter = 0; iter < iters; ++iter) {
+            const std::size_t k = 1 + rng.nextBelow(12);
+            const auto pattern = makePattern(rng, k, 4, 15);
+            const auto streams = makeStreams(rng, width, 90, 4);
+            const auto got = bm.matchMany(streams, pattern);
+            ASSERT_EQ(got.size(), width);
+            EXPECT_EQ(bm.lastBatchWidth(), width);
+            for (std::size_t i = 0; i < width; ++i)
+                ASSERT_EQ(got[i], ref.match(streams[i], pattern))
+                    << "width=" << width << " stream=" << i
+                    << " k=" << k;
+        }
+    }
+}
+
+TEST(BatchMatcher, ChunkedFeedingIsBitIdenticalToOneShot)
+{
+    Rng rng(0xC4A11);
+    ReferenceMatcher ref;
+    BatchMatcher bm;
+    for (int iter = 0; iter < 120; ++iter) {
+        const std::size_t k = 1 + rng.nextBelow(20);
+        const auto pattern = makePattern(rng, k, 4, 15);
+        const std::size_t width = 1 + rng.nextBelow(6);
+        const auto full = makeStreams(rng, width, 200, 4);
+
+        std::vector<StreamCarry> carries(width);
+        std::vector<std::vector<bool>> acc(width);
+        std::vector<std::size_t> off(width, 0);
+        bool more = true;
+        while (more) {
+            more = false;
+            std::vector<std::vector<Symbol>> chunks(width);
+            for (std::size_t i = 0; i < width; ++i) {
+                const std::size_t left = full[i].size() - off[i];
+                const std::size_t take =
+                    left == 0
+                        ? 0
+                        : 1 + rng.nextBelow(std::min<std::size_t>(left,
+                                                                  33));
+                chunks[i].assign(
+                    full[i].begin() +
+                        static_cast<std::ptrdiff_t>(off[i]),
+                    full[i].begin() +
+                        static_cast<std::ptrdiff_t>(off[i] + take));
+                off[i] += take;
+                if (off[i] < full[i].size())
+                    more = true;
+            }
+            const auto bits = bm.feedChunks(carries, chunks, pattern);
+            for (std::size_t i = 0; i < width; ++i)
+                acc[i].insert(acc[i].end(), bits[i].begin(),
+                              bits[i].end());
+        }
+        for (std::size_t i = 0; i < width; ++i)
+            ASSERT_EQ(acc[i], ref.match(full[i], pattern))
+                << "iter=" << iter << " stream=" << i << " k=" << k;
+    }
+}
+
+TEST(BatchMatcher, CarryTracksTailAndSeen)
+{
+    BatchMatcher bm;
+    const std::vector<Symbol> pattern{1, 2, 0, 3};
+    std::vector<StreamCarry> carries(1);
+    const std::vector<std::vector<Symbol>> chunk1{{1, 2, 0, 3, 1}};
+    bm.feedChunks(carries, chunk1, pattern);
+    EXPECT_EQ(carries[0].seen, 5u);
+    EXPECT_EQ(carries[0].patternLen, 4u);
+    // Tail is the last k-1 = 3 characters consumed.
+    EXPECT_EQ(carries[0].tail, (std::vector<Symbol>{0, 3, 1}));
+
+    // A short follow-up chunk rolls the tail, not resets it.
+    const std::vector<std::vector<Symbol>> chunk2{{2}};
+    bm.feedChunks(carries, chunk2, pattern);
+    EXPECT_EQ(carries[0].seen, 6u);
+    EXPECT_EQ(carries[0].tail, (std::vector<Symbol>{3, 1, 2}));
+}
+
+TEST(BatchMatcher, ShapeAndPatternMisuseThrows)
+{
+    BatchMatcher bm;
+    std::vector<StreamCarry> carries(2);
+    const std::vector<std::vector<Symbol>> one_chunk{{1, 2}};
+    // Chunk count must equal carry count.
+    EXPECT_THROW(bm.feedChunks(carries, one_chunk, {1}),
+                 std::invalid_argument);
+
+    // A carry fed with k=2 cannot continue under a k=3 pattern.
+    std::vector<StreamCarry> bound(1);
+    const std::vector<std::vector<Symbol>> chunk{{1, 2, 3, 1}};
+    bm.feedChunks(bound, chunk, {1, 2});
+    EXPECT_THROW(bm.feedChunks(bound, chunk, {1, 2, 3}),
+                 std::invalid_argument);
+}
+
+TEST(BatchMatcher, EmptyChunksAdvanceNothingButStayConsistent)
+{
+    ReferenceMatcher ref;
+    BatchMatcher bm;
+    const std::vector<Symbol> pattern{1, wildcardSymbol};
+    const std::vector<Symbol> full{1, 2, 1, 3, 1, 1};
+
+    std::vector<StreamCarry> carries(2);
+    std::vector<std::vector<Symbol>> chunks{full, {}};
+    auto bits = bm.feedChunks(carries, chunks, pattern);
+    EXPECT_EQ(bits[0], ref.match(full, pattern));
+    EXPECT_TRUE(bits[1].empty());
+    EXPECT_EQ(carries[1].seen, 0u);
+
+    // The all-empty pass is a no-op with well-formed empty results.
+    chunks = {{}, {}};
+    bits = bm.feedChunks(carries, chunks, pattern);
+    EXPECT_TRUE(bits[0].empty());
+    EXPECT_TRUE(bits[1].empty());
+}
+
+TEST(BatchMatcher, WorkloadStreamsAgreeWithReference)
+{
+    // Conformance-generator workloads as lanes: wild cards, planted
+    // matches and varied alphabets, all in one pack per pattern.
+    ReferenceMatcher ref;
+    BatchMatcher bm;
+    for (std::uint64_t base = 0; base < 8; ++base) {
+        const auto lead = test::makeWorkload(base * 31);
+        std::vector<std::vector<Symbol>> streams{lead.text};
+        for (std::uint64_t i = 1; i < 5; ++i)
+            streams.push_back(
+                test::makeShapedWorkload(base * 977 + i, lead.bits, 64,
+                                         lead.pattern.size(), 0)
+                    .text);
+        const auto got = bm.matchMany(streams, lead.pattern);
+        for (std::size_t i = 0; i < streams.size(); ++i)
+            ASSERT_EQ(got[i], ref.match(streams[i], lead.pattern))
+                << "base=" << base << " lane=" << i << " case "
+                << lead.caseId;
+    }
+}
+
+TEST(BatchMatcher, ForcedTierBatchesIdentically)
+{
+    Rng rng(0x15AB);
+    BatchMatcher best;
+    BatchMatcher scalar(SimdIsa::Scalar);
+    const auto pattern = makePattern(rng, 9, 4, 20);
+    const auto streams = makeStreams(rng, 17, 120, 4);
+    EXPECT_EQ(best.matchMany(streams, pattern),
+              scalar.matchMany(streams, pattern));
+    EXPECT_EQ(scalar.kernel().isa(), SimdIsa::Scalar);
+}
+
+} // namespace
+} // namespace spm::core

@@ -37,6 +37,8 @@ usage(std::FILE *out)
         "  --mutants        run the mutation self-check instead\n"
         "  --mutant-cases N cases per mutant in the self-check "
         "(default 400)\n"
+        "  --focus STR      only run oracles whose name contains STR\n"
+        "                   (the reference always stays)\n"
         "  --no-gate        skip the gate-level oracles\n"
         "  --no-extensions  skip the extension cross-checks\n"
         "  --no-golden      skip the golden-trace diffs\n"
@@ -120,6 +122,8 @@ main(int argc, char **argv)
         else if (arg == "--mutant-cases")
             mutant_cases =
                 parseU64(value("--mutant-cases"), "--mutant-cases");
+        else if (arg == "--focus")
+            cfg.focus = value("--focus");
         else if (arg == "--no-gate")
             cfg.withGate = false;
         else if (arg == "--no-extensions")
