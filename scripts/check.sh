@@ -38,10 +38,10 @@ cmake --preset tsan
 echo "== tsan: build =="
 cmake --build --preset tsan -j "${jobs}" \
     --target service_sharded_test service_test service_chaos_test \
-    conformance_corpus_test
+    multipattern_test service_dict_test conformance_corpus_test
 echo "== tsan: test =="
 ctest --test-dir build-tsan --timeout 240 --output-on-failure \
-    -R 'service_sharded_test|service_test|service_chaos_test|conformance_corpus_test'
+    -R 'service_sharded_test|service_test|service_chaos_test|multipattern_test|service_dict_test|conformance_corpus_test'
 
 # Conformance legs on the plain build: a time-boxed differential fuzz
 # sweep across the full oracle registry, and the mutation self-check --
@@ -62,6 +62,15 @@ build/tools/conformance_fuzz --mutants
 echo "== conformance: simd kernel fuzz under asan =="
 build-asan-ubsan/tools/conformance_fuzz --cases 1000000 --seconds 10 \
     --focus simd-parallel --no-extensions --no-golden
+
+# The multi-pattern tier under AddressSanitizer: the dict oracles run
+# the bit-sliced plane sweep, its no-dedup ablation, the Aho-Corasick
+# automaton and the chunked carry protocol against each other on every
+# case, so an out-of-bounds shifted-word read or a stale arena slice
+# trips ASan here instead of shipping as a rare wrong hit bit.
+echo "== conformance: dict fuzz under asan =="
+build-asan-ubsan/tools/conformance_fuzz --cases 1000000 --seconds 10 \
+    --dict --no-extensions --no-golden
 
 # Chaos leg on the plain build: a seeded mixed storm (stalls, hangs,
 # throws, silent bit flips against the primaries) must end with every
@@ -109,7 +118,8 @@ for pair in \
     "BENCH_E15.json bench_e15_telemetry" \
     "BENCH_E16.json bench_e16_faultgrade" \
     "BENCH_E17.json bench_e17_chaos" \
-    "BENCH_E18.json bench_e18_simd"; do
+    "BENCH_E18.json bench_e18_simd" \
+    "BENCH_E19.json bench_e19_dict"; do
     set -- ${pair}
     baseline="$1"
     bin="$2"

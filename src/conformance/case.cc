@@ -178,6 +178,21 @@ materializeSpec(const CaseSpec &spec)
             plantAt(c.text, c.pattern, 0, gen);
         if ((spec.flags & FlagTrailingMatch) != 0)
             plantAt(c.text, c.pattern, n - k, gen);
+        if ((spec.flags & FlagDictOverlap) != 0 && k >= 2) {
+            // Fragments of the pattern, planted whole: a dictionary
+            // member derived as a prefix or suffix of the pattern
+            // hits here even though the full pattern does not, so
+            // multi-pattern hit sets overlap instead of nesting.
+            const std::size_t frag = 1 + gen.rng().nextBelow(k - 1);
+            std::vector<Symbol> prefix(c.pattern.begin(),
+                                       c.pattern.begin() +
+                                           static_cast<std::ptrdiff_t>(frag));
+            std::vector<Symbol> suffix(c.pattern.end() -
+                                           static_cast<std::ptrdiff_t>(frag),
+                                       c.pattern.end());
+            plantAt(c.text, prefix, gen.rng().nextBelow(n - frag + 1), gen);
+            plantAt(c.text, suffix, gen.rng().nextBelow(n - frag + 1), gen);
+        }
     }
     return c;
 }

@@ -54,6 +54,13 @@ enum CaseFlag : unsigned
     FlagLeadingMatch = 1u << 2,
     /** Plant one match ending on the last text character. */
     FlagTrailingMatch = 1u << 3,
+    /**
+     * Plant prefix and suffix fragments of the pattern so the
+     * dictionaries the multi-pattern oracles derive from the case
+     * (members are pattern prefixes/suffixes and text substrings) get
+     * overlapping hits where the full pattern misses.
+     */
+    FlagDictOverlap = 1u << 4,
 };
 
 /**

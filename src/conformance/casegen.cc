@@ -97,6 +97,10 @@ CaseGen::specAt(std::uint64_t index) const
         spec.flags |= FlagLeadingMatch;
     if (rng.nextBool(0.35))
         spec.flags |= FlagTrailingMatch;
+    // Appended after the original knobs so their draws -- and every
+    // committed g1 case ID -- stay stable.
+    if (rng.nextBool(0.3))
+        spec.flags |= FlagDictOverlap;
     return spec;
 }
 

@@ -1,6 +1,7 @@
 #include "conformance/mutants.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "core/behavioral.hh"
 #include "core/reference.hh"
@@ -186,6 +187,57 @@ class MutCountSaturate : public core::Matcher
     bool supportsWildcards() const override { return true; }
 };
 
+/**
+ * Seeded bug: the multi-pattern plane walk's shifted-word helper
+ * drops the inter-word carry -- the bits a shift by d must borrow
+ * from the next-lower 64-bit word (`eq[w-ws-1] >> (64-bs)`) -- so a
+ * match whose window straddles a word boundary loses the low-word
+ * half of its evidence and goes false.
+ */
+class MutDictPlaneCarry : public core::Matcher
+{
+  public:
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override
+    {
+        const std::size_t n = text.size();
+        const std::size_t k = pattern.size();
+        std::vector<bool> result(n, false);
+        if (k == 0 || n == 0 || k > n)
+            return result;
+
+        const std::size_t nw = (n + 63) / 64;
+        std::vector<std::uint64_t> row(nw, ~std::uint64_t{0});
+        std::vector<std::uint64_t> eq(nw);
+        for (std::size_t j = 0; j < k; ++j) {
+            if (pattern[j] == wildcardSymbol)
+                continue;
+            std::fill(eq.begin(), eq.end(), 0);
+            for (std::size_t i = 0; i < n; ++i)
+                if (text[i] == pattern[j])
+                    eq[i / 64] |= std::uint64_t{1} << (i % 64);
+            const std::size_t d = k - 1 - j;
+            const std::size_t ws = d / 64;
+            const std::size_t bs = d % 64;
+            for (std::size_t w = 0; w < nw; ++w) {
+                std::uint64_t v = 0;
+                if (w >= ws)
+                    v = eq[w - ws] << bs; // BUG: the carry term
+                                          // eq[w-ws-1] >> (64-bs) is
+                                          // dropped
+                row[w] &= v;
+            }
+        }
+        for (std::size_t i = k - 1; i < n; ++i)
+            result[i] = ((row[i / 64] >> (i % 64)) & 1) != 0;
+        return result;
+    }
+
+    std::string name() const override { return "mut-dict-plane-carry"; }
+
+    bool supportsWildcards() const override { return true; }
+};
+
 } // namespace
 
 const std::vector<Mutant> &
@@ -217,6 +269,11 @@ allMutants()
          "k >= 8",
          "a full match of a pattern with k >= 8",
          [] { return std::make_unique<MutCountSaturate>(); }},
+        {"mut-dict-plane-carry",
+         "dropped inter-word carry in the plane shift: bits borrowed "
+         "across a 64-bit word boundary are lost",
+         "a match window straddling a packed-word boundary",
+         [] { return std::make_unique<MutDictPlaneCarry>(); }},
     };
     return mutants;
 }

@@ -13,7 +13,11 @@
 #include "core/reference.hh"
 #include "core/simdpar.hh"
 #include "core/wordpar.hh"
+#include "multipattern/acmatch.hh"
+#include "multipattern/dict.hh"
+#include "multipattern/planes.hh"
 #include "service/sharded.hh"
+#include "util/rng.hh"
 #include "util/strings.hh"
 
 namespace spm::conformance
@@ -185,6 +189,234 @@ class BatchOracleMatcher : public core::Matcher
     core::BatchMatcher engine;
 };
 
+/**
+ * The multi-pattern tier behind the single-pattern Matcher interface.
+ * A dictionary of @p dict_size members is derived deterministically
+ * from the case -- member 0 is the case pattern verbatim (what the
+ * differ checks against the reference); the rest are prefixes and
+ * suffixes of the pattern (shared trie structure, overlapping hits
+ * where the full pattern misses), substrings of the text (guaranteed
+ * hits), and one-symbol mutations.  Internally the oracle runs the
+ * whole dictionary through the bit-sliced fused sweep, its no-dedup
+ * ablation, the Aho-Corasick automaton (literal members), and the
+ * naive per-pattern reference, and throws on any internal
+ * disagreement so the differ reports it against this oracle's name.
+ * With @p chunk > 0 the bit-sliced and AC engines additionally stream
+ * in chunk-sized pieces, which must be bit-identical to one-shot.
+ */
+class DictOracleMatcher : public core::Matcher
+{
+  public:
+    DictOracleMatcher(std::size_t dict_size, std::size_t chunk)
+        : members(dict_size), chunkChars(chunk)
+    {
+    }
+
+    std::vector<bool> match(const std::vector<Symbol> &text,
+                            const std::vector<Symbol> &pattern) override
+    {
+        const multipattern::DictPatterns dict = deriveDict(text, pattern);
+
+        const multipattern::DictHits got = planes.matchAll(text, dict);
+
+        // Plane dedup must change cost only, never hits.
+        if (noDedup.matchAll(text, dict) != got)
+            throw std::runtime_error(
+                name() + ": dedup and no-dedup hit sets disagree");
+
+        checkAhoCorasick(text, dict, got);
+
+        // The trusted-but-slow leg; capped so big-text sweeps stay
+        // tractable (the reference scan is O(p * n * k)).
+        if (text.size() <= 1024 &&
+            naive.matchAll(text, dict) != got)
+            throw std::runtime_error(
+                name() + ": bit-sliced planes disagree with the naive "
+                         "per-pattern reference");
+
+        if (chunkChars > 0)
+            checkChunked(text, dict, got);
+
+        return got.bits.empty() ? std::vector<bool>(text.size(), false)
+                                : got.bits[0];
+    }
+
+    std::string name() const override
+    {
+        std::string s = "dict-p" + std::to_string(members);
+        if (chunkChars > 0)
+            s += "-chunk" + std::to_string(chunkChars);
+        return s;
+    }
+
+  private:
+    multipattern::DictPatterns
+    deriveDict(const std::vector<Symbol> &text,
+               const std::vector<Symbol> &pattern) const
+    {
+        // Deterministic per-case stream: fold both strings FNV-style
+        // so the same case always derives the same dictionary.
+        std::uint64_t h = 0xCBF29CE484222325ULL;
+        for (Symbol c : pattern)
+            h = (h ^ c) * 0x100000001B3ULL;
+        h = (h ^ 0xD1C7) * 0x100000001B3ULL;
+        for (Symbol c : text)
+            h = (h ^ c) * 0x100000001B3ULL;
+        Rng rng(h);
+
+        BitWidth bits = std::max(requiredBits(text), requiredBits(pattern));
+        bits = std::clamp<BitWidth>(bits, 1, 16);
+        const std::uint64_t sigma = std::uint64_t(1) << bits;
+        const auto literal = [&](Symbol c) {
+            return c == wildcardSymbol
+                       ? static_cast<Symbol>(rng.nextBelow(sigma))
+                       : c;
+        };
+
+        multipattern::DictPatterns dict;
+        dict.reserve(members);
+        dict.push_back(pattern); // member 0: the case, verbatim
+        const std::size_t k = pattern.size();
+        while (dict.size() < members) {
+            std::vector<Symbol> member;
+            switch (rng.nextBelow(4)) {
+            case 0: // prefix of the pattern: shared goto structure
+                if (k >= 2) {
+                    const std::size_t len = 1 + rng.nextBelow(k - 1);
+                    member.assign(pattern.begin(),
+                                  pattern.begin() +
+                                      static_cast<std::ptrdiff_t>(len));
+                }
+                break;
+            case 1: // suffix of the pattern: shared suffix-trie chain
+                if (k >= 2) {
+                    const std::size_t len = 1 + rng.nextBelow(k - 1);
+                    member.assign(pattern.end() -
+                                      static_cast<std::ptrdiff_t>(len),
+                                  pattern.end());
+                }
+                break;
+            case 2: // substring of the text: a guaranteed hit
+                if (!text.empty()) {
+                    const std::size_t len = 1 + rng.nextBelow(std::min<
+                        std::size_t>(text.size(), std::max<std::size_t>(
+                                                      k, 4)));
+                    const std::size_t at =
+                        rng.nextBelow(text.size() - len + 1);
+                    member.assign(
+                        text.begin() + static_cast<std::ptrdiff_t>(at),
+                        text.begin() +
+                            static_cast<std::ptrdiff_t>(at + len));
+                }
+                break;
+            default: // one-symbol mutation of the pattern
+                if (k > 0) {
+                    member = pattern;
+                    member[rng.nextBelow(k)] =
+                        static_cast<Symbol>(rng.nextBelow(sigma));
+                }
+                break;
+            }
+            if (member.empty())
+                member.push_back(static_cast<Symbol>(rng.nextBelow(sigma)));
+            // Derived members are literal so the AC automaton can
+            // cover all of them; only member 0 may carry wild cards.
+            for (Symbol &c : member)
+                c = literal(c);
+            dict.push_back(std::move(member));
+        }
+        return dict;
+    }
+
+    void checkAhoCorasick(const std::vector<Symbol> &text,
+                          const multipattern::DictPatterns &dict,
+                          const multipattern::DictHits &got)
+    {
+        // AC is literal-only: cover every wild-card-free member (all
+        // derived members; member 0 exactly when the case has no wild
+        // cards).
+        std::vector<std::size_t> literalIdx;
+        multipattern::DictPatterns literalDict;
+        for (std::size_t i = 0; i < dict.size(); ++i) {
+            bool isLiteral = true;
+            for (Symbol c : dict[i])
+                if (c == wildcardSymbol) {
+                    isLiteral = false;
+                    break;
+                }
+            if (isLiteral) {
+                literalIdx.push_back(i);
+                literalDict.push_back(dict[i]);
+            }
+        }
+        if (literalDict.empty())
+            return;
+        const multipattern::AhoCorasickAutomaton automaton(literalDict);
+        const multipattern::DictHits acHits = automaton.matchAll(text);
+        for (std::size_t j = 0; j < literalIdx.size(); ++j)
+            if (acHits.bits[j] != got.bits[literalIdx[j]])
+                throw std::runtime_error(
+                    name() + ": Aho-Corasick disagrees with the "
+                             "bit-sliced planes on member " +
+                    std::to_string(literalIdx[j]));
+
+        if (chunkChars > 0) {
+            multipattern::AhoCorasickAutomaton::StreamState state;
+            for (std::size_t off = 0; off < text.size();
+                 off += chunkChars) {
+                const std::size_t take =
+                    std::min(chunkChars, text.size() - off);
+                const std::vector<Symbol> chunk(
+                    text.begin() + static_cast<std::ptrdiff_t>(off),
+                    text.begin() +
+                        static_cast<std::ptrdiff_t>(off + take));
+                const multipattern::DictHits part =
+                    automaton.feed(state, chunk);
+                for (std::size_t j = 0; j < literalIdx.size(); ++j)
+                    for (std::size_t c = 0; c < take; ++c)
+                        if (part.bits[j][c] !=
+                            got.bits[literalIdx[j]][off + c])
+                            throw std::runtime_error(
+                                name() +
+                                ": streamed Aho-Corasick diverges "
+                                "from one-shot at position " +
+                                std::to_string(off + c));
+            }
+        }
+    }
+
+    void checkChunked(const std::vector<Symbol> &text,
+                      const multipattern::DictPatterns &dict,
+                      const multipattern::DictHits &got)
+    {
+        multipattern::DictStreamState state;
+        std::size_t off = 0;
+        while (off < text.size()) {
+            const std::size_t take =
+                std::min(chunkChars, text.size() - off);
+            const std::vector<Symbol> chunk(
+                text.begin() + static_cast<std::ptrdiff_t>(off),
+                text.begin() + static_cast<std::ptrdiff_t>(off + take));
+            const multipattern::DictHits part =
+                multipattern::feedDictChunk(planes, state, chunk, dict);
+            for (std::size_t p = 0; p < dict.size(); ++p)
+                for (std::size_t c = 0; c < take; ++c)
+                    if (part.bits[p][c] != got.bits[p][off + c])
+                        throw std::runtime_error(
+                            name() +
+                            ": chunked feeding diverges from one-shot "
+                            "at position " + std::to_string(off + c));
+            off += take;
+        }
+    }
+
+    std::size_t members;
+    std::size_t chunkChars;
+    multipattern::BitSlicedDictMatcher planes{true};
+    multipattern::BitSlicedDictMatcher noDedup{false};
+    multipattern::NaiveDictMatcher naive;
+};
+
 /** A two-chip cascade resized to each case's pattern. */
 class CascadeOracleMatcher : public core::Matcher
 {
@@ -276,6 +508,18 @@ makeAllOracles(bool with_gate)
                             1 << 12, 256, 16, 2));
     oracles.push_back(entry(std::make_unique<BatchOracleMatcher>(3, 7),
                             1 << 12, 256, 16, 2));
+    // The multi-pattern tier: dictionary sizes spanning one member,
+    // the prototype's array width, and a full fused 64-pattern sweep,
+    // plus a chunked-feeding variant (AC / naive legs verified inside
+    // the oracle).
+    oracles.push_back(entry(std::make_unique<DictOracleMatcher>(1, 0),
+                            1 << 14, 128, 16, 1));
+    oracles.push_back(entry(std::make_unique<DictOracleMatcher>(8, 0),
+                            1 << 13, 128, 16, 1));
+    oracles.push_back(entry(std::make_unique<DictOracleMatcher>(64, 0),
+                            1 << 12, 128, 16, 2));
+    oracles.push_back(entry(std::make_unique<DictOracleMatcher>(8, 9),
+                            1 << 12, 128, 16, 2));
     // Engine-simulated fidelities: ~2n beats of cell evaluations per
     // case; cap the text so a 100k-case sweep stays minutes, not hours.
     oracles.push_back(entry(std::make_unique<core::BehavioralMatcher>(),

@@ -1,0 +1,297 @@
+#include "multipattern/planes.hh"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/simdpar.hh"
+
+namespace spm::multipattern
+{
+
+namespace
+{
+
+constexpr std::size_t bitsPerWord = 64;
+constexpr std::uint32_t wildClass = 0xFFFFFFFFu;
+constexpr std::uint32_t rootNode = 0xFFFFFFFFu;
+constexpr std::uint32_t noTerm = 0xFFFFFFFFu;
+
+std::size_t
+wordCount(std::size_t n)
+{
+    return (n + bitsPerWord - 1) / bitsPerWord;
+}
+
+/** Smallest bit width that represents @p v (at least 1). */
+unsigned
+widthOf(Symbol v)
+{
+    unsigned b = 1;
+    while ((static_cast<unsigned>(v) >> b) != 0)
+        ++b;
+    return b;
+}
+
+/** Word @p w of eq shifted up by @p d positions (the end-offset
+ *  factor from wordpar's AND recurrence). */
+std::uint64_t
+shiftedWord(const std::uint64_t *eq, std::size_t d, std::size_t w)
+{
+    const std::size_t ws = d / bitsPerWord;
+    const unsigned bs = static_cast<unsigned>(d % bitsPerWord);
+    if (w < ws)
+        return 0;
+    std::uint64_t v = eq[w - ws] << bs;
+    if (bs != 0 && w > ws)
+        v |= eq[w - ws - 1] >> (bitsPerWord - bs);
+    return v;
+}
+
+/** Clear the always-false lead (i < k-1) and the slack past the text
+ *  in a packed row. */
+void
+maskRow(std::uint64_t *row, std::size_t nw, std::size_t k, std::size_t n)
+{
+    const std::size_t lead = k - 1;
+    for (std::size_t w = 0; w < lead / bitsPerWord && w < nw; ++w)
+        row[w] = 0;
+    if (lead / bitsPerWord < nw && lead % bitsPerWord != 0)
+        row[lead / bitsPerWord] &= ~std::uint64_t(0) << (lead % bitsPerWord);
+    if (n % bitsPerWord != 0)
+        row[nw - 1] &= ~std::uint64_t(0) >> (bitsPerWord - n % bitsPerWord);
+}
+
+} // namespace
+
+DictHits
+BitSlicedDictMatcher::matchAll(const std::vector<Symbol> &text,
+                               const DictPatterns &dict)
+{
+    const std::size_t n = text.size();
+    const std::size_t nw = wordCount(n);
+    const std::size_t p = dict.size();
+
+    planesBuilt = 0;
+    eqBuilt = 0;
+    trieNodes = 0;
+    patternChars = 0;
+    sweeps = 0;
+    wordOps = 0;
+
+    DictHits hits;
+    hits.bits.assign(p, std::vector<bool>(n, false));
+    for (const auto &member : dict)
+        patternChars += member.size();
+    if (n == 0 || p == 0)
+        return hits;
+
+    // One transpose covers every pattern: plane[b] bit i = bit b of
+    // s_i, exactly the wordpar layout.
+    Symbol seen = 0;
+    for (Symbol c : text)
+        seen = static_cast<Symbol>(seen | c);
+    for (const auto &member : dict)
+        for (Symbol c : member)
+            if (c != wildcardSymbol)
+                seen = static_cast<Symbol>(seen | c);
+    const unsigned planes = widthOf(seen);
+    planesBuilt = planes;
+
+    const std::size_t planeWords = static_cast<std::size_t>(planes) * nw;
+    if (planeArena.size() < planeWords)
+        planeArena.resize(planeWords);
+    std::fill(planeArena.begin(),
+              planeArena.begin() + static_cast<std::ptrdiff_t>(planeWords),
+              0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Symbol c = text[i];
+        const std::size_t w = i / bitsPerWord;
+        const std::uint64_t bit = std::uint64_t(1) << (i % bitsPerWord);
+        for (unsigned b = 0; b < planes; ++b)
+            if ((c >> b) & 1u)
+                planeArena[b * nw + w] |= bit;
+    }
+
+    auto buildEqInto = [&](Symbol c, std::uint64_t *m) {
+        std::fill(m, m + nw, ~std::uint64_t(0));
+        for (unsigned b = 0; b < planes; ++b) {
+            const std::uint64_t *pl = planeArena.data() + b * nw;
+            if ((c >> b) & 1u) {
+                for (std::size_t w = 0; w < nw; ++w)
+                    m[w] &= pl[w];
+            } else {
+                for (std::size_t w = 0; w < nw; ++w)
+                    m[w] &= ~pl[w];
+            }
+        }
+        ++eqBuilt;
+        wordOps += static_cast<std::uint64_t>(planes) * nw;
+    };
+
+    if (rowArena.size() < p * nw)
+        rowArena.resize(p * nw);
+    std::fill(rowArena.begin(),
+              rowArena.begin() + static_cast<std::ptrdiff_t>(p * nw), 0);
+
+    if (!dedup) {
+        // Ablation variant: every pattern runs its own wordpar-style
+        // AND chain with its own equality masks -- p independent
+        // scans sharing only the transpose.  Must produce the exact
+        // hit set of the deduplicated sweep; only the cost differs.
+        for (std::size_t pi = 0; pi < p; ++pi) {
+            const auto &member = dict[pi];
+            const std::size_t k = member.size();
+            trieNodes += k;
+            if (k == 0 || k > n)
+                continue;
+            std::uint64_t *row = rowArena.data() + pi * nw;
+            std::fill(row, row + nw, ~std::uint64_t(0));
+            eqIndex.clear();
+            for (std::size_t j = 0; j < k; ++j) {
+                const Symbol c = member[j];
+                if (c == wildcardSymbol)
+                    continue;
+                std::size_t off = eqArena.size();
+                bool found = false;
+                for (const auto &entry : eqIndex)
+                    if (entry.first == c) {
+                        off = entry.second;
+                        found = true;
+                        break;
+                    }
+                if (!found) {
+                    off = eqIndex.size() * nw;
+                    if (eqArena.size() < off + nw)
+                        eqArena.resize(off + nw);
+                    buildEqInto(c, eqArena.data() + off);
+                    eqIndex.emplace_back(c, off);
+                }
+                const std::uint64_t *m = eqArena.data() + off;
+                const std::size_t d = (k - 1) - j;
+                for (std::size_t w = 0; w < nw; ++w)
+                    row[w] &= shiftedWord(m, d, w);
+                wordOps += nw;
+            }
+            maskRow(row, nw, k, n);
+            ++sweeps;
+        }
+    } else {
+        // Shared character-class planes: one equality mask per
+        // distinct literal symbol across the whole dictionary.
+        classSyms.clear();
+        eqIndex.clear();
+        auto classOf = [&](Symbol c) -> std::uint32_t {
+            for (std::size_t i = 0; i < classSyms.size(); ++i)
+                if (classSyms[i] == c)
+                    return static_cast<std::uint32_t>(i);
+            const auto id = static_cast<std::uint32_t>(classSyms.size());
+            classSyms.push_back(c);
+            const std::size_t off = static_cast<std::size_t>(id) * nw;
+            if (eqArena.size() < off + nw)
+                eqArena.resize(off + nw);
+            buildEqInto(c, eqArena.data() + off);
+            return id;
+        };
+
+        if (termNode.size() < p)
+            termNode.resize(p);
+
+        // Fuse patterns in groups of <= fusedGroupPatterns: each
+        // group builds a trie over reversed patterns (children keyed
+        // by character class; depth encodes the end offset), so
+        // shared suffixes share one partial-AND node.
+        for (std::size_t g0 = 0; g0 < p; g0 += fusedGroupPatterns) {
+            const std::size_t g1 = std::min(p, g0 + fusedGroupPatterns);
+            trie.clear();
+            // children[v] lists (classId, node) edges of v; slot 0
+            // stands for the virtual root.
+            std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+                children(1);
+            for (std::size_t pi = g0; pi < g1; ++pi) {
+                const auto &member = dict[pi];
+                const std::size_t k = member.size();
+                if (k == 0 || k > n) {
+                    termNode[pi] = noTerm;
+                    continue;
+                }
+                std::uint32_t node = rootNode;
+                for (std::size_t d = 0; d < k; ++d) {
+                    const Symbol c = member[k - 1 - d];
+                    const std::uint32_t cls =
+                        c == wildcardSymbol ? wildClass : classOf(c);
+                    auto &kids =
+                        children[node == rootNode ? 0 : node + 1];
+                    std::uint32_t next = rootNode;
+                    for (const auto &edge : kids)
+                        if (edge.first == cls) {
+                            next = edge.second;
+                            break;
+                        }
+                    if (next == rootNode) {
+                        next = static_cast<std::uint32_t>(trie.size());
+                        trie.push_back({node, cls,
+                                        static_cast<std::uint32_t>(d)});
+                        kids.emplace_back(cls, next);
+                        children.emplace_back();
+                    }
+                    node = next;
+                }
+                termNode[pi] = node;
+            }
+            trieNodes += trie.size();
+            if (trie.empty())
+                continue;
+            ++sweeps;
+
+            // Topological walk per word: nodes were appended parent
+            // first, so a single pass evaluates every partial AND.
+            if (valArena.size() < trie.size())
+                valArena.resize(trie.size());
+            for (std::size_t w = 0; w < nw; ++w) {
+                for (std::size_t v = 0; v < trie.size(); ++v) {
+                    const TrieNode &node = trie[v];
+                    const std::uint64_t up = node.parent == rootNode
+                                                 ? ~std::uint64_t(0)
+                                                 : valArena[node.parent];
+                    valArena[v] =
+                        node.classId == wildClass
+                            ? up
+                            : up & shiftedWord(eqArena.data() +
+                                                   static_cast<std::size_t>(
+                                                       node.classId) *
+                                                       nw,
+                                               node.offset, w);
+                }
+                for (std::size_t pi = g0; pi < g1; ++pi)
+                    if (termNode[pi] != noTerm)
+                        rowArena[pi * nw + w] = valArena[termNode[pi]];
+            }
+            wordOps += static_cast<std::uint64_t>(trie.size()) * nw;
+        }
+
+        for (std::size_t pi = 0; pi < p; ++pi)
+            if (termNode[pi] != noTerm)
+                maskRow(rowArena.data() + pi * nw, nw, dict[pi].size(), n);
+    }
+
+    for (std::size_t pi = 0; pi < p; ++pi) {
+        const std::uint64_t *row = rowArena.data() + pi * nw;
+        std::vector<std::uint64_t> packed(row, row + nw);
+        hits.bits[pi] = core::unpackResultBits(packed, n);
+    }
+    return hits;
+}
+
+std::size_t
+BitSlicedDictMatcher::arenaBytes() const
+{
+    return (planeArena.capacity() + eqArena.capacity() +
+            rowArena.capacity() + valArena.capacity()) *
+               sizeof(std::uint64_t) +
+           eqIndex.capacity() * sizeof(eqIndex[0]) +
+           trie.capacity() * sizeof(trie[0]) +
+           termNode.capacity() * sizeof(termNode[0]) +
+           classSyms.capacity() * sizeof(classSyms[0]);
+}
+
+} // namespace spm::multipattern

@@ -1,0 +1,91 @@
+#pragma once
+/**
+ * Bit-sliced multi-pattern realization on the word-parallel kernel
+ * organization (core/wordpar.hh): the text is transposed into bit
+ * planes once, equality masks are built once per distinct character
+ * class, and the per-pattern AND chains are fused through a reversed
+ * (suffix) trie so dictionaries sharing suffix structure cost less
+ * than p independent scans.
+ *
+ * A pattern's window bit r_p[i] factors by end offset d = k_p-1-j:
+ * r_p = AND_d shiftUp(eq(p[k_p-1-d]), d), so two patterns with a
+ * common suffix share a prefix of their factor chains -- exactly a
+ * trie over reversed patterns.  Each trie node holds one partial AND;
+ * a topological walk per 64-position word evaluates every chain with
+ * one AND per node instead of one per pattern character.  Wild-card
+ * positions contribute an all-ones factor and collapse to a shared
+ * wild edge.  Up to 64 patterns are fused per sweep; larger
+ * dictionaries run ceil(p/64) sweeps over the same planes.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "multipattern/dict.hh"
+#include "util/types.hh"
+
+namespace spm::multipattern
+{
+
+class BitSlicedDictMatcher final : public DictMatcher
+{
+  public:
+    /** Patterns fused per sweep (one result lane per packed word bit
+     *  is not required -- the cap bounds trie width per walk). */
+    static constexpr std::size_t fusedGroupPatterns = 64;
+
+    /** @p dedup_planes disables suffix-trie node merging and
+     *  equality-mask caching when false; the no-dedup variant exists
+     *  so conformance can prove dedup changes cost, never hits. */
+    explicit BitSlicedDictMatcher(bool dedup_planes = true)
+        : dedup(dedup_planes)
+    {
+    }
+
+    DictHits matchAll(const std::vector<Symbol> &text,
+                      const DictPatterns &dict) override;
+    std::string name() const override
+    {
+        return dedup ? "dict-planes" : "dict-planes-nodedup";
+    }
+
+    /** Counters from the last matchAll, for telemetry and the E19
+     *  dedup ablation. */
+    unsigned lastPlanes() const { return planesBuilt; }
+    std::size_t lastEqMasks() const { return eqBuilt; }
+    std::size_t lastTrieNodes() const { return trieNodes; }
+    std::size_t lastPatternChars() const { return patternChars; }
+    std::size_t lastSweeps() const { return sweeps; }
+    std::uint64_t lastWordOps() const { return wordOps; }
+    std::size_t arenaBytes() const;
+
+  private:
+    struct TrieNode {
+        std::uint32_t parent; // index into the walk order; 0 = root
+        std::uint32_t classId; // index into classSyms; wildClass = wild
+        std::uint32_t offset;  // end offset d of this factor
+    };
+
+    const bool dedup;
+
+    unsigned planesBuilt = 0;
+    std::size_t eqBuilt = 0;
+    std::size_t trieNodes = 0;
+    std::size_t patternChars = 0;
+    std::size_t sweeps = 0;
+    std::uint64_t wordOps = 0;
+
+    // Arenas reused across calls, wordpar-style.
+    std::vector<std::uint64_t> planeArena;
+    std::vector<std::uint64_t> eqArena;
+    std::vector<std::pair<Symbol, std::size_t>> eqIndex;
+    std::vector<std::uint64_t> rowArena;
+    std::vector<std::uint64_t> valArena;
+    std::vector<TrieNode> trie;
+    std::vector<std::uint32_t> termNode;
+    std::vector<Symbol> classSyms;
+};
+
+} // namespace spm::multipattern

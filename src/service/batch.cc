@@ -180,9 +180,7 @@ BatchMatchService::openGroup(std::vector<Symbol> pattern,
         rejectedCtr.add();
         return group;
     }
-    MatchRequest probe;
-    probe.pattern = pattern;
-    if (auto verr = validateRequest(cfg.base, probe)) {
+    if (auto verr = validatePattern(cfg.base, pattern)) {
         err = *verr;
         rejectedCtr.add();
         return group;
@@ -211,33 +209,15 @@ BatchMatchService::feedGroup(BatchStreamGroup &group,
         return res;
     }
 
-    // Admission: alphabet membership and the per-stream length bound,
-    // checked before any carry advances (a rejected feed is a no-op).
-    const Symbol sigma =
-        static_cast<Symbol>(1u << cfg.base.alphabetBits);
-    for (std::size_t i = 0; i < chunks.size(); ++i) {
-        if (group.carries[i].seen + chunks[i].size() >
-            cfg.base.maxTextLen) {
-            res.error = ServiceError::make(
-                ErrorCode::OversizedRequest,
-                "stream " + std::to_string(i) + " would reach " +
-                    std::to_string(group.carries[i].seen +
-                                   chunks[i].size()) +
-                    " chars, limit " +
-                    std::to_string(cfg.base.maxTextLen));
+    // Admission through the shared rule set (service.hh), checked
+    // before any carry advances (a rejected feed is a no-op).
+    for (std::size_t i = 0; i < chunks.size(); ++i)
+        if (auto verr =
+                validateText(cfg.base, chunks[i], group.carries[i].seen,
+                             "stream[" + std::to_string(i) + "]")) {
+            res.error = *verr;
             return res;
         }
-        for (std::size_t c = 0; c < chunks[i].size(); ++c)
-            if (chunks[i][c] >= sigma) {
-                res.error = ServiceError::make(
-                    ErrorCode::AlphabetOverflow,
-                    "chunk[" + std::to_string(i) + "][" +
-                        std::to_string(c) + "]=" +
-                        std::to_string(chunks[i][c]) +
-                        " outside alphabet of " + std::to_string(sigma));
-                return res;
-            }
-    }
 
     batchesCtr.add();
     std::vector<const std::vector<Symbol> *> ptrs;

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The dictionary (multi-pattern) serving path.
+ *
+ * The streaming service matches one pattern per request; this front
+ * end serves the rule-set scenario the hardware co-design literature
+ * scales the Foster-Kung data flow to: a whole dictionary checked
+ * against every text chunk, with per-pattern hit reporting.  A
+ * session binds a validated dictionary once (the bit-sliced engine
+ * amortizes its suffix trie and character-class planes across every
+ * chunk); chunks then stream through with whole-stream semantics,
+ * bit-identical to one-shot matching of the concatenated text.
+ *
+ * Serving-layer contract, same as the siblings: typed validation
+ * (DictError names the offending dictionary member), every admitted
+ * character charged through the host bus model, and telemetry that
+ * capacity planning can read (dictionary-size / hits-per-chunk /
+ * planes-per-sweep histograms).  An optional sampled cross-check
+ * replays chunks through the naive per-pattern reference.
+ */
+
+#ifndef SPM_SERVICE_DICTSERVE_HH
+#define SPM_SERVICE_DICTSERVE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "multipattern/dict.hh"
+#include "multipattern/planes.hh"
+#include "service/service.hh"
+
+namespace spm::service
+{
+
+/** Configuration of the dictionary serving path. */
+struct DictServiceConfig
+{
+    /** Bounds, alphabet and bus shared with the streaming service. */
+    ServiceConfig base;
+    /** Most dictionary members admitted per session. */
+    std::size_t maxDictPatterns = 4096;
+    /**
+     * Replay every Nth chunk through the naive per-pattern reference
+     * and compare bit for bit (0 disables).
+     */
+    unsigned crossCheckEvery = 0;
+};
+
+/**
+ * A typed dictionary-path error: the ServiceError names the violated
+ * contract; patternIndex pins it to the offending member when one
+ * member (not the dictionary shape or a chunk) is at fault.
+ */
+struct DictError
+{
+    static constexpr std::size_t noPattern = static_cast<std::size_t>(-1);
+
+    ServiceError error;
+    std::size_t patternIndex = noPattern;
+
+    bool ok() const { return error.code == ErrorCode::Ok; }
+    explicit operator bool() const { return !ok(); }
+
+    /** "dict[i]: <code_name>: <detail>" (bare error when no index). */
+    std::string toString() const;
+
+    static DictError okValue() { return {}; }
+    static DictError make(ServiceError err,
+                          std::size_t pattern_index = noPattern)
+    {
+        return {std::move(err), pattern_index};
+    }
+};
+
+class DictMatchService;
+
+/** One dictionary bound to a chunk stream; host-side handle. */
+class DictSession
+{
+  public:
+    /** True once openSession validated the dictionary. */
+    bool open() const { return !dict.empty(); }
+    std::size_t dictSize() const { return dict.size(); }
+    std::uint64_t streamed() const { return stream.seen; }
+
+  private:
+    friend class DictMatchService;
+    multipattern::DictPatterns dict;
+    multipattern::DictStreamState stream;
+    std::uint64_t chunksFed = 0;
+};
+
+/** The dictionary match service. */
+class DictMatchService
+{
+  public:
+    explicit DictMatchService(DictServiceConfig config);
+
+    const DictServiceConfig &config() const { return cfg; }
+
+    /** Typed dictionary admission; Ok when every member is valid. */
+    DictError validateDict(const multipattern::DictPatterns &dict) const;
+
+    /** Result of one feedChunk() call. */
+    struct ChunkResult
+    {
+        /** Typed error; hits are valid only when ok(). */
+        DictError error;
+        /** Per-pattern hit bits for exactly the new chunk positions. */
+        multipattern::DictHits hits;
+
+        bool ok() const { return error.ok(); }
+    };
+
+    /** Result of one-shot whole-text matching. */
+    struct DictMatchResult
+    {
+        DictError error;
+        multipattern::DictHits hits;
+        std::uint64_t totalHits = 0;
+
+        bool ok() const { return error.ok(); }
+    };
+
+    /**
+     * Open a session against @p dict.  The dictionary is validated
+     * here, once; @p err receives the typed result.
+     */
+    DictSession openSession(multipattern::DictPatterns dict,
+                            DictError &err);
+
+    /**
+     * Feed the next chunk of the session's text stream.  Results have
+     * whole-stream semantics: a member straddling the chunk boundary
+     * reports at its true end position, bit-identical to one-shot
+     * matching of the concatenated stream.
+     */
+    ChunkResult feedChunk(DictSession &session,
+                          const std::vector<Symbol> &chunk);
+
+    /** Validate + serve @p text against @p dict in one call. */
+    DictMatchResult matchDict(const std::vector<Symbol> &text,
+                              const multipattern::DictPatterns &dict);
+
+    /**
+     * Lifetime metrics: counters dictionaries, chunks, chunkChars,
+     * hits, rejected, crossChecks, crossCheckFailures; histograms
+     * dict_size (members per session), hits_per_chunk,
+     * planes_per_sweep (bit planes the engine built per chunk).
+     */
+    const telem::Registry &stats() const { return metrics; }
+
+    /** The counters and histograms as one snapshot (bare names). */
+    telem::Snapshot metricsSnapshot() const;
+
+    /** "dict.x = n" stat lines plus the bus transfer counters. */
+    std::string statsDump() const;
+
+  private:
+    DictServiceConfig cfg;
+    multipattern::BitSlicedDictMatcher engine;
+
+    telem::Registry metrics{1};
+    telem::Counter &dictionariesCtr;
+    telem::Counter &chunksCtr;
+    telem::Counter &chunkCharsCtr;
+    telem::Counter &hitsCtr;
+    telem::Counter &rejectedCtr;
+    telem::Counter &crossChecksCtr;
+    telem::Counter &crossCheckFailuresCtr;
+    telem::Histogram &dictSizeHist;
+    telem::Histogram &hitsPerChunkHist;
+    telem::Histogram &planesPerSweepHist;
+};
+
+} // namespace spm::service
+
+#endif // SPM_SERVICE_DICTSERVE_HH

@@ -31,6 +31,8 @@ errorCodeName(ErrorCode code)
         return "shard_failed";
     case ErrorCode::BatchMismatch:
         return "batch_mismatch";
+    case ErrorCode::InvalidDictionary:
+        return "invalid_dictionary";
     }
     return "?";
 }

@@ -33,6 +33,7 @@ enum class ErrorCode : unsigned char
     InvalidCheckpoint,///< resume token inconsistent with the request
     ShardFailed,      ///< a shard slice died/stalled beyond recovery
     BatchMismatch,    ///< chunk group shape inconsistent with the group
+    InvalidDictionary,///< dictionary empty or beyond the member limit
 };
 
 /** Stable printable name of an error code, e.g. "deadline_exceeded". */

@@ -392,38 +392,54 @@ MatchService::validate(const MatchRequest &req) const
 }
 
 std::optional<ServiceError>
+validatePattern(const ServiceConfig &cfg, const std::vector<Symbol> &pattern,
+                const std::string &label)
+{
+    if (pattern.empty())
+        return ServiceError::make(ErrorCode::InvalidPattern,
+                                  "empty " + label);
+    if (pattern.size() > cfg.maxPatternLen)
+        return ServiceError::make(
+            ErrorCode::OversizedRequest,
+            label + " of " + std::to_string(pattern.size()) +
+                " exceeds limit " + std::to_string(cfg.maxPatternLen));
+    const Symbol sigma = static_cast<Symbol>(1u << cfg.alphabetBits);
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+        if (pattern[i] != wildcardSymbol && pattern[i] >= sigma)
+            return ServiceError::make(
+                ErrorCode::AlphabetOverflow,
+                label + "[" + std::to_string(i) + "]=" +
+                    std::to_string(pattern[i]) + " outside alphabet of " +
+                    std::to_string(sigma));
+    return std::nullopt;
+}
+
+std::optional<ServiceError>
+validateText(const ServiceConfig &cfg, const std::vector<Symbol> &text,
+             std::uint64_t already_seen, const std::string &label)
+{
+    if (already_seen + text.size() > cfg.maxTextLen)
+        return ServiceError::make(
+            ErrorCode::OversizedRequest,
+            label + " of " + std::to_string(already_seen + text.size()) +
+                " chars exceeds limit " + std::to_string(cfg.maxTextLen));
+    const Symbol sigma = static_cast<Symbol>(1u << cfg.alphabetBits);
+    for (std::size_t i = 0; i < text.size(); ++i)
+        if (text[i] >= sigma)
+            return ServiceError::make(
+                ErrorCode::AlphabetOverflow,
+                label + "[" + std::to_string(i) + "]=" +
+                    std::to_string(text[i]) + " outside alphabet of " +
+                    std::to_string(sigma));
+    return std::nullopt;
+}
+
+std::optional<ServiceError>
 validateRequest(const ServiceConfig &cfg, const MatchRequest &req)
 {
-    if (req.pattern.empty())
-        return ServiceError::make(ErrorCode::InvalidPattern,
-                                  "empty pattern");
-    if (req.pattern.size() > cfg.maxPatternLen)
-        return ServiceError::make(
-            ErrorCode::OversizedRequest,
-            "pattern of " + std::to_string(req.pattern.size()) +
-                " exceeds limit " + std::to_string(cfg.maxPatternLen));
-    if (req.text.size() > cfg.maxTextLen)
-        return ServiceError::make(
-            ErrorCode::OversizedRequest,
-            "text of " + std::to_string(req.text.size()) +
-                " exceeds limit " + std::to_string(cfg.maxTextLen));
-
-    const Symbol sigma = static_cast<Symbol>(1u << cfg.alphabetBits);
-    for (std::size_t i = 0; i < req.text.size(); ++i)
-        if (req.text[i] >= sigma)
-            return ServiceError::make(
-                ErrorCode::AlphabetOverflow,
-                "text[" + std::to_string(i) + "]=" +
-                    std::to_string(req.text[i]) +
-                    " outside alphabet of " + std::to_string(sigma));
-    for (std::size_t i = 0; i < req.pattern.size(); ++i)
-        if (req.pattern[i] != wildcardSymbol && req.pattern[i] >= sigma)
-            return ServiceError::make(
-                ErrorCode::AlphabetOverflow,
-                "pattern[" + std::to_string(i) + "]=" +
-                    std::to_string(req.pattern[i]) +
-                    " outside alphabet of " + std::to_string(sigma));
-    return std::nullopt;
+    if (auto err = validatePattern(cfg, req.pattern))
+        return err;
+    return validateText(cfg, req.text);
 }
 
 StreamSession

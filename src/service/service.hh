@@ -247,11 +247,35 @@ std::vector<std::unique_ptr<ServiceBackend>> makeDefaultLadder(
 
 /**
  * The request admission rules, shared by every front end (streaming,
- * sharded, batched): typed validation of pattern shape, size bounds
- * and alphabet membership against @p cfg; nullopt when admissible.
+ * sharded, batched, dictionary): typed validation of pattern shape,
+ * size bounds and alphabet membership against @p cfg; nullopt when
+ * admissible.  validateRequest composes the two primitives below;
+ * front ends with their own request shapes (batch groups, dictionary
+ * sessions) call the primitives directly so one rule set admits
+ * everywhere.
  */
 std::optional<ServiceError> validateRequest(const ServiceConfig &cfg,
                                             const MatchRequest &req);
+
+/**
+ * Pattern admission alone: non-empty, within maxPatternLen, every
+ * non-wild symbol inside the configured alphabet.  @p label names the
+ * pattern in error details ("pattern", "dict[3]", ...).
+ */
+std::optional<ServiceError> validatePattern(
+    const ServiceConfig &cfg, const std::vector<Symbol> &pattern,
+    const std::string &label = "pattern");
+
+/**
+ * Text/chunk admission alone: every symbol inside the alphabet (wild
+ * cards are NOT admitted in text) and the cumulative stream length --
+ * @p already_seen characters fed before this slice plus the slice --
+ * within maxTextLen.  @p label names the slice in error details.
+ */
+std::optional<ServiceError> validateText(const ServiceConfig &cfg,
+                                         const std::vector<Symbol> &text,
+                                         std::uint64_t already_seen = 0,
+                                         const std::string &label = "text");
 
 } // namespace spm::service
 

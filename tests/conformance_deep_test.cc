@@ -25,8 +25,11 @@ TEST(DeepConformance, TimeBoxedFuzzSweepAgrees)
     cfg.timeBudgetSec = 4.0;
     const RunReport r = runFuzz(cfg);
     // Sanity floor only: sanitizer builds run the sweep ~50x slower
-    // than plain builds, so keep this well below the plain-build rate.
-    EXPECT_GT(r.casesRun, 100u);
+    // than plain builds, and every case now also pays for the dict
+    // oracles' four-way cross-checks, so keep this far below the
+    // plain-build rate (observed low: 64 cases under ASan with the
+    // whole suite running in parallel).
+    EXPECT_GT(r.casesRun, 25u);
     for (const Failure &f : r.failures)
         ADD_FAILURE() << f.report();
     EXPECT_TRUE(r.ok());

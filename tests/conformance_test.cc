@@ -357,13 +357,13 @@ TEST(Oracles, RegistryNamesEveryImplementation)
     const std::vector<std::string> names = allOracleNames(true);
     // 9 base implementations (sharded x3 = 11 configurations), plus
     // the SIMD kernel at the best tier and every supported tier below
-    // it, plus three batch pack shapes.
+    // it, plus three batch pack shapes, plus four dictionary shapes.
     std::size_t below_best = 0;
     for (const core::SimdIsa isa :
          {core::SimdIsa::Scalar, core::SimdIsa::Sse2})
         if (core::simdIsaSupported(isa) && isa < core::bestSimdIsa())
             ++below_best;
-    EXPECT_EQ(names.size(), 11u + 1u + below_best + 3u);
+    EXPECT_EQ(names.size(), 11u + 1u + below_best + 3u + 4u);
     EXPECT_EQ(names.front(), "reference");
     const auto has = [&](const std::string &n) {
         return std::find(names.begin(), names.end(), n) != names.end();
@@ -372,6 +372,10 @@ TEST(Oracles, RegistryNamesEveryImplementation)
     EXPECT_TRUE(has("batch-w3"));
     EXPECT_TRUE(has("batch-w64"));
     EXPECT_TRUE(has("batch-w3-chunk7"));
+    EXPECT_TRUE(has("dict-p1"));
+    EXPECT_TRUE(has("dict-p8"));
+    EXPECT_TRUE(has("dict-p64"));
+    EXPECT_TRUE(has("dict-p8-chunk9"));
     // The gate switch removes exactly the two gate-level oracles.
     const std::vector<std::string> nogate = allOracleNames(false);
     EXPECT_EQ(names.size(), nogate.size() + 2u);

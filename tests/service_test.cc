@@ -125,6 +125,8 @@ TEST(ServiceError, CodesHaveStableNames)
     EXPECT_STREQ(errorCodeName(ErrorCode::Cancelled), "cancelled");
     EXPECT_STREQ(errorCodeName(ErrorCode::InvalidCheckpoint),
                  "invalid_checkpoint");
+    EXPECT_STREQ(errorCodeName(ErrorCode::InvalidDictionary),
+                 "invalid_dictionary");
 
     const ServiceError e =
         ServiceError::make(ErrorCode::Shed, "queue full");

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The shared admission rule set (service.hh validatePattern /
+ * validateText / validateRequest) and its uniform enforcement across
+ * every front end: streaming, batched, sharded and dictionary.  Each
+ * front end used to carry (or skip) its own inline checks; these
+ * tests pin the single-path contract -- the same malformed input
+ * draws the same typed code everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "service/batch.hh"
+#include "service/dictserve.hh"
+#include "service/service.hh"
+#include "service/sharded.hh"
+#include "util/types.hh"
+
+namespace spm::service
+{
+namespace
+{
+
+ServiceConfig
+smallConfig()
+{
+    ServiceConfig cfg;
+    cfg.alphabetBits = 3; // symbols 0..7
+    cfg.maxTextLen = 256;
+    cfg.maxPatternLen = 64;
+    return cfg;
+}
+
+TEST(ValidateHelpers, PatternRules)
+{
+    const ServiceConfig cfg = smallConfig();
+
+    EXPECT_FALSE(validatePattern(cfg, {1, 2, 3}));
+    EXPECT_FALSE(validatePattern(cfg, {wildcardSymbol, 7}));
+
+    auto empty = validatePattern(cfg, {});
+    ASSERT_TRUE(empty.has_value());
+    EXPECT_EQ(empty->code, ErrorCode::InvalidPattern);
+
+    // k > 64: the configured pattern bound (one fused sweep's width).
+    std::vector<Symbol> longPattern(65, Symbol(1));
+    auto oversize = validatePattern(cfg, longPattern);
+    ASSERT_TRUE(oversize.has_value());
+    EXPECT_EQ(oversize->code, ErrorCode::OversizedRequest);
+
+    // Out-of-alphabet byte; the wild card stays exempt.
+    auto overflow = validatePattern(cfg, {1, Symbol(8)});
+    ASSERT_TRUE(overflow.has_value());
+    EXPECT_EQ(overflow->code, ErrorCode::AlphabetOverflow);
+}
+
+TEST(ValidateHelpers, TextRules)
+{
+    const ServiceConfig cfg = smallConfig();
+
+    EXPECT_FALSE(validateText(cfg, {0, 7, 3}));
+    EXPECT_FALSE(validateText(cfg, {})); // empty text is admissible
+
+    // Wild cards are not admitted in text.
+    auto wild = validateText(cfg, {wildcardSymbol});
+    ASSERT_TRUE(wild.has_value());
+    EXPECT_EQ(wild->code, ErrorCode::AlphabetOverflow);
+
+    auto overflow = validateText(cfg, {Symbol(8)});
+    ASSERT_TRUE(overflow.has_value());
+    EXPECT_EQ(overflow->code, ErrorCode::AlphabetOverflow);
+
+    // The cumulative stream bound: 200 already seen + 57 more > 256.
+    const std::vector<Symbol> chunk(57, Symbol(0));
+    EXPECT_FALSE(validateText(cfg, chunk, 199));
+    auto oversize = validateText(cfg, chunk, 200);
+    ASSERT_TRUE(oversize.has_value());
+    EXPECT_EQ(oversize->code, ErrorCode::OversizedRequest);
+}
+
+TEST(ValidateHelpers, RequestComposesBothPrimitives)
+{
+    const ServiceConfig cfg = smallConfig();
+    MatchRequest req;
+    req.pattern = {1, 2};
+    req.text = {0, 1, 2, 3};
+    EXPECT_FALSE(validateRequest(cfg, req));
+
+    req.pattern.clear();
+    auto err = validateRequest(cfg, req);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ErrorCode::InvalidPattern);
+
+    req.pattern = {1};
+    req.text.assign(cfg.maxTextLen + 1, Symbol(0));
+    err = validateRequest(cfg, req);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ErrorCode::OversizedRequest);
+}
+
+/** The same three violations, through every front end. */
+struct Violation
+{
+    std::vector<Symbol> pattern;
+    ErrorCode want;
+};
+
+std::vector<Violation>
+violations()
+{
+    return {
+        {{}, ErrorCode::InvalidPattern},
+        {std::vector<Symbol>(65, Symbol(1)), ErrorCode::OversizedRequest},
+        {{1, Symbol(8)}, ErrorCode::AlphabetOverflow},
+    };
+}
+
+TEST(ValidateFrontEnds, StreamingServiceUsesSharedRules)
+{
+    MatchService svc(smallConfig());
+    for (const auto &v : violations()) {
+        MatchRequest req;
+        req.pattern = v.pattern;
+        req.text = {0, 1, 2};
+        auto err = svc.validate(req);
+        ASSERT_TRUE(err.has_value());
+        EXPECT_EQ(err->code, v.want);
+    }
+}
+
+TEST(ValidateFrontEnds, BatchServiceUsesSharedRules)
+{
+    BatchServiceConfig cfg;
+    cfg.base = smallConfig();
+    BatchMatchService svc(cfg);
+    for (const auto &v : violations()) {
+        // openGroup validates the pattern once for the whole group.
+        ServiceError err;
+        BatchStreamGroup group = svc.openGroup(v.pattern, 2, err);
+        EXPECT_EQ(err.code, v.want);
+        EXPECT_EQ(group.width(), 0u);
+
+        // serveBatch validates per request.
+        MatchRequest req;
+        req.pattern = v.pattern;
+        req.text = {0, 1, 2};
+        auto responses = svc.serveBatch({req});
+        ASSERT_EQ(responses.size(), 1u);
+        EXPECT_EQ(responses[0].error.code, v.want);
+    }
+
+    // Chunk admission shares validateText: out-of-alphabet bytes and
+    // the cumulative per-stream bound reject before carries advance.
+    ServiceError err;
+    BatchStreamGroup group = svc.openGroup({1, 2}, 1, err);
+    ASSERT_EQ(err.code, ErrorCode::Ok);
+    auto fed = svc.feedGroup(group, {{Symbol(9)}});
+    EXPECT_EQ(fed.error.code, ErrorCode::AlphabetOverflow);
+    fed = svc.feedGroup(
+        group, {std::vector<Symbol>(cfg.base.maxTextLen + 1, Symbol(0))});
+    EXPECT_EQ(fed.error.code, ErrorCode::OversizedRequest);
+}
+
+TEST(ValidateFrontEnds, ShardedServiceUsesSharedRules)
+{
+    ShardedConfig cfg;
+    cfg.base = smallConfig();
+    cfg.threads = 2;
+    cfg.spareShards = 0;
+    ShardedMatchService svc(cfg);
+    for (const auto &v : violations()) {
+        MatchRequest req;
+        req.pattern = v.pattern;
+        req.text = {0, 1, 2};
+        auto err = svc.validate(req);
+        ASSERT_TRUE(err.has_value());
+        EXPECT_EQ(err->code, v.want);
+    }
+}
+
+TEST(ValidateFrontEnds, DictServiceUsesSharedRulesPerMember)
+{
+    DictServiceConfig cfg;
+    cfg.base = smallConfig();
+    DictMatchService svc(cfg);
+    for (const auto &v : violations()) {
+        // The offending member is pinned by index even when valid
+        // members surround it.
+        multipattern::DictPatterns dict = {{1, 2}, v.pattern, {3}};
+        const DictError err = svc.validateDict(dict);
+        EXPECT_EQ(err.error.code, v.want);
+        EXPECT_EQ(err.patternIndex, 1u);
+    }
+}
+
+} // namespace
+} // namespace spm::service

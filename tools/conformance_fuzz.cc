@@ -39,6 +39,8 @@ usage(std::FILE *out)
         "(default 400)\n"
         "  --focus STR      only run oracles whose name contains STR\n"
         "                   (the reference always stays)\n"
+        "  --dict           shorthand for --focus dict: sweep only the\n"
+        "                   multi-pattern dictionary oracles\n"
         "  --no-gate        skip the gate-level oracles\n"
         "  --no-extensions  skip the extension cross-checks\n"
         "  --no-golden      skip the golden-trace diffs\n"
@@ -124,6 +126,8 @@ main(int argc, char **argv)
                 parseU64(value("--mutant-cases"), "--mutant-cases");
         else if (arg == "--focus")
             cfg.focus = value("--focus");
+        else if (arg == "--dict")
+            cfg.focus = "dict";
         else if (arg == "--no-gate")
             cfg.withGate = false;
         else if (arg == "--no-extensions")
