@@ -38,10 +38,11 @@ cmake --preset tsan
 echo "== tsan: build =="
 cmake --build --preset tsan -j "${jobs}" \
     --target service_sharded_test service_test service_chaos_test \
-    multipattern_test service_dict_test conformance_corpus_test
+    multipattern_test service_dict_test conformance_corpus_test \
+    telemetry_metrics_test telemetry_reqobs_test
 echo "== tsan: test =="
 ctest --test-dir build-tsan --timeout 240 --output-on-failure \
-    -R 'service_sharded_test|service_test|service_chaos_test|multipattern_test|service_dict_test|conformance_corpus_test'
+    -R 'service_sharded_test|service_test|service_chaos_test|multipattern_test|service_dict_test|conformance_corpus_test|telemetry_metrics_test|telemetry_reqobs_test'
 
 # Conformance legs on the plain build: a time-boxed differential fuzz
 # sweep across the full oracle registry, and the mutation self-check --
@@ -119,7 +120,8 @@ for pair in \
     "BENCH_E16.json bench_e16_faultgrade" \
     "BENCH_E17.json bench_e17_chaos" \
     "BENCH_E18.json bench_e18_simd" \
-    "BENCH_E19.json bench_e19_dict"; do
+    "BENCH_E19.json bench_e19_dict" \
+    "BENCH_E20.json bench_e20_reqobs"; do
     set -- ${pair}
     baseline="$1"
     bin="$2"
@@ -172,6 +174,22 @@ overhead=$(sed -n \
 echo "enabled overhead: ${overhead} (limit 0.05)"
 awk -v o="${overhead}" 'BEGIN { exit (o + 0 <= 0.05) ? 0 : 1 }'
 
+# Request-observability gate (E20): the per-request stage clocks, SLO
+# log-histograms and exemplar reservoirs together must stay within 2%
+# on the streaming service's end-to-end path, and the telem-off build
+# must report the layer as compiled out entirely.
+echo "== reqobs: enabled-overhead gate =="
+build/bench/bench_e20_reqobs --smoke --json build/BENCH_E20.smoke.json \
+    > /dev/null
+reqobs_overhead=$(sed -n \
+    's/.*"reqobs.enabled_overhead_frac": \([0-9.eE+-]*\).*/\1/p' \
+    build/BENCH_E20.smoke.json)
+echo "reqobs enabled overhead: ${reqobs_overhead} (limit 0.02)"
+awk -v o="${reqobs_overhead}" 'BEGIN { exit (o + 0 <= 0.02) ? 0 : 1 }'
+build-telem-off/bench/bench_e20_reqobs --smoke \
+    --json build-telem-off/BENCH_E20.smoke.json > /dev/null
+grep -q '"reqobs.compiled_out": 1' build-telem-off/BENCH_E20.smoke.json
+
 echo "== telemetry: trace_view goldens and trace schema =="
 build/tools/trace_view --table tests/golden/telemetry_snapshot.json |
     diff -u tests/golden/telemetry_snapshot.table.txt -
@@ -181,4 +199,5 @@ build/tools/trace_view --demo-trace > build/demo_trace.json
 build/tools/trace_view --check build/demo_trace.json
 
 echo "All checks passed (plain + asan-ubsan + tsan + chaos storm +"
-echo "bench smoke + bench-regression gate + fault grading + telemetry)."
+echo "bench smoke + bench-regression gate + fault grading + telemetry +"
+echo "reqobs overhead gate)."

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/reference.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/telem.hh"
 #include "util/logging.hh"
 
@@ -28,7 +29,8 @@ BatchMatchService::BatchMatchService(BatchServiceConfig config,
       batchWidthHist(metrics.histogram(
           "batch_width", 0.0,
           static_cast<double>(std::max<std::size_t>(cfg.maxBatchStreams, 1)),
-          16))
+          16)),
+      reqObs(metrics, "batch", &exemplarStore)
 {
     spm_assert(cfg.maxBatchStreams > 0,
                "batch service needs room for at least one stream");
@@ -41,7 +43,7 @@ BatchMatchService::runPass(
     std::vector<core::StreamCarry> &carries,
     const std::vector<const std::vector<Symbol> *> &chunks,
     const std::vector<Symbol> &pattern, bool &checked,
-    std::uint64_t &mismatches)
+    std::uint64_t &mismatches, telem::StageClock &clock)
 {
     // A sampled cross-check needs the pre-pass carries; snapshot them
     // only on the passes that audit.
@@ -54,6 +56,7 @@ BatchMatchService::runPass(
 
     auto bits = engine.feedChunks(carries, chunks, pattern);
     kernelPassesCtr.add();
+    clock.mark(telem::Stage::Kernel);
     SPM_THIST(batchWidthHist,
               static_cast<double>(engine.lastBatchWidth()));
 
@@ -84,6 +87,7 @@ BatchMatchService::runPass(
             crossCheckFailuresCtr.add(mismatches);
             SPM_TCOUNT_GLOBAL("batch.cross_check_failures", mismatches);
         }
+        clock.mark(telem::Stage::CrossCheck);
     }
     return bits;
 }
@@ -93,6 +97,12 @@ BatchMatchService::serveBatch(const std::vector<MatchRequest> &batch)
 {
     batchesCtr.add();
     std::vector<MatchResponse> out(batch.size());
+
+    // One stage clock for the whole call: the kernel pass is shared,
+    // so per-pass attribution is the honest granularity. Per-member
+    // queue waits feed the stage histogram directly (noteQueueWait).
+    telem::StageClock clock;
+    clock.start();
 
     // Validate independently; collect the admissible requests.
     std::vector<std::size_t> admitted;
@@ -112,13 +122,17 @@ BatchMatchService::serveBatch(const std::vector<MatchRequest> &batch)
             rejectedCtr.add();
             continue;
         }
+        if (clock.running() && batch[i].enqueuedNs != 0)
+            reqObs.noteQueueWait(telem::nowNs() - batch[i].enqueuedNs);
         admitted.push_back(i);
     }
     streamsCtr.add(admitted.size());
+    clock.mark(telem::Stage::Admit);
 
     // One kernel pass per distinct pattern among the admitted
     // requests; requests sharing a pattern pack into the same pass.
     std::vector<bool> served(batch.size(), false);
+    std::uint64_t totalMismatches = 0;
     for (std::size_t a = 0; a < admitted.size(); ++a) {
         const std::size_t lead = admitted[a];
         if (served[lead])
@@ -138,7 +152,9 @@ BatchMatchService::serveBatch(const std::vector<MatchRequest> &batch)
         std::vector<core::StreamCarry> carries(texts.size());
         bool checked = false;
         std::uint64_t mismatches = 0;
-        auto bits = runPass(carries, texts, pattern, checked, mismatches);
+        auto bits =
+            runPass(carries, texts, pattern, checked, mismatches, clock);
+        totalMismatches += mismatches;
 
         const std::string backend =
             "batch+" + engine.kernel().name();
@@ -155,12 +171,23 @@ BatchMatchService::serveBatch(const std::vector<MatchRequest> &batch)
             resp.beats = static_cast<Beat>(n);
             resp.busSeconds = cfg.base.bus.secondsForBeats(resp.beats);
             streamCharsCtr.add(n);
+            clock.addBeats(resp.beats);
             if (checked && mismatches != 0)
                 resp.error = ServiceError::make(
                     ErrorCode::BackendFailed,
                     "sampled cross-check caught a kernel mismatch in "
                     "this pass");
         }
+        clock.mark(telem::Stage::Commit);
+    }
+    if (!admitted.empty()) {
+        const std::size_t lead = admitted.front();
+        reqObs.observe(clock, batch[lead].id, totalMismatches != 0,
+                       "cross-check mismatch", [&] {
+                           return telem::literalCaseId(
+                               cfg.base.alphabetBits, batch[lead].pattern,
+                               batch[lead].text);
+                       });
     }
     return out;
 }
@@ -209,6 +236,9 @@ BatchMatchService::feedGroup(BatchStreamGroup &group,
         return res;
     }
 
+    telem::StageClock clock;
+    clock.start();
+
     // Admission through the shared rule set (service.hh), checked
     // before any carry advances (a rejected feed is a no-op).
     for (std::size_t i = 0; i < chunks.size(); ++i)
@@ -229,15 +259,23 @@ BatchMatchService::feedGroup(BatchStreamGroup &group,
         cfg.base.bus.transferChunk(c.data(), c.data(), c.size());
     }
     streamCharsCtr.add(total);
+    clock.mark(telem::Stage::Admit);
 
     bool checked = false;
     std::uint64_t mismatches = 0;
-    res.bits =
-        runPass(group.carries, ptrs, group.pattern, checked, mismatches);
+    res.bits = runPass(group.carries, ptrs, group.pattern, checked,
+                       mismatches, clock);
     if (checked && mismatches != 0)
         res.error = ServiceError::make(
             ErrorCode::BackendFailed,
             "sampled cross-check caught a kernel mismatch in this pass");
+    clock.mark(telem::Stage::Commit);
+    clock.addBeats(static_cast<Beat>(total));
+    reqObs.observe(clock, 0, mismatches != 0, "cross-check mismatch", [&] {
+        return telem::literalCaseId(cfg.base.alphabetBits, group.pattern,
+                                    chunks.empty() ? std::vector<Symbol>{}
+                                                   : chunks.front());
+    });
     return res;
 }
 

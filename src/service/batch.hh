@@ -129,13 +129,25 @@ class BatchMatchService
     /** "batch.x = n" stat lines plus the bus transfer counters. */
     std::string statsDump() const;
 
+    /**
+     * Tail-sampled exemplar traces: the slowest passes, a uniform
+     * sample, and every pass whose sampled cross-check mismatched,
+     * each with its stage split and a replayable case ID for the
+     * pass's lead stream.
+     */
+    const telem::ExemplarReservoir &exemplars() const
+    {
+        return exemplarStore;
+    }
+    telem::ExemplarReservoir &exemplars() { return exemplarStore; }
+
   private:
     /** One kernel pass + charging + sampled cross-check. */
     std::vector<std::vector<bool>> runPass(
         std::vector<core::StreamCarry> &carries,
         const std::vector<const std::vector<Symbol> *> &chunks,
         const std::vector<Symbol> &pattern, bool &checked,
-        std::uint64_t &mismatches);
+        std::uint64_t &mismatches, telem::StageClock &clock);
 
     BatchServiceConfig cfg;
     core::BatchMatcher engine;
@@ -149,6 +161,8 @@ class BatchMatchService
     telem::Counter &crossChecksCtr;
     telem::Counter &crossCheckFailuresCtr;
     telem::Histogram &batchWidthHist;
+    telem::ExemplarReservoir exemplarStore;
+    telem::RequestObserver reqObs;
 };
 
 } // namespace spm::service

@@ -336,6 +336,8 @@ runChaosCampaign(const ChaosCampaignConfig &config)
         } else {
             ++rep.typedFailures;
         }
+        if (config.progress)
+            config.progress(i + 1, sharded);
     }
     rep.faultsInjected = plan->injections();
     const telem::Snapshot snap = sharded.metricsSnapshot();

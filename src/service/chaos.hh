@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -233,6 +234,14 @@ struct ChaosCampaignConfig
     double wildcardProb = 0.2;
     /** Workload generator seed (independent of the storm seed). */
     std::uint64_t seed = 2026;
+    /**
+     * Observer hook called after each served request with the count
+     * served so far and the live service; chaos_storm uses it to dump
+     * periodic metrics snapshots for spm_top. Null = no observation.
+     * The callback runs on the campaign thread between requests.
+     */
+    std::function<void(std::size_t served, const ShardedMatchService &svc)>
+        progress;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/flightrec.hh"
 #include "telemetry/telem.hh"
 #include "util/logging.hh"
 
@@ -32,7 +33,8 @@ DictMatchService::DictMatchService(DictServiceConfig config)
           static_cast<double>(std::max<std::size_t>(cfg.maxDictPatterns, 1)),
           16)),
       hitsPerChunkHist(metrics.histogram("hits_per_chunk", 0.0, 256.0, 16)),
-      planesPerSweepHist(metrics.histogram("planes_per_sweep", 0.0, 17.0, 17))
+      planesPerSweepHist(metrics.histogram("planes_per_sweep", 0.0, 17.0, 17)),
+      reqObs(metrics, "dict", &exemplarStore)
 {
     spm_assert(cfg.maxDictPatterns > 0,
                "dictionary service needs room for at least one member");
@@ -79,7 +81,8 @@ DictMatchService::openSession(multipattern::DictPatterns dict,
 
 DictMatchService::ChunkResult
 DictMatchService::feedChunk(DictSession &session,
-                            const std::vector<Symbol> &chunk)
+                            const std::vector<Symbol> &chunk,
+                            std::uint64_t enqueued_ns)
 {
     ChunkResult res;
     if (!session.open()) {
@@ -87,6 +90,12 @@ DictMatchService::feedChunk(DictSession &session,
             ErrorCode::InvalidDictionary, "session was never opened"));
         return res;
     }
+
+    telem::StageClock clock;
+    clock.start();
+    if (clock.running() && enqueued_ns != 0)
+        clock.note(telem::Stage::QueueWait, telem::nowNs() - enqueued_ns);
+
     if (auto verr =
             validateText(cfg.base, chunk, session.stream.seen, "chunk")) {
         rejectedCtr.add();
@@ -103,6 +112,7 @@ DictMatchService::feedChunk(DictSession &session,
     std::vector<Symbol> beforeTail;
     if (audit)
         beforeTail = session.stream.tail;
+    clock.mark(telem::Stage::Admit);
 
     res.hits = multipattern::feedDictChunk(engine, session.stream, chunk,
                                            session.dict);
@@ -114,6 +124,7 @@ DictMatchService::feedChunk(DictSession &session,
     SPM_THIST(hitsPerChunkHist, static_cast<double>(chunkHits));
     SPM_THIST(planesPerSweepHist,
               static_cast<double>(engine.lastPlanes()));
+    clock.mark(telem::Stage::Kernel);
 
     if (audit) {
         crossChecksCtr.add();
@@ -137,7 +148,16 @@ DictMatchService::feedChunk(DictSession &session,
                 "cross-check caught a dictionary-kernel mismatch in "
                 "this chunk"));
         }
+        clock.mark(telem::Stage::CrossCheck);
     }
+    clock.mark(telem::Stage::Commit);
+    // The steady-rate contract: one text character per beat.
+    clock.addBeats(static_cast<Beat>(chunk.size()));
+    reqObs.observe(clock, session.chunksFed, !res.ok(),
+                   "cross-check mismatch", [&] {
+                       return telem::literalCaseId(cfg.base.alphabetBits,
+                                                   session.dict[0], chunk);
+                   });
     return res;
 }
 

@@ -135,9 +135,14 @@ class DictMatchService
      * whole-stream semantics: a member straddling the chunk boundary
      * reports at its true end position, bit-identical to one-shot
      * matching of the concatenated stream.
+     *
+     * @param enqueued_ns optional telem::nowNs() stamp taken when the
+     *        host queued this chunk; the wait is credited to the
+     *        queue-wait stage histogram (0 charges no wait)
      */
     ChunkResult feedChunk(DictSession &session,
-                          const std::vector<Symbol> &chunk);
+                          const std::vector<Symbol> &chunk,
+                          std::uint64_t enqueued_ns = 0);
 
     /** Validate + serve @p text against @p dict in one call. */
     DictMatchResult matchDict(const std::vector<Symbol> &text,
@@ -157,6 +162,18 @@ class DictMatchService
     /** "dict.x = n" stat lines plus the bus transfer counters. */
     std::string statsDump() const;
 
+    /**
+     * Tail-sampled exemplar traces: the slowest chunks, a uniform
+     * sample, and every chunk whose sampled cross-check mismatched.
+     * The case ID replays dictionary member 0 against the chunk's
+     * window (the conformance case format is single-pattern).
+     */
+    const telem::ExemplarReservoir &exemplars() const
+    {
+        return exemplarStore;
+    }
+    telem::ExemplarReservoir &exemplars() { return exemplarStore; }
+
   private:
     DictServiceConfig cfg;
     multipattern::BitSlicedDictMatcher engine;
@@ -172,6 +189,8 @@ class DictMatchService
     telem::Histogram &dictSizeHist;
     telem::Histogram &hitsPerChunkHist;
     telem::Histogram &planesPerSweepHist;
+    telem::ExemplarReservoir exemplarStore;
+    telem::RequestObserver reqObs;
 };
 
 } // namespace spm::service

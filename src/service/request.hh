@@ -37,6 +37,14 @@ struct MatchRequest
      * 0 means no deadline beyond the per-window watchdog budget.
      */
     Beat deadlineBeats = 0;
+    /**
+     * Monotonic telem::nowNs() stamp taken when the request entered
+     * an admission queue; the stage clock credits now-minus-stamp to
+     * its queue-wait bucket when serving starts. 0 (never queued)
+     * charges no wait. Front ends stamp this themselves; callers
+     * submitting directly may leave it alone.
+     */
+    std::uint64_t enqueuedNs = 0;
 };
 
 /** The service's answer to one request. */

@@ -35,6 +35,10 @@ StreamSession::StreamSession(MatchService &svc, MatchRequest req,
     : service(svc), request(std::move(req)),
       rungFaults(svc.ladder.size(), 0)
 {
+    clock.start();
+    if (clock.running() && request.enqueuedNs != 0)
+        clock.note(telem::Stage::QueueWait,
+                   telem::nowNs() - request.enqueuedNs);
     response.id = request.id;
     if (resume_from) {
         cp = std::move(*resume_from);
@@ -141,6 +145,10 @@ StreamSession::step()
         return ev;
     };
 
+    // Everything up to here -- queue pop, window assembly, budget
+    // math -- is admission work.
+    clock.mark(telem::Stage::Admit);
+
     bool last_fail_watchdog = false;
     std::size_t rung = cp.rung;
     while (rung < service.ladder.size()) {
@@ -172,6 +180,8 @@ StreamSession::step()
         WindowResult wr =
             backend.matchWindow(window, request.pattern, service.dog);
         response.beats += wr.beats;
+        clock.mark(telem::Stage::Kernel);
+        clock.addBeats(wr.beats);
 
         if (!wr.completed) {
             last_fail_watchdog = service.dog.tripped();
@@ -217,6 +227,7 @@ StreamSession::step()
         if (cfg.crossCheck) {
             const std::vector<bool> expect =
                 core::ReferenceMatcher().match(window, request.pattern);
+            clock.mark(telem::Stage::CrossCheck);
             if (wr.bits != expect) {
                 ++response.crossCheckFailures;
                 service.crossCheckFailuresCtr.add();
@@ -291,13 +302,16 @@ StreamSession::step()
         chunk_span.setBeat(response.beats);
         service.flight.record(
             flightEvent(telem::FlightKind::ChunkCommit));
-        if (service.log.enabled())
+        clock.mark(telem::Stage::Commit);
+        if (service.log.enabled()) {
             service.log.record(
                 "req=" + std::to_string(request.id) + " chunk offset=" +
                 std::to_string(cp.offset) + "/" + std::to_string(n) +
                 " rung=" + backend.name() + " beats=" +
                 std::to_string(wr.beats) + " ckpt=" +
                 std::to_string(cp.digest()));
+            clock.mark(telem::Stage::Journal);
+        }
         // Even when this was the last chunk, one more step() call
         // publishes the response; callers loop on the return value.
         return true;
@@ -331,6 +345,24 @@ StreamSession::finish()
         service.completedCtr.add();
     else
         service.failedCtr.add();
+    if (!observed) {
+        observed = true;
+        // Watchdog trips and ladder falls force-retain their trace;
+        // the whole request replays as one conformance case.
+        const char *reason = nullptr;
+        if (response.watchdogTrips > 0)
+            reason = "watchdog trip";
+        else if (response.crossCheckFailures > 0)
+            reason = "cross-check mismatch";
+        else if (response.degradations > 0)
+            reason = "ladder fall";
+        service.reqObs.observe(
+            clock, request.id, reason != nullptr, reason, [this] {
+                return telem::literalCaseId(service.cfg.alphabetBits,
+                                            request.pattern,
+                                            request.text);
+            });
+    }
     return response;
 }
 
@@ -364,7 +396,8 @@ MatchService::MatchService(
       resumesCtr(metrics.counter("resumes")),
       queueDepthGauge(metrics.gauge("queue_depth")),
       chunkBeatsHist(metrics.histogram("chunk_beats", 0.0, 1024.0, 16)),
-      flight(cfg.flightCapacity)
+      flight(cfg.flightCapacity),
+      reqObs(metrics, "stream", &exemplarStore)
 {
     spm_assert(cfg.cells > 0, "service needs at least one cell");
     spm_assert(cfg.chunkChars > 0, "service needs a nonzero chunk size");
@@ -500,6 +533,10 @@ MatchService::submit(MatchRequest req)
         return out;
     }
 
+#ifndef SPM_TELEM_OFF
+    if (telem::samplingEnabled() && req.enqueuedNs == 0)
+        req.enqueuedNs = telem::nowNs();
+#endif
     for (;;) {
         Admission adm = queue.offer(std::move(req));
         if (adm.shed) {

@@ -43,6 +43,7 @@
 #include "service/watchdog.hh"
 #include "telemetry/flightrec.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/reqobs.hh"
 #include "util/types.hh"
 
 namespace spm::service
@@ -129,7 +130,10 @@ class StreamSession
     std::vector<Symbol> window;
     /** Cross-check failures charged against each rung this request. */
     std::vector<unsigned> rungFaults;
+    /** Stage attribution for this request (reqobs). */
+    telem::StageClock clock;
     bool finished = false;
+    bool observed = false;
 };
 
 /** The resilient streaming match service. */
@@ -211,6 +215,17 @@ class MatchService
     const telem::FlightRecorder &flightRecorder() const { return flight; }
     telem::FlightRecorder &flightRecorder() { return flight; }
 
+    /**
+     * Tail-sampled exemplar traces: the slowest requests, a uniform
+     * sample, and every watchdog-trip / ladder-fall request, each
+     * with its per-stage latency split and replayable case ID.
+     */
+    const telem::ExemplarReservoir &exemplars() const
+    {
+        return exemplarStore;
+    }
+    telem::ExemplarReservoir &exemplars() { return exemplarStore; }
+
   private:
     friend class StreamSession;
 
@@ -234,6 +249,8 @@ class MatchService
     telem::Gauge &queueDepthGauge;
     telem::Histogram &chunkBeatsHist;
     telem::FlightRecorder flight;
+    telem::ExemplarReservoir exemplarStore;
+    telem::RequestObserver reqObs;
 };
 
 /**

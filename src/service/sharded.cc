@@ -154,7 +154,8 @@ ShardedMatchService::ShardedMatchService(ShardedConfig config,
       overlapMismatchesCtr(supMetrics.counter("overlap_mismatches")),
       queueWaitHist(
           supMetrics.histogram("queue_wait_beats", 0.0, 65536.0, 16)),
-      flight(cfg.base.flightCapacity)
+      flight(cfg.base.flightCapacity),
+      reqObs(supMetrics, "sharded", &exemplarStore)
 {
     spm_assert(cfg.threads > 0, "sharded service needs at least one thread");
     spm_assert(cfg.minShardChars > 0, "minShardChars must be positive");
@@ -235,7 +236,7 @@ ShardedMatchService::enqueue(std::vector<std::function<void()>> &tasks)
         for (std::function<void()> &t : tasks)
             taskQueue.push_back(
                 [this, enqueued_at, task = std::move(t)] {
-                    const double wait_ns =
+                    [[maybe_unused]] const double wait_ns =
                         std::chrono::duration<double, std::nano>(
                             std::chrono::steady_clock::now() -
                             enqueued_at)
@@ -383,6 +384,12 @@ ShardedMatchService::serve(const MatchRequest &req)
     const std::size_t overlap = k > 0 ? k - 1 : 0;
     lastErrors.clear();
 
+    telem::StageClock clock;
+    clock.start();
+    if (clock.running() && req.enqueuedNs != 0)
+        clock.note(telem::Stage::QueueWait,
+                   telem::nowNs() - req.enqueuedNs);
+
     SPM_TSPAN_NAMED(batch_span, "sharded.serve", telem::cat::sharded, 0,
                     req.id);
 
@@ -437,7 +444,12 @@ ShardedMatchService::serve(const MatchRequest &req)
         st.keepLen = starts[s + 1] - start;
         st.rightExt = ext;
         st.slot = assignable[s];
+        // Slices inherit a fresh enqueue stamp so each shard's own
+        // stage clock credits the pool handoff as queue wait.
+        if (clock.running())
+            st.piece.enqueuedNs = telem::nowNs();
     }
+    clock.mark(telem::Stage::Admit);
 
     if (nshards == 1) {
         // One slice: serve inline on the calling thread (no handoff
@@ -657,6 +669,9 @@ ShardedMatchService::serve(const MatchRequest &req)
             st.resp.result.clear();
         }
     }
+    // Request-level view: pool handoff, shard kernels, recovery
+    // retries all happened between the admit mark and here.
+    clock.mark(telem::Stage::Kernel);
 
     // --- Overlap cross-check: a free end-to-end integrity check ------
     // Neighbor shards computed the k-1 overlap twice; disagreement
@@ -732,6 +747,7 @@ ShardedMatchService::serve(const MatchRequest &req)
             }
         }
     }
+    clock.mark(telem::Stage::CrossCheck);
 
     // --- Stitch ------------------------------------------------------
     MatchResponse out;
@@ -771,6 +787,21 @@ ShardedMatchService::serve(const MatchRequest &req)
     batch_span.setBeat(lastCritical);
     if (!out.ok())
         out.result.clear();
+
+    clock.mark(telem::Stage::Commit);
+    clock.addBeats(out.beats);
+    const char *reason = nullptr;
+    for (const ShardError &se : lastErrors)
+        if (se.kind == ShardFaultKind::OverlapMismatch)
+            reason = "overlap mismatch";
+    if (!reason && !lastErrors.empty())
+        reason = "shard fault";
+    if (!reason && out.watchdogTrips > 0)
+        reason = "watchdog trip";
+    reqObs.observe(clock, req.id, reason != nullptr, reason, [&] {
+        return telem::literalCaseId(cfg.base.alphabetBits, req.pattern,
+                                    req.text);
+    });
     return out;
 }
 
@@ -780,6 +811,12 @@ ShardedMatchService::metricsSnapshot() const
     telem::Snapshot snap;
     for (const auto &shard : shards)
         snap.merge(shard->metricsSnapshot());
+    // The shards' own request observers measure *slices*; re-key them
+    // under "shard." so they don't read as a whole-request service
+    // next to the request-level "sharded.req.*" histograms below.
+    for (auto &entry : snap.logHistograms)
+        if (entry.first.rfind("req.", 0) == 0)
+            entry.first = "shard." + entry.first;
     std::size_t quarantined = 0;
     {
         std::lock_guard<std::mutex> lock(healthMu);
@@ -796,6 +833,8 @@ ShardedMatchService::metricsSnapshot() const
         snap.setCounter("sharded." + name, value);
     for (const auto &[name, hist] : sup.histograms)
         snap.setHistogram("sharded." + name, hist);
+    for (const auto &[name, hist] : sup.logHistograms)
+        snap.setLogHistogram("sharded." + name, hist);
     return snap;
 }
 

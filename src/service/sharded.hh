@@ -274,6 +274,17 @@ class ShardedMatchService
     const telem::FlightRecorder &flightRecorder() const { return flight; }
     telem::FlightRecorder &flightRecorder() { return flight; }
 
+    /**
+     * Request-level exemplar traces at the sharded boundary: slowest
+     * requests, a uniform sample, and every overlap-mismatch /
+     * shard-fault / watchdog-trip request force-retained.
+     */
+    const telem::ExemplarReservoir &exemplars() const
+    {
+        return exemplarStore;
+    }
+    telem::ExemplarReservoir &exemplars() { return exemplarStore; }
+
   private:
     struct Batch;
     struct SliceState;
@@ -342,6 +353,14 @@ class ShardedMatchService
     telem::Counter &overlapMismatchesCtr;
     telem::Histogram &queueWaitHist;
     telem::FlightRecorder flight;
+    telem::ExemplarReservoir exemplarStore;
+    /**
+     * Request-level observer on the supervision registry, so its
+     * metrics render with the "sharded." prefix the snapshot applies
+     * ("sharded.req.latency_ns", ...); the per-shard services keep
+     * their own slice-level observers under bare "req.*" names.
+     */
+    telem::RequestObserver reqObs;
 };
 
 } // namespace spm::service

@@ -139,8 +139,8 @@ Histogram::Histogram(std::string metric_name, double range_lo,
                "histogram '", metricName, "': needs at least one bucket");
     stripes = roundUpPow2(std::max<std::size_t>(stripe_count, 1));
     cells = std::make_unique<std::atomic<std::uint64_t>[]>(
-        stripes * (nBuckets + 2));
-    for (std::size_t i = 0; i < stripes * (nBuckets + 2); ++i)
+        stripes * (nBuckets + 3));
+    for (std::size_t i = 0; i < stripes * (nBuckets + 3); ++i)
         cells[i].store(0, std::memory_order_relaxed);
     sumCells = std::make_unique<StripeCell[]>(stripes);
 }
@@ -149,6 +149,14 @@ void
 Histogram::sample(double v)
 {
     std::size_t stripe = threadStripe() & (stripes - 1);
+    if (std::isnan(v)) {
+        // NaN fails both range comparisons; without this check it
+        // would fall into the bucket-index cast (undefined behavior)
+        // and poison the sum. Count it where a dashboard can see it.
+        cells[cellIndex(stripe, nBuckets + 2)].fetch_add(
+            1, std::memory_order_relaxed);
+        return;
+    }
     std::size_t slot;
     if (v < lo) {
         slot = nBuckets; // underflow
@@ -197,6 +205,12 @@ Histogram::overflows() const
 }
 
 std::uint64_t
+Histogram::invalids() const
+{
+    return slotTotal(nBuckets + 2);
+}
+
+std::uint64_t
 Histogram::samples() const
 {
     std::uint64_t total = 0;
@@ -218,7 +232,138 @@ Histogram::sum() const
 void
 Histogram::reset()
 {
-    for (std::size_t i = 0; i < stripes * (nBuckets + 2); ++i)
+    for (std::size_t i = 0; i < stripes * (nBuckets + 3); ++i)
+        cells[i].store(0, std::memory_order_relaxed);
+    for (std::size_t s = 0; s < stripes; ++s)
+        sumCells[s].v.store(0, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------- LogHistogram
+
+std::size_t
+LogHistogram::bucketIndex(std::uint64_t u, unsigned sub_bits)
+{
+    const std::uint64_t sub = std::uint64_t{1} << sub_bits;
+    if (u < 2 * sub)
+        return static_cast<std::size_t>(u); // exact low range
+#if defined(__GNUC__) || defined(__clang__)
+    const unsigned msb = 63u - static_cast<unsigned>(__builtin_clzll(u));
+#else
+    unsigned msb = 0;
+    for (std::uint64_t w = u; w >>= 1;)
+        ++msb;
+#endif
+    const unsigned shift = msb - sub_bits;
+    return static_cast<std::size_t>((shift + 1) * sub + (u >> shift) - sub);
+}
+
+std::uint64_t
+LogHistogram::bucketFloor(std::size_t index, unsigned sub_bits)
+{
+    const std::uint64_t sub = std::uint64_t{1} << sub_bits;
+    if (index < 2 * sub)
+        return index;
+    const std::size_t shift = index / sub - 1;
+    return (sub + index % sub) << shift;
+}
+
+std::size_t
+LogHistogram::bucketCountFor(unsigned sub_bits)
+{
+    // Values up to 2^64-1 map to index (64 - sub_bits)*sub + sub - 1.
+    return static_cast<std::size_t>(65 - sub_bits)
+           << sub_bits;
+}
+
+LogHistogram::LogHistogram(std::string metric_name, unsigned sub_bits,
+                           std::size_t stripe_count)
+    : metricName(std::move(metric_name)), subBitsN(sub_bits)
+{
+    spm_assert(sub_bits <= 6, "log histogram '", metricName,
+               "': sub_bits must be <= 6");
+    nBuckets = bucketCountFor(sub_bits);
+    stripes = roundUpPow2(std::max<std::size_t>(stripe_count, 1));
+    cells = std::make_unique<std::atomic<std::uint64_t>[]>(
+        stripes * (nBuckets + 1));
+    for (std::size_t i = 0; i < stripes * (nBuckets + 1); ++i)
+        cells[i].store(0, std::memory_order_relaxed);
+    sumCells = std::make_unique<StripeCell[]>(stripes);
+}
+
+void
+LogHistogram::sample(double v)
+{
+    std::size_t stripe = threadStripe() & (stripes - 1);
+    if (std::isnan(v) || v < 0.0) {
+        cells[cellIndex(stripe, nBuckets)].fetch_add(
+            1, std::memory_order_relaxed);
+        return;
+    }
+    // Latencies are integer beat / nanosecond counts; round and clamp
+    // to the llround-safe range (the top buckets absorb the rest).
+    std::uint64_t u = v >= 9.0e18
+                          ? std::uint64_t{9'000'000'000'000'000'000}
+                          : static_cast<std::uint64_t>(std::llround(v));
+    cells[cellIndex(stripe, bucketIndex(u, subBitsN))].fetch_add(
+        1, std::memory_order_relaxed);
+    sumCells[stripe].v.fetch_add(u, std::memory_order_relaxed);
+}
+
+std::uint64_t
+LogHistogram::bucketValue(std::size_t i) const
+{
+    spm_assert(i < nBuckets, "log histogram '", metricName,
+               "': bucket ", i, " out of range");
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < stripes; ++s)
+        total += cells[cellIndex(s, i)].load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+LogHistogram::invalids() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < stripes; ++s)
+        total +=
+            cells[cellIndex(s, nBuckets)].load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+LogHistogram::samples() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < stripes; ++s)
+        for (std::size_t i = 0; i < nBuckets; ++i)
+            total += cells[cellIndex(s, i)].load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+LogHistogram::sum() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < stripes; ++s)
+        total += sumCells[s].v.load(std::memory_order_relaxed);
+    return static_cast<double>(total);
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    Snapshot::LogHistogramData data;
+    data.subBits = subBitsN;
+    data.buckets.resize(nBuckets);
+    for (std::size_t i = 0; i < nBuckets; ++i)
+        data.buckets[i] = bucketValue(i);
+    return data.quantile(q);
+}
+
+void
+LogHistogram::reset()
+{
+    for (std::size_t i = 0; i < stripes * (nBuckets + 1); ++i)
         cells[i].store(0, std::memory_order_relaxed);
     for (std::size_t s = 0; s < stripes; ++s)
         sumCells[s].v.store(0, std::memory_order_relaxed);
@@ -242,6 +387,49 @@ Snapshot::HistogramData::mean() const
     return n ? sum / static_cast<double>(n) : 0.0;
 }
 
+std::uint64_t
+Snapshot::LogHistogramData::samples() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t b : buckets)
+        total += b;
+    return total;
+}
+
+double
+Snapshot::LogHistogramData::mean() const
+{
+    std::uint64_t n = samples();
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+Snapshot::LogHistogramData::quantile(double q) const
+{
+    std::uint64_t n = samples();
+    if (n == 0)
+        return 0.0;
+    double qr = std::ceil(std::clamp(q, 0.0, 1.0) *
+                          static_cast<double>(n));
+    std::uint64_t rank = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(qr), 1, n);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank) {
+            std::uint64_t floor_v = LogHistogram::bucketFloor(i, subBits);
+            std::uint64_t width =
+                LogHistogram::bucketFloor(i + 1, subBits) - floor_v;
+            // Bucket midpoint above the exact range, the value itself
+            // inside it.
+            return static_cast<double>(floor_v) +
+                   (width > 1 ? static_cast<double>(width - 1) / 2.0
+                              : 0.0);
+        }
+    }
+    return 0.0;
+}
+
 void
 Snapshot::setCounter(const std::string &name, std::uint64_t v)
 {
@@ -258,6 +446,12 @@ void
 Snapshot::setHistogram(const std::string &name, HistogramData h)
 {
     setSorted(histograms, name, std::move(h));
+}
+
+void
+Snapshot::setLogHistogram(const std::string &name, LogHistogramData h)
+{
+    setSorted(logHistograms, name, std::move(h));
 }
 
 std::uint64_t
@@ -281,6 +475,13 @@ Snapshot::histogram(const std::string &name) const
 {
     auto it = findEntry(histograms, name);
     return it == histograms.end() ? nullptr : &it->second;
+}
+
+const Snapshot::LogHistogramData *
+Snapshot::logHistogram(const std::string &name) const
+{
+    auto it = findEntry(logHistograms, name);
+    return it == logHistograms.end() ? nullptr : &it->second;
 }
 
 void
@@ -307,8 +508,71 @@ Snapshot::merge(const Snapshot &other)
             mine.buckets[i] += h.buckets[i];
         mine.under += h.under;
         mine.over += h.over;
+        mine.invalid += h.invalid;
         mine.sum += h.sum;
     }
+    for (const auto &[name, h] : other.logHistograms) {
+        auto it = findEntry(logHistograms, name);
+        if (it == logHistograms.end()) {
+            setLogHistogram(name, h);
+            continue;
+        }
+        LogHistogramData &mine = it->second;
+        spm_assert(mine.subBits == h.subBits, "snapshot merge: log "
+                   "histogram '", name, "' has mismatched resolution");
+        if (mine.buckets.size() < h.buckets.size())
+            mine.buckets.resize(h.buckets.size(), 0);
+        for (std::size_t i = 0; i < h.buckets.size(); ++i)
+            mine.buckets[i] += h.buckets[i];
+        mine.invalid += h.invalid;
+        mine.sum += h.sum;
+    }
+}
+
+Snapshot
+Snapshot::delta(const Snapshot &earlier) const
+{
+    // A metric that shrank between the snapshots (registry reset, a
+    // service replaced) reports its current value: sub() clamps.
+    auto sub = [](std::uint64_t cur, std::uint64_t prev) {
+        return cur >= prev ? cur - prev : cur;
+    };
+    Snapshot out;
+    for (const auto &[name, v] : counters)
+        out.setCounter(name, sub(v, earlier.counterValue(name)));
+    for (const auto &[name, v] : gauges)
+        out.setGauge(name, v);
+    for (const auto &[name, h] : histograms) {
+        const HistogramData *prev = earlier.histogram(name);
+        if (!prev || prev->buckets.size() != h.buckets.size() ||
+            prev->lo != h.lo || prev->hi != h.hi) {
+            out.setHistogram(name, h);
+            continue;
+        }
+        HistogramData d = h;
+        for (std::size_t i = 0; i < d.buckets.size(); ++i)
+            d.buckets[i] = sub(d.buckets[i], prev->buckets[i]);
+        d.under = sub(d.under, prev->under);
+        d.over = sub(d.over, prev->over);
+        d.invalid = sub(d.invalid, prev->invalid);
+        d.sum = h.sum >= prev->sum ? h.sum - prev->sum : h.sum;
+        out.setHistogram(name, std::move(d));
+    }
+    for (const auto &[name, h] : logHistograms) {
+        const LogHistogramData *prev = earlier.logHistogram(name);
+        if (!prev || prev->subBits != h.subBits ||
+            prev->buckets.size() > h.buckets.size()) {
+            out.setLogHistogram(name, h);
+            continue;
+        }
+        LogHistogramData d = h;
+        for (std::size_t i = 0; i < prev->buckets.size(); ++i)
+            d.buckets[i] = sub(d.buckets[i], prev->buckets[i]);
+        d.invalid = sub(d.invalid, prev->invalid);
+        d.sum = h.sum >= prev->sum ? h.sum - prev->sum : h.sum;
+        out.setLogHistogram(name, std::move(d));
+    }
+    return out;
 }
 
 std::string
@@ -322,7 +586,17 @@ Snapshot::renderText(const std::string &prefix) const
     for (const auto &[name, h] : histograms) {
         os << prefix << name << " = samples:" << h.samples()
            << " mean:" << formatDouble(h.mean())
-           << " under:" << h.under << " over:" << h.over << "\n";
+           << " under:" << h.under << " over:" << h.over
+           << " invalid:" << h.invalid << "\n";
+    }
+    for (const auto &[name, h] : logHistograms) {
+        os << prefix << name << " = samples:" << h.samples()
+           << " mean:" << formatDouble(h.mean())
+           << " p50:" << formatDouble(h.quantile(0.50))
+           << " p90:" << formatDouble(h.quantile(0.90))
+           << " p99:" << formatDouble(h.quantile(0.99))
+           << " p999:" << formatDouble(h.quantile(0.999))
+           << " invalid:" << h.invalid << "\n";
     }
     return os.str();
 }
@@ -340,8 +614,19 @@ Snapshot::renderTable(const std::string &title) const
         std::ostringstream cell;
         cell << "n=" << h.samples() << " mean=" << formatDouble(h.mean())
              << " [" << formatDouble(h.lo) << "," << formatDouble(h.hi)
-             << ")x" << h.buckets.size();
+             << ")x" << h.buckets.size() << " under=" << h.under
+             << " over=" << h.over << " invalid=" << h.invalid;
         t.addRow({name, "histogram", cell.str()});
+    }
+    for (const auto &[name, h] : logHistograms) {
+        std::ostringstream cell;
+        cell << "n=" << h.samples()
+             << " p50=" << formatDouble(h.quantile(0.50))
+             << " p90=" << formatDouble(h.quantile(0.90))
+             << " p99=" << formatDouble(h.quantile(0.99))
+             << " p999=" << formatDouble(h.quantile(0.999))
+             << " invalid=" << h.invalid;
+        t.addRow({name, "loghist", cell.str()});
     }
     return t.toString();
 }
@@ -374,6 +659,22 @@ Snapshot::renderPrometheus() const
         os << p << "_bucket{le=\"+Inf\"} " << h.samples() << "\n";
         os << p << "_sum " << formatDouble(h.sum) << "\n";
         os << p << "_count " << h.samples() << "\n";
+        os << "# TYPE " << p << "_edge counter\n";
+        os << p << "_edge{kind=\"under\"} " << h.under << "\n";
+        os << p << "_edge{kind=\"over\"} " << h.over << "\n";
+        os << p << "_edge{kind=\"invalid\"} " << h.invalid << "\n";
+    }
+    for (const auto &[name, h] : logHistograms) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " summary\n";
+        for (double q : {0.5, 0.9, 0.99, 0.999}) {
+            os << p << "{quantile=\"" << formatDouble(q) << "\"} "
+               << formatDouble(h.quantile(q)) << "\n";
+        }
+        os << p << "_sum " << formatDouble(h.sum) << "\n";
+        os << p << "_count " << h.samples() << "\n";
+        os << "# TYPE " << p << "_edge counter\n";
+        os << p << "_edge{kind=\"invalid\"} " << h.invalid << "\n";
     }
     return os.str();
 }
@@ -408,9 +709,31 @@ Snapshot::toJson() const
             os << h.buckets[b];
         }
         os << "],\"under\":" << h.under << ",\"over\":" << h.over
+           << ",\"invalid\":" << h.invalid
            << ",\"sum\":" << formatDouble(h.sum) << "}";
     }
-    os << "}}";
+    os << "}";
+    // Pre-reqobs snapshots had no log histograms; the key is omitted
+    // when empty so their committed JSON keeps round-tripping.
+    if (!logHistograms.empty()) {
+        os << ",\"loghistograms\":{";
+        for (std::size_t i = 0; i < logHistograms.size(); ++i) {
+            if (i)
+                os << ",";
+            const auto &[name, h] = logHistograms[i];
+            os << jsonQuote(name) << ":{\"subbits\":" << h.subBits
+               << ",\"buckets\":[";
+            for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+                if (b)
+                    os << ",";
+                os << h.buckets[b];
+            }
+            os << "],\"invalid\":" << h.invalid
+               << ",\"sum\":" << formatDouble(h.sum) << "}";
+        }
+        os << "}";
+    }
+    os << "}";
     return os.str();
 }
 
@@ -470,8 +793,44 @@ Snapshot::fromJson(const std::string &text)
             }
             h.under = static_cast<std::uint64_t>(under->asNumber());
             h.over = static_cast<std::uint64_t>(over->asNumber());
+            // Optional: snapshots committed before the invalid cell
+            // existed parse as zero.
+            if (const JsonValue *invalid = v.member("invalid")) {
+                if (!invalid->isNumber())
+                    return std::nullopt;
+                h.invalid =
+                    static_cast<std::uint64_t>(invalid->asNumber());
+            }
             h.sum = sum->asNumber();
             snap.setHistogram(name, std::move(h));
+        }
+    }
+    if (const JsonValue *ls = root->member("loghistograms")) {
+        if (!ls->isObject())
+            return std::nullopt;
+        for (const auto &[name, v] : ls->objectMembers()) {
+            if (!v.isObject())
+                return std::nullopt;
+            const JsonValue *subbits = v.member("subbits");
+            const JsonValue *buckets = v.member("buckets");
+            const JsonValue *invalid = v.member("invalid");
+            const JsonValue *sum = v.member("sum");
+            if (!subbits || !buckets || !invalid || !sum ||
+                !subbits->isNumber() || !buckets->isArray() ||
+                !invalid->isNumber() || !sum->isNumber()) {
+                return std::nullopt;
+            }
+            LogHistogramData h;
+            h.subBits = static_cast<unsigned>(subbits->asNumber());
+            for (const JsonValue &b : buckets->arrayItems()) {
+                if (!b.isNumber())
+                    return std::nullopt;
+                h.buckets.push_back(
+                    static_cast<std::uint64_t>(b.asNumber()));
+            }
+            h.invalid = static_cast<std::uint64_t>(invalid->asNumber());
+            h.sum = sum->asNumber();
+            snap.setLogHistogram(name, std::move(h));
         }
     }
     return snap;
@@ -554,6 +913,33 @@ Registry::histogram(const std::string &name) const
     spm_panic("telemetry: no histogram named '", name, "'");
 }
 
+LogHistogram &
+Registry::logHistogram(const std::string &name, unsigned sub_bits)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &h : logHists) {
+        if (h->name() == name) {
+            spm_assert(h->subBits() == sub_bits,
+                       "telemetry: log histogram '", name,
+                       "' re-registered with a different resolution");
+            return *h;
+        }
+    }
+    logHists.push_back(
+        std::make_unique<LogHistogram>(name, sub_bits, stripes));
+    return *logHists.back();
+}
+
+const LogHistogram &
+Registry::logHistogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &h : logHists)
+        if (h->name() == name)
+            return *h;
+    spm_panic("telemetry: no log histogram named '", name, "'");
+}
+
 Snapshot
 Registry::snapshot() const
 {
@@ -572,8 +958,29 @@ Registry::snapshot() const
             data.buckets[i] = h->bucketValue(i);
         data.under = h->underflows();
         data.over = h->overflows();
+        data.invalid = h->invalids();
         data.sum = h->sum();
         snap.setHistogram(h->name(), std::move(data));
+    }
+    for (const auto &h : logHists) {
+        Snapshot::LogHistogramData data;
+        data.subBits = h->subBits();
+        // Trim the dense tail: latencies cluster low, and the trimmed
+        // vector is what merge/JSON carry around.
+        std::size_t top = 0;
+        for (std::size_t i = 0; i < h->bucketCount(); ++i) {
+            std::uint64_t v = h->bucketValue(i);
+            if (v) {
+                if (data.buckets.size() <= i)
+                    data.buckets.resize(i + 1, 0);
+                data.buckets[i] = v;
+                top = i + 1;
+            }
+        }
+        data.buckets.resize(top);
+        data.invalid = h->invalids();
+        data.sum = h->sum();
+        snap.setLogHistogram(h->name(), std::move(data));
     }
     return snap;
 }
@@ -588,13 +995,16 @@ Registry::reset()
         g->set(0.0);
     for (auto &h : histograms)
         h->reset();
+    for (auto &h : logHists)
+        h->reset();
 }
 
 std::size_t
 Registry::metricCount() const
 {
     std::lock_guard<std::mutex> lock(mu);
-    return counters.size() + gauges.size() + histograms.size();
+    return counters.size() + gauges.size() + histograms.size() +
+           logHists.size();
 }
 
 } // namespace spm::telem

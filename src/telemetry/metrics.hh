@@ -9,10 +9,16 @@
  * the same instrument. Three metric kinds cover everything the
  * reproduction reports:
  *
- *   Counter    monotonically increasing count (beats, chars, chunks);
- *   Gauge      last-written level (queue depth, thread count);
- *   Histogram  fixed-bucket distribution over [lo, hi) with explicit
- *              under/overflow cells (per-chunk latency, settle effort).
+ *   Counter       monotonically increasing count (beats, chars, chunks);
+ *   Gauge         last-written level (queue depth, thread count);
+ *   Histogram     fixed-bucket distribution over [lo, hi) with explicit
+ *                 under/overflow/invalid cells (per-chunk latency,
+ *                 settle effort);
+ *   LogHistogram  log-scaled (HDR-style) distribution over the
+ *                 non-negative integers with bounded relative error,
+ *                 built for SLO latency percentiles: p50/p90/p99/p999
+ *                 extraction by exact-count rank over the recorded
+ *                 buckets (request latency in beats and wall-ns).
  *
  * Collection is cheap and thread-safe: each metric owns a small power-
  * of-two array of cache-line padded relaxed-atomic cells, and every
@@ -114,7 +120,9 @@ class Gauge
  * A named fixed-bucket histogram over [lo, hi): bucket i counts
  * samples in [lo + i*w, lo + (i+1)*w) with w = (hi-lo)/buckets;
  * samples below lo and at or above hi land in the underflow and
- * overflow cells. Bucket cells are striped like Counter's.
+ * overflow cells, and NaN samples land in an explicit invalid cell
+ * (they are not part of the distribution and excluded from the sum).
+ * Bucket cells are striped like Counter's.
  */
 class Histogram
 {
@@ -139,7 +147,9 @@ class Histogram
     std::uint64_t bucketValue(std::size_t i) const;
     std::uint64_t underflows() const;
     std::uint64_t overflows() const;
-    /** Total samples including under/overflows. */
+    /** NaN samples (counted, excluded from buckets and sum). */
+    std::uint64_t invalids() const;
+    /** Total samples including under/overflows; excludes invalids. */
     std::uint64_t samples() const;
     /** Sum of all sampled values (mean = sum / samples). */
     double sum() const;
@@ -152,10 +162,10 @@ class Histogram
     const std::string &name() const { return metricName; }
 
   private:
-    /** Cell layout per stripe: buckets, then under, over. */
+    /** Cell layout per stripe: buckets, then under, over, invalid. */
     std::size_t cellIndex(std::size_t stripe, std::size_t slot) const
     {
-        return stripe * (nBuckets + 2) + slot;
+        return stripe * (nBuckets + 3) + slot;
     }
     std::uint64_t slotTotal(std::size_t slot) const;
 
@@ -168,6 +178,76 @@ class Histogram
     std::unique_ptr<StripeCell[]> sumCells; ///< sum in milli-units
 };
 
+/**
+ * A named log-scaled histogram over the non-negative integers
+ * (HDR-histogram bucketing): values below 2^(subBits+1) get one exact
+ * bucket each, and every further power-of-two range is split into
+ * 2^subBits sub-buckets, so the relative quantization error is
+ * bounded by 2^-subBits everywhere. The whole uint64 range is covered
+ * by (65 - subBits) * 2^subBits dense buckets -- a few KB -- which is
+ * what makes p999 extraction from a latency stream cheap enough to
+ * record per request. Samples are rounded to the nearest integer;
+ * NaN and negative values land in an explicit invalid cell.
+ *
+ * Quantiles are exact-count ranks over the recorded buckets: the
+ * value returned for quantile(q) is the representative of the bucket
+ * holding the ceil(q*n)-th smallest sample, exact in the low range
+ * and within the relative-error bound above it.
+ */
+class LogHistogram
+{
+  public:
+    /**
+     * @param metric_name registry name
+     * @param sub_bits sub-bucket resolution (0..6); relative error
+     *        bound is 2^-sub_bits
+     * @param stripes concurrency stripes (power of two)
+     */
+    LogHistogram(std::string metric_name, unsigned sub_bits,
+                 std::size_t stripes);
+
+    LogHistogram(const LogHistogram &) = delete;
+    LogHistogram &operator=(const LogHistogram &) = delete;
+
+    void sample(double v);
+
+    unsigned subBits() const { return subBitsN; }
+    std::size_t bucketCount() const { return nBuckets; }
+    std::uint64_t bucketValue(std::size_t i) const;
+    std::uint64_t invalids() const;
+    /** Valid samples (invalids excluded). */
+    std::uint64_t samples() const;
+    /** Sum of valid samples, rounded to integers at sample time. */
+    double sum() const;
+    /** Exact-count rank quantile; 0 when empty. */
+    double quantile(double q) const;
+
+    void reset();
+
+    const std::string &name() const { return metricName; }
+
+    /** Dense index of the bucket holding integer value @p u. */
+    static std::size_t bucketIndex(std::uint64_t u, unsigned sub_bits);
+    /** Smallest integer value mapping to bucket @p index. */
+    static std::uint64_t bucketFloor(std::size_t index, unsigned sub_bits);
+    /** Dense bucket count for a resolution. */
+    static std::size_t bucketCountFor(unsigned sub_bits);
+
+  private:
+    /** Cell layout per stripe: buckets, then invalid. */
+    std::size_t cellIndex(std::size_t stripe, std::size_t slot) const
+    {
+        return stripe * (nBuckets + 1) + slot;
+    }
+
+    std::string metricName;
+    unsigned subBitsN;
+    std::size_t nBuckets;
+    std::size_t stripes;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+    std::unique_ptr<StripeCell[]> sumCells; ///< sum in whole units
+};
+
 /** A registry frozen at one instant; plain data, merge- and render-able. */
 struct Snapshot
 {
@@ -178,20 +258,38 @@ struct Snapshot
         std::vector<std::uint64_t> buckets;
         std::uint64_t under = 0;
         std::uint64_t over = 0;
+        std::uint64_t invalid = 0;
+        double sum = 0;
+
+        /** Under + buckets + over; invalids excluded. */
+        std::uint64_t samples() const;
+        double mean() const;
+    };
+
+    struct LogHistogramData
+    {
+        unsigned subBits = 3;
+        /** Dense low-index prefix; trailing zero buckets trimmed. */
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t invalid = 0;
         double sum = 0;
 
         std::uint64_t samples() const;
         double mean() const;
+        /** Exact-count rank quantile; 0 when empty. */
+        double quantile(double q) const;
     };
 
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, double>> gauges;
     std::vector<std::pair<std::string, HistogramData>> histograms;
+    std::vector<std::pair<std::string, LogHistogramData>> logHistograms;
 
     /** Insert-or-overwrite helpers (keep entries sorted by name). */
     void setCounter(const std::string &name, std::uint64_t v);
     void setGauge(const std::string &name, double v);
     void setHistogram(const std::string &name, HistogramData h);
+    void setLogHistogram(const std::string &name, LogHistogramData h);
 
     /** Look up a counter; 0 when absent. */
     std::uint64_t counterValue(const std::string &name) const;
@@ -199,6 +297,8 @@ struct Snapshot
     std::optional<double> gaugeValue(const std::string &name) const;
     /** Look up a histogram; nullptr when absent. */
     const HistogramData *histogram(const std::string &name) const;
+    /** Look up a log histogram; nullptr when absent. */
+    const LogHistogramData *logHistogram(const std::string &name) const;
 
     /**
      * Merge @p other in: counters and histogram cells add (histogram
@@ -207,6 +307,17 @@ struct Snapshot
      * (the sharded service sums queue depths across shards).
      */
     void merge(const Snapshot &other);
+
+    /**
+     * The change since @p earlier: counters and histogram cells
+     * subtract (clamped at zero; a reset between the two snapshots
+     * yields the current values rather than garbage), gauges keep
+     * this side's level, and metrics absent from @p earlier pass
+     * through whole. This is what a live dashboard polls: delta over
+     * the refresh interval gives rolling rates and *interval*
+     * percentiles instead of since-boot ones.
+     */
+    Snapshot delta(const Snapshot &earlier) const;
 
     /**
      * "name = value" stat lines, sorted; histograms summarized. A
@@ -263,6 +374,15 @@ class Registry
     /** Look up an existing histogram; panics when missing. */
     const Histogram &histogram(const std::string &name) const;
 
+    /**
+     * Get or create a log-scaled histogram. Getting an existing name
+     * with a different resolution panics: one name, one bucketing.
+     */
+    LogHistogram &logHistogram(const std::string &name,
+                               unsigned sub_bits = 3);
+    /** Look up an existing log histogram; panics when missing. */
+    const LogHistogram &logHistogram(const std::string &name) const;
+
     /** Aggregate everything registered into a Snapshot. */
     Snapshot snapshot() const;
 
@@ -280,6 +400,7 @@ class Registry
     std::vector<std::unique_ptr<Counter>> counters;
     std::vector<std::unique_ptr<Gauge>> gauges;
     std::vector<std::unique_ptr<Histogram>> histograms;
+    std::vector<std::unique_ptr<LogHistogram>> logHists;
 };
 
 } // namespace spm::telem

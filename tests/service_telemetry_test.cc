@@ -126,6 +126,45 @@ TEST(ServiceTelemetry, WatchdogTripDumpsReplayableCaseId)
     EXPECT_GE(svc.stats().counter("watchdogTrips").value(), 1u);
 }
 
+#ifndef SPM_TELEM_OFF
+TEST(ServiceTelemetry, WatchdogTripForceRetainsAnExemplar)
+{
+    // The reqobs acceptance criterion: a watchdog trip must survive in
+    // the exemplar reservoir's forced ring no matter how much regular
+    // traffic follows, carrying the full-request replay case ID.
+    telem::setSamplingEnabled(true);
+    std::vector<std::unique_ptr<ServiceBackend>> ladder;
+    ladder.push_back(std::make_unique<WedgedBackend>());
+    MatchService svc(smallConfig(), std::move(ladder));
+    svc.flightRecorder().setDumpSink([](const std::string &) {});
+
+    const MatchRequest req = seededRequest(31, 17, 40, 4);
+    const MatchResponse resp = svc.serve(req);
+    EXPECT_FALSE(resp.ok());
+
+    const std::vector<telem::Exemplar> forced = svc.exemplars().forced();
+    ASSERT_FALSE(forced.empty());
+    const telem::Exemplar &e = forced.front();
+    EXPECT_TRUE(e.forced);
+    EXPECT_EQ(e.reason, "watchdog trip");
+    EXPECT_EQ(e.requestId, 31u);
+    EXPECT_EQ(e.service, "stream");
+
+    // The exemplar's case ID replays the whole request, not just the
+    // wedged chunk: pattern and text round-trip exactly.
+    const std::optional<conformance::Case> c =
+        conformance::decodeCase(e.caseId);
+    ASSERT_TRUE(c.has_value()) << e.caseId;
+    EXPECT_EQ(c->bits, smallConfig().alphabetBits);
+    EXPECT_EQ(c->pattern, req.pattern);
+    EXPECT_EQ(c->text, req.text);
+
+    // The rendered reservoir names the retention reason.
+    EXPECT_NE(svc.exemplars().renderText().find("forced(watchdog trip)"),
+              std::string::npos);
+}
+#endif // SPM_TELEM_OFF
+
 TEST(ServiceTelemetry, LadderFallRecordsTransitionEvent)
 {
     std::vector<std::unique_ptr<ServiceBackend>> ladder;

@@ -44,6 +44,39 @@ TEST(FlightRecorder, RingIsBoundedOldestFirst)
     }
 }
 
+TEST(FlightRecorder, RingWraparoundIsExactAtBoundaries)
+{
+    FlightRecorder rec(4);
+    // Exactly full: nothing evicted yet.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        rec.record(chunkEvent(1, i));
+    ASSERT_EQ(rec.events().size(), 4u);
+    EXPECT_EQ(rec.events().front().offset, 0u);
+
+    // One past capacity: exactly the oldest event falls out.
+    rec.record(chunkEvent(1, 4));
+    std::vector<FlightEvent> events = rec.events();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.front().offset, 1u);
+    EXPECT_EQ(events.back().offset, 4u);
+
+    // Several complete wraps: order and sequence numbers stay exact.
+    for (std::uint64_t i = 5; i < 21; ++i)
+        rec.record(chunkEvent(1, i));
+    events = rec.events();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(rec.recordedTotal(), 21u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].offset, 17 + i);
+        EXPECT_EQ(events[i].seq, 17 + i);
+    }
+
+    // A trip after wrapping reports only the retained history.
+    rec.setDumpSink([](const std::string &) {});
+    const std::string dump = rec.trip("wrap check", chunkEvent(1, 21));
+    EXPECT_NE(dump.find("(4 prior"), std::string::npos);
+}
+
 TEST(FlightRecorder, TripDumpCarriesHistoryAndTrigger)
 {
     FlightRecorder rec(8);

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -253,6 +255,135 @@ TEST(Registry, GlobalIsUsableAndStable)
     c.add(2);
     EXPECT_EQ(Registry::global().counter("test.metrics.global").value(),
               before + 2);
+}
+
+TEST(Histogram, NanSamplesLandInTheInvalidCell)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("lat", 0.0, 10.0, 5);
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    h.sample(1.0);
+    // Invalid samples are counted apart and excluded from the sample
+    // count and the sum (NaN would otherwise poison both).
+    EXPECT_EQ(h.invalids(), 2u);
+    EXPECT_EQ(h.samples(), 1u);
+    EXPECT_NEAR(h.sum(), 1.0, 1e-6);
+    h.reset();
+    EXPECT_EQ(h.invalids(), 0u);
+}
+
+TEST(Histogram, EdgeCountersSurviveEveryRender)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("lat", 0.0, 10.0, 5);
+    h.sample(10.0);  // exactly hi -> overflow (half-open [lo, hi))
+    h.sample(-1.0);  // underflow
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    const Snapshot snap = reg.snapshot();
+    const Snapshot::HistogramData *d = snap.histogram("lat");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->under, 1u);
+    EXPECT_EQ(d->over, 1u);
+    EXPECT_EQ(d->invalid, 1u);
+
+    const std::string text = snap.renderText();
+    EXPECT_NE(text.find("invalid:1"), std::string::npos);
+    const std::string table = snap.renderTable();
+    EXPECT_NE(table.find("invalid=1"), std::string::npos);
+    const std::string prom = snap.renderPrometheus();
+    EXPECT_NE(prom.find("spm_lat_edge{kind=\"under\"} 1"),
+              std::string::npos);
+    EXPECT_NE(prom.find("spm_lat_edge{kind=\"over\"} 1"),
+              std::string::npos);
+    EXPECT_NE(prom.find("spm_lat_edge{kind=\"invalid\"} 1"),
+              std::string::npos);
+}
+
+TEST(Histogram, InvalidCountRoundTripsThroughJson)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("lat", 0.0, 10.0, 5);
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    h.sample(3.0);
+    const Snapshot before = reg.snapshot();
+    const std::optional<Snapshot> after =
+        Snapshot::fromJson(before.toJson());
+    ASSERT_TRUE(after.has_value());
+    ASSERT_NE(after->histogram("lat"), nullptr);
+    EXPECT_EQ(after->histogram("lat")->invalid, 1u);
+    EXPECT_EQ(after->toJson(), before.toJson());
+}
+
+TEST(Snapshot, FromJsonAcceptsHistogramsWithoutInvalidField)
+{
+    // Snapshots dumped before the invalid cell existed must still
+    // parse (the committed goldens are in that format).
+    const std::string legacy =
+        "{\"counters\":{},\"gauges\":{},\"histograms\":{"
+        "\"lat\":{\"lo\":0,\"hi\":4,\"buckets\":[1,0],"
+        "\"under\":0,\"over\":0,\"sum\":1}}}";
+    const std::optional<Snapshot> snap = Snapshot::fromJson(legacy);
+    ASSERT_TRUE(snap.has_value());
+    ASSERT_NE(snap->histogram("lat"), nullptr);
+    EXPECT_EQ(snap->histogram("lat")->invalid, 0u);
+}
+
+TEST(Snapshot, RenderPrometheusEscapesHostileMetricNames)
+{
+    Registry reg;
+    reg.counter("bad\"name{with}\nnewline").add(1);
+    const std::string prom = reg.snapshot().renderPrometheus();
+    // Every non-[a-zA-Z0-9_] byte is replaced, so no quote, brace or
+    // newline from the metric name can corrupt the exposition format.
+    EXPECT_NE(prom.find("spm_bad_name_with__newline 1"),
+              std::string::npos);
+    std::size_t pos = prom.find("spm_bad");
+    ASSERT_NE(pos, std::string::npos);
+    const std::string metricLine =
+        prom.substr(pos, prom.find('\n', pos) - pos);
+    EXPECT_EQ(metricLine.find('"'), std::string::npos);
+    EXPECT_EQ(metricLine.find('{'), std::string::npos);
+}
+
+TEST(Snapshot, ConcurrentSnapshotWhileWritingIsCoherent)
+{
+    // The registry contract: snapshot() may run concurrently with
+    // writers and must see a value no larger than the true total and
+    // no tearing (TSan runs this test in CI).
+    Registry reg(4);
+    Counter &c = reg.counter("served");
+    Histogram &h = reg.histogram("lat", 0.0, 100.0, 10);
+    LogHistogram &lh = reg.logHistogram("lat_ns");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 20000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([&] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < kPerThread; ++i) {
+                c.add();
+                h.sample(static_cast<double>(i % 100));
+                lh.sample(static_cast<double>(i));
+            }
+        });
+    go.store(true);
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(kThreads) * kPerThread;
+    for (int i = 0; i < 50; ++i) {
+        const Snapshot snap = reg.snapshot();
+        EXPECT_LE(snap.counterValue("served"), total);
+        const Snapshot::LogHistogramData *d = snap.logHistogram("lat_ns");
+        ASSERT_NE(d, nullptr);
+        EXPECT_LE(d->samples(), total);
+    }
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(reg.counter("served").value(), total);
+    EXPECT_EQ(reg.histogram("lat", 0.0, 100.0, 10).samples(), total);
+    EXPECT_EQ(reg.snapshot().logHistogram("lat_ns")->samples(), total);
 }
 
 } // namespace

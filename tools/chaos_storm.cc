@@ -66,6 +66,11 @@ usage(std::FILE *out)
         "  --storm-seed N   injection-decision seed (default 1979)\n"
         "  --seed N         workload seed (default 2026)\n"
         "  --quiet          suppress flight-recorder dumps\n"
+        "  --snapshot-file F  write the sharded service's metrics\n"
+        "                   snapshot to F as JSON during the run\n"
+        "                   (atomic rename; spm_top --follow F tails it)\n"
+        "  --snapshot-every N snapshot after every N served requests\n"
+        "                   (default 1; needs --snapshot-file)\n"
         "\n"
         "exit status: 0 zero silent corruptions, 1 corruption or lost\n"
         "request, 2 usage error\n",
@@ -127,6 +132,8 @@ main(int argc, char **argv)
     bool software = true;
     bool all_slots = false;
     bool quiet = false;
+    std::string snapshot_file;
+    std::uint64_t snapshot_every = 1;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -197,6 +204,13 @@ main(int argc, char **argv)
             cc.seed = parseNum(arg, value());
         else if (std::strcmp(arg, "--quiet") == 0)
             quiet = true;
+        else if (std::strcmp(arg, "--snapshot-file") == 0)
+            snapshot_file = value();
+        else if (std::strcmp(arg, "--snapshot-every") == 0) {
+            snapshot_every = parseNum(arg, value());
+            if (snapshot_every == 0)
+                snapshot_every = 1;
+        }
         else if (std::strcmp(arg, "--help") == 0 ||
                  std::strcmp(arg, "-h") == 0) {
             usage(stdout);
@@ -233,9 +247,32 @@ main(int argc, char **argv)
             [](const std::string &) {});
     }
 
+    std::string exemplar_dump;
+    cc.progress = [&](std::size_t served,
+                      const service::ShardedMatchService &svc) {
+        if (served == cc.requests)
+            exemplar_dump = svc.exemplars().renderText();
+        if (snapshot_file.empty() ||
+            (served % snapshot_every != 0 && served != cc.requests))
+            return;
+        // Write-then-rename so a concurrent spm_top --follow never
+        // reads a torn snapshot.
+        const std::string tmp = snapshot_file + ".tmp";
+        const std::string json = svc.metricsSnapshot().toJson();
+        std::FILE *f = std::fopen(tmp.c_str(), "w");
+        if (f == nullptr)
+            return;
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::rename(tmp.c_str(), snapshot_file.c_str());
+    };
+
     const service::ChaosCampaignReport rep =
         service::runChaosCampaign(cc);
     std::fputs(rep.renderText().c_str(), stdout);
+
+    if (!quiet && !exemplar_dump.empty())
+        std::fputs(exemplar_dump.c_str(), stdout);
 
     const bool intact =
         rep.silentCorruptions == 0 &&
